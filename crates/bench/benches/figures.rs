@@ -1,0 +1,75 @@
+//! One bench group per paper figure: each iteration regenerates the
+//! figure's data at a reduced instance count through the same pipeline
+//! the `fhs-experiments` binaries use (workload sampling → scheduling →
+//! summary statistics). Single-threaded (`workers = 1`) so the numbers
+//! measure the pipeline, not the machine's core count.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fhs_experiments::args::CommonArgs;
+use fhs_experiments::figures::{fig4, fig5, fig6, fig7, fig8, lower_bound};
+
+fn args(instances: usize) -> CommonArgs {
+    CommonArgs {
+        instances,
+        seed: 7,
+        csv_dir: None,
+        workers: Some(1),
+    }
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("fig4_algorithms_6x6", |b| {
+        b.iter(|| fig4::compute(&args(10)))
+    });
+    g.finish();
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("fig5_changing_k", |b| b.iter(|| fig5::compute(&args(5))));
+    g.finish();
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("fig6_skewed_load", |b| b.iter(|| fig6::compute(&args(10))));
+    g.finish();
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("fig7_preemption", |b| b.iter(|| fig7::compute(&args(10))));
+    g.finish();
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("fig8_approx_info", |b| b.iter(|| fig8::compute(&args(10))));
+    g.finish();
+}
+
+fn bench_lower_bound(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("thm2_lower_bound", |b| {
+        b.iter(|| lower_bound::compute(&args(4)))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig4,
+    bench_fig5,
+    bench_fig6,
+    bench_fig7,
+    bench_fig8,
+    bench_lower_bound
+);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Per-algorithm scheduling cost: one full job execution per iteration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fhs_bench::{medium_ir, medium_tree, small_ep};
+use fhs_core::{make_policy, ALL_ALGORITHMS};
+use fhs_sim::{engine, Mode, RunOptions};
+
+fn bench_algorithms(c: &mut Criterion) {
+    for (name, (job, cfg)) in [
+        ("small_ep", small_ep()),
+        ("medium_tree", medium_tree()),
+        ("medium_ir", medium_ir()),
+    ] {
+        let mut group = c.benchmark_group(format!("schedule/{name}"));
+        group.sample_size(30);
+        for algo in ALL_ALGORITHMS {
+            group.bench_function(BenchmarkId::from_parameter(algo.label()), |b| {
+                b.iter(|| {
+                    let mut policy = make_policy(algo);
+                    engine::run(
+                        &job,
+                        &cfg,
+                        policy.as_mut(),
+                        Mode::NonPreemptive,
+                        &RunOptions::default(),
+                    )
+                    .makespan
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
+fn bench_modes(c: &mut Criterion) {
+    let (job, cfg) = medium_ir();
+    let mut group = c.benchmark_group("mode/medium_ir_mqb");
+    group.sample_size(30);
+    for (label, mode) in [
+        ("nonpreemptive", Mode::NonPreemptive),
+        ("preemptive", Mode::Preemptive),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut policy = make_policy(fhs_core::Algorithm::Mqb);
+                engine::run(&job, &cfg, policy.as_mut(), mode, &RunOptions::default()).makespan
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithms, bench_modes);
+criterion_main!(benches);

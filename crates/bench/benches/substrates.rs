@@ -1,0 +1,66 @@
+//! Substrate micro-benches: generation, graph analyses, serialization.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fhs_bench::medium_ir;
+use fhs_workloads::{resources::SystemSize, Family, Typing, WorkloadSpec};
+use kdag::descendants::DescendantValues;
+
+fn bench_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("substrate/generate");
+    for (name, family) in [
+        ("ep", Family::Ep),
+        ("tree", Family::Tree),
+        ("ir", Family::Ir),
+    ] {
+        let spec = WorkloadSpec::new(family, Typing::Layered, SystemSize::Medium, 4);
+        let mut seed = 0u64;
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                seed = seed.wrapping_add(1);
+                spec.sample(seed).0.num_tasks()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_graph_analyses(c: &mut Criterion) {
+    let (job, _) = medium_ir();
+    let mut g = c.benchmark_group("substrate/analyses");
+    g.bench_function("topological_order", |b| {
+        b.iter(|| kdag::topo::topological_order(&job))
+    });
+    g.bench_function("descendant_values", |b| {
+        b.iter(|| DescendantValues::compute(&job))
+    });
+    g.bench_function("transitive_reduction", |b| {
+        b.iter(|| kdag::reduction::transitive_reduction(&job).num_edges())
+    });
+    g.bench_function("job_profile", |b| {
+        b.iter(|| kdag::profile::JobProfile::of(&job).max_width())
+    });
+    g.finish();
+}
+
+fn bench_serialization(c: &mut Criterion) {
+    let (job, _) = medium_ir();
+    let text = kdag::text::to_text(&job);
+    let mut g = c.benchmark_group("substrate/text");
+    g.bench_function("serialize", |b| b.iter(|| kdag::text::to_text(&job).len()));
+    g.bench_function("parse", |b| {
+        b.iter(|| {
+            kdag::text::from_text(&text)
+                .expect("round trip")
+                .num_tasks()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_generation,
+    bench_graph_analyses,
+    bench_serialization
+);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! # fhs-bench — Criterion benchmarks for the reproduction
+//!
+//! Three bench binaries:
+//!
+//! * `schedulers` — single-job scheduling cost of each algorithm on fixed
+//!   small/medium instances, in both execution modes.
+//! * `figures` — one group per paper figure, timing the full experiment
+//!   cell pipeline (generation → scheduling → statistics) at reduced
+//!   instance counts. The *numbers* the paper reports come from the
+//!   `fhs-experiments` binaries; these benches time regenerating them.
+//! * `ablations` — the design choices called out in DESIGN.md §5:
+//!   MQB's balance metric and own-work subtraction, the epoch-skipping
+//!   preemptive engine vs the literal per-quantum engine, and the
+//!   descendant-value precomputation.
+//!
+//! Run with `cargo bench --workspace` (or `-p fhs-bench --bench figures`).
+
+#![forbid(unsafe_code)]
+
+use fhs_sim::MachineConfig;
+use fhs_workloads::{resources::SystemSize, Family, Typing, WorkloadSpec};
+use kdag::KDag;
+
+/// A fixed small layered-EP instance shared by benches.
+pub fn small_ep() -> (KDag, MachineConfig) {
+    WorkloadSpec::new(Family::Ep, Typing::Layered, SystemSize::Small, 4).sample(7)
+}
+
+/// A fixed medium layered-IR instance shared by benches.
+pub fn medium_ir() -> (KDag, MachineConfig) {
+    WorkloadSpec::new(Family::Ir, Typing::Layered, SystemSize::Medium, 4).sample(7)
+}
+
+/// A fixed medium layered-tree instance shared by benches.
+pub fn medium_tree() -> (KDag, MachineConfig) {
+    WorkloadSpec::new(Family::Tree, Typing::Layered, SystemSize::Medium, 4).sample(7)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_are_nontrivial() {
+        let (ep, _) = small_ep();
+        let (ir, _) = medium_ir();
+        let (tree, _) = medium_tree();
+        assert!(ep.num_tasks() > 20);
+        assert!(ir.num_tasks() > 100);
+        assert!(tree.num_tasks() > 60);
+    }
+}

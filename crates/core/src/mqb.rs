@@ -1,0 +1,536 @@
+//! MQB — Multi-Queue Balancing, the paper's contribution (§IV-A).
+//!
+//! MQB keeps one ready queue per resource type and transforms makespan
+//! minimization into **utilization balancing**: keep every type's queue
+//! fed so no processor pool starves.
+//!
+//! Two concepts drive it:
+//!
+//! 1. **Balance.** For queue snapshot `A`, the *x-utilization* of the
+//!    `α`-queue is `r_α(A) = l_α(A) / P_α` (total ready work over
+//!    processor count). The snapshot's *balance* is the vector of
+//!    x-utilizations sorted ascending; snapshot `A` is better-balanced
+//!    than `B` iff its sorted vector is lexicographically larger — i.e.
+//!    its most-starved queue is fuller, ties broken by the next-most
+//!    starved, and so on.
+//! 2. **Descendant values** `d_α(v)` ([`kdag::descendants`]): the
+//!    projected type-`α` workload unlocked downstream of `v`.
+//!
+//! When more than `P_α` `α`-tasks are ready, MQB repeatedly picks the
+//! candidate whose projected queue state — its own work leaving the
+//! `α`-queue, its descendant values joining every queue — has the best
+//! balance, until all processors are assigned. When at most `P_α` are
+//! ready it runs them all (their projections still update the working
+//! state seen while filling the remaining types).
+//!
+//! The §V-G *approximated information* variants are selected through
+//! [`InfoModel`]: one-step vs full lookahead, and precise vs
+//! exponentially-distributed vs noisy descendant estimates.
+
+use fhs_sim::{Assignments, EpochView, MachineConfig, Policy, ReadyTask};
+use kdag::{descendants::DescendantValues, KDag, TaskId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// How much of the K-DAG's future MQB may look at (paper §V-G).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Lookahead {
+    /// Full-depth descendant values (`MQB+All`).
+    #[default]
+    All,
+    /// Immediate children only (`MQB+1Step`):
+    /// `d_α(v) = Σ_{u ∈ children(v)} w_α(u) / pr(u)`.
+    OneStep,
+}
+
+/// How accurate MQB's descendant estimates are (paper §V-G).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Accuracy {
+    /// Exact values (`MQB+Pre`).
+    #[default]
+    Precise,
+    /// Each value replaced by an exponentially-distributed random value
+    /// whose mean is the true value (`MQB+Exp`).
+    Exponential,
+    /// Each value replaced by `true × U[0.5, 1.5] + U[0, w̄]` where `w̄`
+    /// is the job's mean task work (`MQB+Noise`).
+    Noisy,
+}
+
+/// Combined information model: lookahead depth × estimate accuracy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct InfoModel {
+    /// Lookahead depth.
+    pub lookahead: Lookahead,
+    /// Estimate accuracy.
+    pub accuracy: Accuracy,
+}
+
+impl InfoModel {
+    /// The six §V-G variants in the paper's presentation order:
+    /// All+Pre, All+Exp, All+Noise, 1Step+Pre, 1Step+Exp, 1Step+Noise.
+    pub const ALL_VARIANTS: [InfoModel; 6] = [
+        InfoModel {
+            lookahead: Lookahead::All,
+            accuracy: Accuracy::Precise,
+        },
+        InfoModel {
+            lookahead: Lookahead::All,
+            accuracy: Accuracy::Exponential,
+        },
+        InfoModel {
+            lookahead: Lookahead::All,
+            accuracy: Accuracy::Noisy,
+        },
+        InfoModel {
+            lookahead: Lookahead::OneStep,
+            accuracy: Accuracy::Precise,
+        },
+        InfoModel {
+            lookahead: Lookahead::OneStep,
+            accuracy: Accuracy::Exponential,
+        },
+        InfoModel {
+            lookahead: Lookahead::OneStep,
+            accuracy: Accuracy::Noisy,
+        },
+    ];
+
+    /// The paper's label for this variant, e.g. `MQB+All+Pre`.
+    pub fn label(&self) -> &'static str {
+        match (self.lookahead, self.accuracy) {
+            (Lookahead::All, Accuracy::Precise) => "MQB+All+Pre",
+            (Lookahead::All, Accuracy::Exponential) => "MQB+All+Exp",
+            (Lookahead::All, Accuracy::Noisy) => "MQB+All+Noise",
+            (Lookahead::OneStep, Accuracy::Precise) => "MQB+1Step+Pre",
+            (Lookahead::OneStep, Accuracy::Exponential) => "MQB+1Step+Exp",
+            (Lookahead::OneStep, Accuracy::Noisy) => "MQB+1Step+Noise",
+        }
+    }
+}
+
+/// Ablation knob: how queue snapshots are compared (DESIGN.md §5.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum BalanceMetric {
+    /// The paper's rule: sorted x-utilization vectors compared
+    /// lexicographically.
+    #[default]
+    SortedLexicographic,
+    /// Ablation: compare only the most-starved queue (the first element),
+    /// ignoring the rest of the vector.
+    MinOnly,
+}
+
+/// Ablation switches for MQB's selection rule; defaults reproduce the
+/// paper's algorithm.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MqbTuning {
+    /// Snapshot comparison rule.
+    pub balance: BalanceMetric,
+    /// Whether a candidate's own (remaining) work leaves its queue in the
+    /// projection. The paper's text only says descendant values are
+    /// *added*; removing the dispatched task from its ready queue is the
+    /// literal queue semantics. On by default; the ablation bench
+    /// measures how much it matters.
+    pub subtract_own_work: bool,
+}
+
+impl Default for MqbTuning {
+    fn default() -> Self {
+        MqbTuning {
+            balance: BalanceMetric::SortedLexicographic,
+            subtract_own_work: true,
+        }
+    }
+}
+
+/// The Multi-Queue Balancing policy. See the module docs.
+#[derive(Clone, Debug)]
+pub struct Mqb {
+    info: InfoModel,
+    tuning: MqbTuning,
+    k: usize,
+    /// Perturbed per-type descendant values, row-major (`task × K`).
+    d: Vec<f64>,
+    /// Per-task total descendant value (tie-break key).
+    d_total: Vec<f64>,
+    // Scratch buffers, reused across epochs.
+    working: Vec<f64>,
+    cand: Vec<f64>,
+    best: Vec<f64>,
+    taken: Vec<bool>,
+}
+
+impl Default for Mqb {
+    fn default() -> Self {
+        Mqb::new(InfoModel::default())
+    }
+}
+
+impl Mqb {
+    /// Creates MQB with the given information model.
+    pub fn new(info: InfoModel) -> Self {
+        Mqb::with_tuning(info, MqbTuning::default())
+    }
+
+    /// Creates MQB with explicit ablation switches (benches only; the
+    /// defaults are the paper's algorithm).
+    pub fn with_tuning(info: InfoModel, tuning: MqbTuning) -> Self {
+        Mqb {
+            info,
+            tuning,
+            k: 0,
+            d: Vec::new(),
+            d_total: Vec::new(),
+            working: Vec::new(),
+            cand: Vec::new(),
+            best: Vec::new(),
+            taken: Vec::new(),
+        }
+    }
+
+    /// The active information model.
+    pub fn info(&self) -> InfoModel {
+        self.info
+    }
+
+    /// The (possibly perturbed) per-type descendant row MQB is using for
+    /// task `v`; populated by [`Policy::init`]. Exposed for inspection in
+    /// tests and ablations.
+    #[inline]
+    pub fn d_row(&self, v: TaskId) -> &[f64] {
+        &self.d[v.index() * self.k..(v.index() + 1) * self.k]
+    }
+
+    /// Projects `rt` being scheduled: its work leaves its queue, its
+    /// descendant values are promised to every queue.
+    fn apply_projection(&mut self, alpha: usize, rt: &ReadyTask) {
+        self.working[alpha] -= rt.remaining as f64;
+        let row_start = rt.id.index() * self.k;
+        for (beta, w) in self.working.iter_mut().enumerate() {
+            *w += self.d[row_start + beta];
+        }
+    }
+
+    /// Writes the sorted x-utilization vector of `working ± candidate`
+    /// into `self.cand` (just the minimum under the `MinOnly` ablation).
+    fn candidate_balance(&mut self, alpha: usize, rt: &ReadyTask, procs: &[usize]) {
+        self.cand.clear();
+        let row_start = rt.id.index() * self.k;
+        for (beta, (&w, &p)) in self.working.iter().zip(procs).enumerate() {
+            let mut l = w + self.d[row_start + beta];
+            if beta == alpha && self.tuning.subtract_own_work {
+                l -= rt.remaining as f64;
+            }
+            self.cand.push(l / p as f64);
+        }
+        self.cand.sort_unstable_by(f64::total_cmp);
+        if self.tuning.balance == BalanceMetric::MinOnly {
+            self.cand.truncate(1);
+        }
+    }
+}
+
+/// Lexicographic comparison of sorted balance vectors; `Greater` means
+/// better balanced (paper §IV-A: `R_A > R_B` iff there is a position `j`
+/// with `r_{πA(j)} > r_{πB(j)}` and equality before it).
+pub fn cmp_balance(a: &[f64], b: &[f64]) -> std::cmp::Ordering {
+    debug_assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(b) {
+        match x.total_cmp(y) {
+            std::cmp::Ordering::Equal => continue,
+            other => return other,
+        }
+    }
+    std::cmp::Ordering::Equal
+}
+
+/// One-step descendant values: type-`α` work of immediate children only,
+/// split across their parents.
+fn one_step_descendants(job: &KDag) -> Vec<f64> {
+    let k = job.num_types();
+    let mut d = vec![0.0f64; job.num_tasks() * k];
+    for v in job.tasks() {
+        let row = v.index() * k;
+        for &u in job.children(v) {
+            let pr = job.num_parents(u) as f64;
+            d[row + job.rtype(u)] += job.work(u) as f64 / pr;
+        }
+    }
+    d
+}
+
+impl Policy for Mqb {
+    fn name(&self) -> &str {
+        // The plain name for the default model; experiments use
+        // `InfoModel::label` for the §V-G variants.
+        match (self.info.lookahead, self.info.accuracy) {
+            (Lookahead::All, Accuracy::Precise) => "MQB",
+            _ => self.info.label(),
+        }
+    }
+
+    fn init(&mut self, job: &KDag, _config: &MachineConfig, seed: u64) {
+        self.k = job.num_types();
+        self.d = match self.info.lookahead {
+            Lookahead::All => {
+                let mut dv = DescendantValues::compute(job);
+                std::mem::take(&mut dv.values_mut().to_vec())
+            }
+            Lookahead::OneStep => one_step_descendants(job),
+        };
+
+        match self.info.accuracy {
+            Accuracy::Precise => {}
+            Accuracy::Exponential => {
+                let mut rng = StdRng::seed_from_u64(seed);
+                for v in &mut self.d {
+                    if *v > 0.0 {
+                        // Inverse-CDF exponential with mean *v.
+                        let u: f64 = rng.gen_range(0.0..1.0);
+                        *v = -*v * (1.0 - u).ln();
+                    }
+                }
+            }
+            Accuracy::Noisy => {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let mean_work = if job.num_tasks() == 0 {
+                    0.0
+                } else {
+                    job.total_work() as f64 / job.num_tasks() as f64
+                };
+                for v in &mut self.d {
+                    let mult: f64 = rng.gen_range(0.5..1.5);
+                    let add: f64 = if mean_work > 0.0 {
+                        rng.gen_range(0.0..mean_work)
+                    } else {
+                        0.0
+                    };
+                    *v = *v * mult + add;
+                }
+            }
+        }
+
+        self.d_total = (0..job.num_tasks())
+            .map(|i| self.d[i * self.k..(i + 1) * self.k].iter().sum())
+            .collect();
+    }
+
+    fn assign(&mut self, view: &EpochView<'_>, out: &mut Assignments) {
+        let k = self.k;
+        debug_assert_eq!(k, view.config.num_types());
+        let procs = view.config.procs_per_type();
+
+        // Working queue-work vector, updated as selections are made.
+        self.working.clear();
+        self.working
+            .extend(view.queue_work.iter().map(|&w| w as f64));
+
+        for alpha in 0..k {
+            let queue = &view.queues[alpha];
+            let slots = view.slots[alpha];
+            if slots == 0 || queue.is_empty() {
+                continue;
+            }
+            if queue.len() <= slots {
+                // Run them all; still project their effect for the types
+                // not yet processed in this epoch.
+                for qi in 0..queue.len() {
+                    let rt = view.queues[alpha][qi];
+                    out.push(alpha, rt.id);
+                    self.apply_projection(alpha, &rt);
+                }
+                continue;
+            }
+
+            self.taken.clear();
+            self.taken.resize(queue.len(), false);
+            for _ in 0..slots {
+                let mut best_qi: Option<usize> = None;
+                for qi in 0..queue.len() {
+                    if self.taken[qi] {
+                        continue;
+                    }
+                    let rt = view.queues[alpha][qi];
+                    self.candidate_balance(alpha, &rt, procs);
+                    let better = match best_qi {
+                        None => true,
+                        Some(bqi) => {
+                            let brt = &view.queues[alpha][bqi];
+                            match cmp_balance(&self.cand, &self.best) {
+                                std::cmp::Ordering::Greater => true,
+                                std::cmp::Ordering::Less => false,
+                                std::cmp::Ordering::Equal => {
+                                    // Tie-break: larger total descendant
+                                    // value, then earlier arrival.
+                                    let (dt_c, dt_b) =
+                                        (self.d_total[rt.id.index()], self.d_total[brt.id.index()]);
+                                    match dt_c.total_cmp(&dt_b) {
+                                        std::cmp::Ordering::Greater => true,
+                                        std::cmp::Ordering::Less => false,
+                                        std::cmp::Ordering::Equal => rt.seq < brt.seq,
+                                    }
+                                }
+                            }
+                        }
+                    };
+                    if better {
+                        best_qi = Some(qi);
+                        std::mem::swap(&mut self.best, &mut self.cand);
+                    }
+                }
+                let bqi = best_qi.expect("queue longer than slots");
+                self.taken[bqi] = true;
+                let rt = view.queues[alpha][bqi];
+                out.push(alpha, rt.id);
+                self.apply_projection(alpha, &rt);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fhs_sim::{engine, metrics, MachineConfig, Mode, RunOptions};
+    use kdag::KDagBuilder;
+
+    #[test]
+    fn cmp_balance_is_lexicographic_on_sorted_vectors() {
+        use std::cmp::Ordering::*;
+        assert_eq!(cmp_balance(&[1.0, 5.0], &[0.5, 9.0]), Greater);
+        assert_eq!(cmp_balance(&[1.0, 5.0], &[1.0, 6.0]), Less);
+        assert_eq!(cmp_balance(&[1.0, 5.0], &[1.0, 5.0]), Equal);
+    }
+
+    #[test]
+    fn picks_the_task_that_feeds_the_starved_queue() {
+        // Two ready type-0 tasks on one type-0 processor:
+        //  * `feeds1` unlocks heavy type-1 work,
+        //  * `feeds0` unlocks more type-0 work.
+        // The type-1 queue is empty (starved), so MQB must pick `feeds1`.
+        let mut b = KDagBuilder::new(2);
+        let feeds0 = b.add_task(0, 1);
+        let c0 = b.add_task(0, 5);
+        b.add_edge(feeds0, c0).unwrap();
+        let feeds1 = b.add_task(0, 1);
+        let c1 = b.add_task(1, 5);
+        b.add_edge(feeds1, c1).unwrap();
+        let job = b.build().unwrap();
+        let cfg = MachineConfig::new(vec![1, 1]);
+        let out = engine::run(
+            &job,
+            &cfg,
+            &mut Mqb::default(),
+            Mode::NonPreemptive,
+            &RunOptions {
+                record_trace: true,
+                seed: 0,
+                quantum: None,
+            },
+        );
+        let tr = out.trace.unwrap();
+        let first = tr.segments().iter().min_by_key(|s| s.start).unwrap();
+        assert_eq!(first.task, feeds1, "MQB must feed the starved type-1 pool");
+        // feeds1@0, c1 runs 1..6 while feeds0@1 and c0 2..7: makespan 7.
+        assert_eq!(out.makespan, 7);
+    }
+
+    #[test]
+    fn one_step_descendants_see_only_children() {
+        // chain: v -> a(type1,w2) -> b(type1,w8)
+        let mut b = KDagBuilder::new(2);
+        let v = b.add_task(0, 1);
+        let a = b.add_task(1, 2);
+        let c = b.add_task(1, 8);
+        b.add_edge(v, a).unwrap();
+        b.add_edge(a, c).unwrap();
+        let job = b.build().unwrap();
+        let d1 = one_step_descendants(&job);
+        assert_eq!(d1[v.index() * 2 + 1], 2.0); // only the child, not the grandchild
+        let mut full = Mqb::default();
+        full.init(&job, &MachineConfig::uniform(2, 1), 0);
+        assert_eq!(full.d_row(v)[1], 10.0); // full lookahead sees both
+    }
+
+    #[test]
+    fn noisy_variants_are_seed_deterministic() {
+        let job = kdag::examples::figure1();
+        let cfg = MachineConfig::uniform(3, 1);
+        for acc in [Accuracy::Exponential, Accuracy::Noisy] {
+            let info = InfoModel {
+                lookahead: Lookahead::All,
+                accuracy: acc,
+            };
+            let mut a = Mqb::new(info);
+            let mut b = Mqb::new(info);
+            a.init(&job, &cfg, 42);
+            b.init(&job, &cfg, 42);
+            assert_eq!(a.d, b.d, "same seed must give same perturbation");
+            let mut c = Mqb::new(info);
+            c.init(&job, &cfg, 43);
+            assert_ne!(a.d, c.d, "different seeds must differ");
+        }
+    }
+
+    #[test]
+    fn all_variants_complete_and_beat_nothing_illegal() {
+        let job = kdag::examples::figure1();
+        let cfg = MachineConfig::uniform(3, 2);
+        for info in InfoModel::ALL_VARIANTS {
+            let mut p = Mqb::new(info);
+            for mode in [Mode::NonPreemptive, Mode::Preemptive] {
+                let r = metrics::evaluate(&job, &cfg, &mut p, mode, 7);
+                assert!(r.ratio >= 1.0, "{} ratio {}", info.label(), r.ratio);
+            }
+        }
+    }
+
+    #[test]
+    fn labels_are_the_papers() {
+        let labels: Vec<&str> = InfoModel::ALL_VARIANTS.iter().map(|i| i.label()).collect();
+        assert_eq!(
+            labels,
+            vec![
+                "MQB+All+Pre",
+                "MQB+All+Exp",
+                "MQB+All+Noise",
+                "MQB+1Step+Pre",
+                "MQB+1Step+Exp",
+                "MQB+1Step+Noise"
+            ]
+        );
+        use fhs_sim::Policy as _;
+        assert_eq!(Mqb::default().name(), "MQB");
+        assert_eq!(
+            Mqb::new(InfoModel {
+                lookahead: Lookahead::OneStep,
+                accuracy: Accuracy::Noisy
+            })
+            .name(),
+            "MQB+1Step+Noise"
+        );
+    }
+
+    #[test]
+    fn respects_slot_limits_with_large_queues() {
+        let mut b = KDagBuilder::new(2);
+        for i in 0..20 {
+            b.add_task(i % 2, 1 + (i as u64 % 3));
+        }
+        let job = b.build().unwrap();
+        let cfg = MachineConfig::new(vec![2, 3]);
+        let out = engine::run(
+            &job,
+            &cfg,
+            &mut Mqb::default(),
+            Mode::NonPreemptive,
+            &RunOptions {
+                record_trace: true,
+                seed: 0,
+                quantum: None,
+            },
+        );
+        fhs_sim::trace::validate(&out.trace.unwrap(), &job, &cfg).unwrap();
+    }
+}

@@ -1,0 +1,273 @@
+//! ShiftBT — a shifting-bottleneck adaptation for K-DAGs (paper §IV-B).
+//!
+//! The classical shifting-bottleneck procedure (Adams/Balas/Zawack 1988)
+//! sequences job-shop machines one at a time, always fixing the machine
+//! whose one-machine relaxation has the worst maximum lateness. The paper
+//! adapts it to K-DAG scheduling:
+//!
+//! * Every task gets a **due date** `due(v) = T∞(J) − span(v)` — the
+//!   latest start that cannot delay anything else.
+//! * For each not-yet-fixed resource type `α`, a **relaxation** is
+//!   simulated in which type `α` keeps its real `P_α` processors and
+//!   dispatches by earliest due date (EDD), already-fixed types keep their
+//!   processors and their fixed sequences, and all remaining types have
+//!   infinitely many processors. The *lateness* of an `α`-task started at
+//!   `s(v)` is `s(v) − due(v)`.
+//! * The type with the maximum lateness — the current bottleneck — has its
+//!   relaxation order frozen as its dispatch sequence; repeat until every
+//!   type is sequenced.
+//!
+//! At run time each type dispatches ready tasks by their position in the
+//! frozen sequence.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use fhs_sim::{Assignments, EpochView, MachineConfig, Policy};
+use kdag::{duedate, KDag, TaskId};
+
+use crate::ranked::Selector;
+
+/// Shifting-bottleneck policy. See the module docs.
+#[derive(Clone, Debug, Default)]
+pub struct ShiftBT {
+    rank: Vec<f64>,
+    selector: Selector,
+    /// Bottleneck order chosen during [`Policy::init`] (most-late type
+    /// first); exposed for tests and ablations.
+    pub bottleneck_order: Vec<usize>,
+}
+
+impl Policy for ShiftBT {
+    fn name(&self) -> &str {
+        "ShiftBT"
+    }
+
+    fn init(&mut self, job: &KDag, config: &MachineConfig, _seed: u64) {
+        let k = job.num_types();
+        let due = duedate::due_dates(job);
+        let mut fixed: Vec<Option<Vec<u64>>> = vec![None; k];
+        self.bottleneck_order.clear();
+
+        let mut remaining: Vec<usize> = (0..k).collect();
+        while !remaining.is_empty() {
+            let mut best: Option<(i64, usize, Vec<TaskId>)> = None;
+            for &alpha in &remaining {
+                let (lateness, seq) = relax(job, config, &fixed, alpha, &due);
+                let better = match &best {
+                    None => true,
+                    Some((bl, ba, _)) => lateness > *bl || (lateness == *bl && alpha < *ba),
+                };
+                if better {
+                    best = Some((lateness, alpha, seq));
+                }
+            }
+            let (_, alpha, seq) = best.expect("remaining non-empty");
+            let mut ranks = vec![0u64; job.num_tasks()];
+            for (pos, &v) in seq.iter().enumerate() {
+                ranks[v.index()] = pos as u64;
+            }
+            fixed[alpha] = Some(ranks);
+            self.bottleneck_order.push(alpha);
+            remaining.retain(|&a| a != alpha);
+        }
+
+        self.rank = vec![0.0; job.num_tasks()];
+        for v in job.tasks() {
+            let alpha = job.rtype(v);
+            self.rank[v.index()] =
+                fixed[alpha].as_ref().expect("all types fixed")[v.index()] as f64;
+        }
+    }
+
+    fn assign(&mut self, view: &EpochView<'_>, out: &mut Assignments) {
+        let rank = &self.rank;
+        self.selector
+            .assign_by_key(view, out, |_, rt| rank[rt.id.index()]);
+    }
+}
+
+/// One-type relaxation: simulate the whole job with type `target` at its
+/// real capacity under EDD, fixed types at their capacity under their
+/// frozen sequences, and all other types at infinite capacity. Returns the
+/// maximum start-based lateness over `target`'s tasks (`i64::MIN` if the
+/// type has none) and the `target` tasks in start order.
+fn relax(
+    job: &KDag,
+    config: &MachineConfig,
+    fixed: &[Option<Vec<u64>>],
+    target: usize,
+    due: &[u64],
+) -> (i64, Vec<TaskId>) {
+    let k = job.num_types();
+    let n = job.num_tasks();
+    let mut indeg: Vec<u32> = (0..n)
+        .map(|i| job.num_parents(TaskId::from_index(i)) as u32)
+        .collect();
+    let mut ready: Vec<Vec<TaskId>> = vec![Vec::new(); k];
+    for v in job.roots() {
+        ready[job.rtype(v)].push(v);
+    }
+    let capacity: Vec<Option<usize>> = (0..k)
+        .map(|a| {
+            if a == target || fixed[a].is_some() {
+                Some(config.procs(a))
+            } else {
+                None // infinite
+            }
+        })
+        .collect();
+    let key = |alpha: usize, v: TaskId| -> u64 {
+        if alpha == target {
+            due[v.index()]
+        } else if let Some(rk) = &fixed[alpha] {
+            rk[v.index()]
+        } else {
+            0 // infinite capacity: order irrelevant
+        }
+    };
+
+    let mut busy = vec![0usize; k];
+    let mut heap: BinaryHeap<Reverse<(u64, TaskId)>> = BinaryHeap::new();
+    let mut now = 0u64;
+    let mut starts: Vec<(u64, TaskId)> = Vec::new();
+    let mut max_lateness = i64::MIN;
+    let mut done = 0usize;
+
+    while done < n {
+        // Dispatch at `now`.
+        for alpha in 0..k {
+            let free = match capacity[alpha] {
+                Some(c) => c - busy[alpha],
+                None => usize::MAX,
+            };
+            if free == 0 || ready[alpha].is_empty() {
+                continue;
+            }
+            ready[alpha].sort_unstable_by_key(|&v| (key(alpha, v), v));
+            let take = free.min(ready[alpha].len());
+            for &v in ready[alpha].iter().take(take) {
+                if alpha == target {
+                    starts.push((now, v));
+                    max_lateness = max_lateness.max(now as i64 - due[v.index()] as i64);
+                }
+                busy[alpha] += 1;
+                heap.push(Reverse((now + job.work(v), v)));
+            }
+            ready[alpha].drain(..take);
+        }
+
+        // Advance to the next completion.
+        let Reverse((t, v)) = heap.pop().expect("work remains, something must be running");
+        now = t;
+        let mut finished = vec![v];
+        while let Some(&Reverse((t2, _))) = heap.peek() {
+            if t2 != now {
+                break;
+            }
+            finished.push(heap.pop().expect("peeked").0 .1);
+        }
+        for v in finished {
+            busy[job.rtype(v)] -= 1;
+            done += 1;
+            for &c in job.children(v) {
+                indeg[c.index()] -= 1;
+                if indeg[c.index()] == 0 {
+                    ready[job.rtype(c)].push(c);
+                }
+            }
+        }
+    }
+
+    starts.sort_unstable_by_key(|&(t, v)| (t, due[v.index()], v));
+    (max_lateness, starts.into_iter().map(|(_, v)| v).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fhs_sim::{engine, Mode, RunOptions};
+    use kdag::KDagBuilder;
+
+    #[test]
+    fn every_type_gets_sequenced_exactly_once() {
+        let job = kdag::examples::figure1();
+        let cfg = MachineConfig::uniform(3, 2);
+        let mut p = ShiftBT::default();
+        p.init(&job, &cfg, 0);
+        let mut order = p.bottleneck_order.clone();
+        order.sort_unstable();
+        assert_eq!(order, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn edd_within_a_type_prefers_urgent_tasks() {
+        // Two independent type-0 tasks; `urgent` heads a long chain (due 0),
+        // `slack` is a sink (late due date). One type-0 processor.
+        let mut b = KDagBuilder::new(2);
+        let slack = b.add_task(0, 1);
+        let urgent = b.add_task(0, 1);
+        let mut prev = urgent;
+        for _ in 0..4 {
+            let c = b.add_task(1, 1);
+            b.add_edge(prev, c).unwrap();
+            prev = c;
+        }
+        let _ = slack;
+        let job = b.build().unwrap();
+        let cfg = MachineConfig::new(vec![1, 1]);
+        let out = engine::run(
+            &job,
+            &cfg,
+            &mut ShiftBT::default(),
+            Mode::NonPreemptive,
+            &RunOptions {
+                record_trace: true,
+                seed: 0,
+                quantum: None,
+            },
+        );
+        let tr = out.trace.unwrap();
+        let first_type0 = tr
+            .segments()
+            .iter()
+            .filter(|s| s.rtype == 0)
+            .min_by_key(|s| s.start)
+            .unwrap();
+        assert_eq!(first_type0.task, urgent);
+        assert_eq!(out.makespan, 5); // urgent@0, chain 1..5, slack fits at 1
+    }
+
+    #[test]
+    fn relaxation_identifies_the_loaded_type_as_bottleneck() {
+        // Type 1 carries 10× the work of type 0 on equal processors: it
+        // must be sequenced first.
+        let mut b = KDagBuilder::new(2);
+        let head = b.add_task(0, 1);
+        for _ in 0..10 {
+            let v = b.add_task(1, 5);
+            b.add_edge(head, v).unwrap();
+        }
+        let job = b.build().unwrap();
+        let cfg = MachineConfig::new(vec![1, 2]);
+        let mut p = ShiftBT::default();
+        p.init(&job, &cfg, 0);
+        assert_eq!(p.bottleneck_order[0], 1);
+    }
+
+    #[test]
+    fn completes_and_conserves_work_in_both_modes() {
+        let job = kdag::examples::figure1();
+        let cfg = MachineConfig::uniform(3, 1);
+        for mode in [Mode::NonPreemptive, Mode::Preemptive] {
+            let out = engine::run(
+                &job,
+                &cfg,
+                &mut ShiftBT::default(),
+                mode,
+                &RunOptions::default(),
+            );
+            assert_eq!(out.busy_time.iter().sum::<u64>(), job.total_work());
+        }
+    }
+}

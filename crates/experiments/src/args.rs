@@ -1,0 +1,173 @@
+//! A tiny `--flag value` argument parser shared by the figure binaries —
+//! enough for `--instances`, `--seed`, `--csv-dir`, `--workers` without an
+//! external dependency.
+
+/// Common options of every figure binary.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CommonArgs {
+    /// Instances per experiment cell (the paper uses 5000).
+    pub instances: usize,
+    /// Base seed all per-instance seeds derive from.
+    pub seed: u64,
+    /// Directory to write per-figure CSV files into (skipped if `None`).
+    pub csv_dir: Option<std::path::PathBuf>,
+    /// Worker-thread override (defaults to all cores).
+    pub workers: Option<usize>,
+}
+
+impl CommonArgs {
+    /// Parses `args` (without the program name). `default_instances` is
+    /// figure-specific. Returns an error string listing the offending flag
+    /// on bad input; `--help` also arrives as an `Err` carrying the usage
+    /// text.
+    pub fn parse<I: IntoIterator<Item = String>>(
+        args: I,
+        default_instances: usize,
+    ) -> Result<CommonArgs, String> {
+        let mut out = CommonArgs {
+            instances: default_instances,
+            seed: 0x5EED,
+            csv_dir: None,
+            workers: None,
+        };
+        let mut it = args.into_iter();
+        while let Some(flag) = it.next() {
+            let mut value = |name: &str| {
+                it.next()
+                    .ok_or_else(|| format!("flag {name} needs a value"))
+            };
+            match flag.as_str() {
+                "--instances" | "-n" => {
+                    out.instances = value("--instances")?
+                        .parse()
+                        .map_err(|e| format!("--instances: {e}"))?;
+                }
+                "--seed" => {
+                    out.seed = value("--seed")?
+                        .parse()
+                        .map_err(|e| format!("--seed: {e}"))?;
+                }
+                "--csv-dir" => {
+                    out.csv_dir = Some(value("--csv-dir")?.into());
+                }
+                "--workers" => {
+                    out.workers = Some(
+                        value("--workers")?
+                            .parse()
+                            .map_err(|e| format!("--workers: {e}"))?,
+                    );
+                }
+                "--help" | "-h" => {
+                    return Err(format!(
+                        "usage: [--instances N] [--seed S] [--csv-dir DIR] [--workers W]\n\
+                         defaults: --instances {default_instances} --seed 0x5EED\n\
+                         (the paper aggregates 5000 instances per cell: pass --instances 5000)"
+                    ));
+                }
+                other => return Err(format!("unknown flag: {other}")),
+            }
+        }
+        if out.instances == 0 {
+            return Err("--instances must be at least 1".into());
+        }
+        Ok(out)
+    }
+
+    /// Parses the process arguments, printing usage and exiting on error.
+    pub fn from_env(default_instances: usize) -> CommonArgs {
+        match CommonArgs::parse(std::env::args().skip(1), default_instances) {
+            Ok(a) => a,
+            Err(msg) => {
+                eprintln!("{msg}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Writes `csv` as `<csv-dir>/<name>.csv` when a CSV directory was
+    /// requested, creating the directory if needed.
+    pub fn write_csv(&self, name: &str, csv: &str) -> std::io::Result<()> {
+        if let Some(dir) = &self.csv_dir {
+            std::fs::create_dir_all(dir)?;
+            std::fs::write(dir.join(format!("{name}.csv")), csv)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let a = CommonArgs::parse(strs(&[]), 300).unwrap();
+        assert_eq!(a.instances, 300);
+        assert_eq!(a.seed, 0x5EED);
+        assert_eq!(a.csv_dir, None);
+        assert_eq!(a.workers, None);
+    }
+
+    #[test]
+    fn all_flags_parse() {
+        let a = CommonArgs::parse(
+            strs(&[
+                "--instances",
+                "5000",
+                "--seed",
+                "7",
+                "--csv-dir",
+                "/tmp/x",
+                "--workers",
+                "4",
+            ]),
+            300,
+        )
+        .unwrap();
+        assert_eq!(a.instances, 5000);
+        assert_eq!(a.seed, 7);
+        assert_eq!(a.csv_dir.unwrap().to_str().unwrap(), "/tmp/x");
+        assert_eq!(a.workers, Some(4));
+    }
+
+    #[test]
+    fn short_n_flag() {
+        let a = CommonArgs::parse(strs(&["-n", "12"]), 300).unwrap();
+        assert_eq!(a.instances, 12);
+    }
+
+    #[test]
+    fn errors_on_unknown_or_missing() {
+        assert!(CommonArgs::parse(strs(&["--bogus"]), 1).is_err());
+        assert!(CommonArgs::parse(strs(&["--seed"]), 1).is_err());
+        assert!(CommonArgs::parse(strs(&["--instances", "nope"]), 1).is_err());
+        assert!(CommonArgs::parse(strs(&["--instances", "0"]), 1).is_err());
+    }
+
+    #[test]
+    fn help_mentions_the_paper_count() {
+        let err = CommonArgs::parse(strs(&["--help"]), 111).unwrap_err();
+        assert!(err.contains("5000"));
+        assert!(err.contains("111"));
+    }
+
+    #[test]
+    fn write_csv_is_noop_without_dir() {
+        let a = CommonArgs::parse(strs(&[]), 1).unwrap();
+        a.write_csv("x", "a,b\n").unwrap(); // must not create anything
+    }
+
+    #[test]
+    fn write_csv_creates_file() {
+        let dir = std::env::temp_dir().join(format!("fhs-args-test-{}", std::process::id()));
+        let a = CommonArgs::parse(strs(&["--csv-dir", dir.to_str().unwrap()]), 1).unwrap();
+        a.write_csv("t", "a,b\n1,2\n").unwrap();
+        let content = std::fs::read_to_string(dir.join("t.csv")).unwrap();
+        assert_eq!(content, "a,b\n1,2\n");
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+}

@@ -1,0 +1,37 @@
+//! Regenerates every figure of the paper in one run.
+//! Usage: cargo run -p fhs-experiments --release --bin all_figures -- [--instances N] [--seed S] [--csv-dir DIR]
+//!
+//! With `--instances N` the same count applies to every figure; without
+//! it, each figure uses its own default (see the individual binaries).
+
+use fhs_experiments::args::CommonArgs;
+use fhs_experiments::figures::{fig4, fig5, fig6, fig7, fig8, lower_bound};
+
+fn main() {
+    // Detect whether --instances was passed: parse with a sentinel.
+    const SENTINEL: usize = usize::MAX;
+    let args = CommonArgs::from_env(SENTINEL);
+    let with = |d: usize| {
+        let mut a = args.clone();
+        if a.instances == SENTINEL {
+            a.instances = d;
+        }
+        a
+    };
+    let t0 = std::time::Instant::now();
+    print!(
+        "{}",
+        lower_bound::report(&with(lower_bound::DEFAULT_INSTANCES))
+    );
+    println!();
+    print!("{}", fig4::report(&with(fig4::DEFAULT_INSTANCES)));
+    println!();
+    print!("{}", fig5::report(&with(fig5::DEFAULT_INSTANCES)));
+    println!();
+    print!("{}", fig6::report(&with(fig6::DEFAULT_INSTANCES)));
+    println!();
+    print!("{}", fig7::report(&with(fig7::DEFAULT_INSTANCES)));
+    println!();
+    print!("{}", fig8::report(&with(fig8::DEFAULT_INSTANCES)));
+    println!("\n(total wall time: {:.1?})", t0.elapsed());
+}

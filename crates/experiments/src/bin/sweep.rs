@@ -1,0 +1,148 @@
+//! Free-form experiment cell: evaluate any (workload × algorithm × mode)
+//! combination outside the fixed figure grids.
+//!
+//! ```console
+//! cargo run -p fhs-experiments --release --bin sweep -- \
+//!     --family ir --typing layered --size medium --k 4 \
+//!     --algo MQB --algo KGreedy --preemptive --skewed --instances 1000
+//! ```
+
+use fhs_core::{Algorithm, ALL_ALGORITHMS};
+use fhs_experiments::figures::{panel_csv_table, Panel};
+use fhs_experiments::runner::{run_cell, Cell};
+use fhs_sim::Mode;
+use fhs_workloads::{resources::SystemSize, Family, Typing, WorkloadSpec};
+
+struct SweepArgs {
+    family: Family,
+    typing: Typing,
+    size: SystemSize,
+    k: usize,
+    skewed: bool,
+    mode: Mode,
+    algos: Vec<Algorithm>,
+    instances: usize,
+    seed: u64,
+    csv: bool,
+}
+
+const USAGE: &str = "usage: sweep [--family ep|tree|ir] [--typing layered|random] \
+[--size small|medium] [--k K] [--skewed] [--preemptive] \
+[--algo NAME]... [--instances N] [--seed S] [--csv]\n\
+algorithm names: KGreedy LSpan DType MaxDP ShiftBT MQB MQB+All+Exp … (default: all six)";
+
+fn parse() -> Result<SweepArgs, String> {
+    let mut out = SweepArgs {
+        family: Family::Ir,
+        typing: Typing::Layered,
+        size: SystemSize::Medium,
+        k: 4,
+        skewed: false,
+        mode: Mode::NonPreemptive,
+        algos: Vec::new(),
+        instances: 500,
+        seed: 0x5EED,
+        csv: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
+        match flag.as_str() {
+            "--family" => {
+                out.family = match value("--family")?.to_lowercase().as_str() {
+                    "ep" => Family::Ep,
+                    "tree" => Family::Tree,
+                    "ir" => Family::Ir,
+                    other => return Err(format!("unknown family {other}")),
+                }
+            }
+            "--typing" => {
+                out.typing = match value("--typing")?.to_lowercase().as_str() {
+                    "layered" => Typing::Layered,
+                    "random" => Typing::Random,
+                    other => return Err(format!("unknown typing {other}")),
+                }
+            }
+            "--size" => {
+                out.size = match value("--size")?.to_lowercase().as_str() {
+                    "small" => SystemSize::Small,
+                    "medium" => SystemSize::Medium,
+                    other => return Err(format!("unknown size {other}")),
+                }
+            }
+            "--k" => out.k = value("--k")?.parse().map_err(|e| format!("--k: {e}"))?,
+            "--skewed" => out.skewed = true,
+            "--preemptive" => out.mode = Mode::Preemptive,
+            "--algo" => {
+                let name = value("--algo")?;
+                out.algos.push(
+                    Algorithm::parse(&name).ok_or_else(|| format!("unknown algorithm {name}"))?,
+                );
+            }
+            "--instances" | "-n" => {
+                out.instances = value("--instances")?
+                    .parse()
+                    .map_err(|e| format!("--instances: {e}"))?
+            }
+            "--seed" => {
+                out.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--csv" => out.csv = true,
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown flag {other}\n{USAGE}")),
+        }
+    }
+    if out.k == 0 {
+        return Err("--k must be at least 1".into());
+    }
+    if out.instances == 0 {
+        return Err("--instances must be at least 1".into());
+    }
+    if out.algos.is_empty() {
+        out.algos = ALL_ALGORITHMS.to_vec();
+    }
+    Ok(out)
+}
+
+fn main() {
+    let args = match parse() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    let mut spec = WorkloadSpec::new(args.family, args.typing, args.size, args.k);
+    if args.skewed {
+        spec = spec.skewed();
+    }
+    let panel = Panel {
+        title: format!(
+            "{} — {:?}, {} instances, seed {}",
+            spec.label(),
+            args.mode,
+            args.instances,
+            args.seed
+        ),
+        rows: args
+            .algos
+            .iter()
+            .map(|&algo| {
+                let cell = Cell::new(spec, algo, args.mode);
+                (
+                    algo.label().to_string(),
+                    run_cell(&cell, args.instances, args.seed, None),
+                )
+            })
+            .collect(),
+    };
+    if args.csv {
+        let mut t = panel_csv_table();
+        panel.csv_rows(&mut t);
+        print!("{}", t.to_csv());
+    } else {
+        print!("{}", panel.render());
+    }
+}

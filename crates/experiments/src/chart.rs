@@ -1,0 +1,90 @@
+//! ASCII bar and line charts, mirroring the paper's figure shapes in the
+//! terminal.
+
+use std::fmt::Write as _;
+
+/// Horizontal bar chart: one labelled bar per entry, scaled to
+/// `max_width` characters at the largest value.
+pub fn bar_chart(entries: &[(String, f64)], max_width: usize) -> String {
+    let mut out = String::new();
+    if entries.is_empty() {
+        return out;
+    }
+    let label_w = entries
+        .iter()
+        .map(|(l, _)| l.chars().count())
+        .max()
+        .unwrap_or(0);
+    let vmax = entries.iter().map(|&(_, v)| v).fold(f64::NAN, f64::max);
+    let scale = if vmax > 0.0 {
+        max_width as f64 / vmax
+    } else {
+        0.0
+    };
+    for (label, v) in entries {
+        let bar = "#".repeat(((v * scale).round() as usize).min(max_width));
+        let _ = writeln!(out, "{label:<label_w$} |{bar} {v:.3}");
+    }
+    out
+}
+
+/// Line chart as a table of series: rows = series, columns = x values.
+/// The paper's Fig. 5 (ratio vs K) renders well in this shape.
+pub fn series_table(x_label: &str, xs: &[String], series: &[(String, Vec<f64>)]) -> String {
+    let mut header = vec![x_label.to_string()];
+    header.extend(xs.iter().cloned());
+    let mut t = crate::table::Table::new(header);
+    for (name, ys) in series {
+        assert_eq!(ys.len(), xs.len(), "series {name} length mismatch");
+        let mut row = vec![name.clone()];
+        row.extend(ys.iter().map(|y| format!("{y:.3}")));
+        t.push_row(row);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bars_scale_to_the_maximum() {
+        let chart = bar_chart(
+            &[("a".into(), 1.0), ("bb".into(), 2.0), ("c".into(), 0.0)],
+            10,
+        );
+        let lines: Vec<&str> = chart.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[1].contains(&"#".repeat(10)));
+        assert!(lines[0].contains(&"#".repeat(5)));
+        assert!(!lines[2].contains('#'));
+        // labels padded to the same width
+        assert_eq!(lines[0].find('|').unwrap(), lines[1].find('|').unwrap());
+    }
+
+    #[test]
+    fn empty_chart_is_empty() {
+        assert!(bar_chart(&[], 10).is_empty());
+    }
+
+    #[test]
+    fn series_table_has_one_row_per_series() {
+        let text = series_table(
+            "K",
+            &["1".into(), "2".into()],
+            &[
+                ("KGreedy".into(), vec![1.0, 2.0]),
+                ("MQB".into(), vec![1.0, 1.1]),
+            ],
+        );
+        assert_eq!(text.lines().count(), 4);
+        assert!(text.contains("KGreedy"));
+        assert!(text.contains("1.100"));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn series_length_must_match_x_axis() {
+        series_table("K", &["1".into()], &[("a".into(), vec![1.0, 2.0])]);
+    }
+}

@@ -1,0 +1,176 @@
+//! Figure 5 — impact of the number of resource types `K` (1…6).
+//!
+//! Three panels: (a) Small Layered EP, (b) Medium Layered Tree,
+//! (c) Medium Layered IR; one line per algorithm, average completion-time
+//! ratio as `K` grows.
+//!
+//! Expected shape (paper §V-D): KGreedy's ratio grows with `K` (the
+//! Theorem-2 degradation, averaged); offline algorithms stay much flatter,
+//! with MQB near-optimal on EP/Tree and roughly halving KGreedy on IR for
+//! `K ≥ 2`.
+
+use fhs_core::{Algorithm, ALL_ALGORITHMS};
+use fhs_sim::Mode;
+use fhs_workloads::{resources::SystemSize, Family, Typing, WorkloadSpec};
+
+use crate::args::CommonArgs;
+use crate::chart;
+use crate::runner::{run_cell, Cell};
+use crate::stats::Summary;
+use crate::table::Table;
+
+/// Default instances per cell for the binary (paper: 5000).
+pub const DEFAULT_INSTANCES: usize = 200;
+
+/// The `K` sweep of the paper.
+pub const K_RANGE: std::ops::RangeInclusive<usize> = 1..=6;
+
+/// One panel: a matrix `[algorithm][K]` of summaries.
+#[derive(Clone, Debug)]
+pub struct KSweepPanel {
+    /// Panel caption (without the K, which varies).
+    pub title: String,
+    /// Per-algorithm series over [`K_RANGE`].
+    pub series: Vec<(Algorithm, Vec<Summary>)>,
+}
+
+fn base_specs() -> [(Family, Typing, SystemSize); 3] {
+    [
+        (Family::Ep, Typing::Layered, SystemSize::Small),
+        (Family::Tree, Typing::Layered, SystemSize::Medium),
+        (Family::Ir, Typing::Layered, SystemSize::Medium),
+    ]
+}
+
+/// Computes the three K-sweep panels.
+pub fn compute(args: &CommonArgs) -> Vec<KSweepPanel> {
+    base_specs()
+        .into_iter()
+        .map(|(family, typing, size)| {
+            let title = WorkloadSpec::new(family, typing, size, 1).label();
+            let series = ALL_ALGORITHMS
+                .into_iter()
+                .map(|algo| {
+                    let sweep: Vec<Summary> = K_RANGE
+                        .map(|k| {
+                            let cell = Cell::new(
+                                WorkloadSpec::new(family, typing, size, k),
+                                algo,
+                                Mode::NonPreemptive,
+                            );
+                            run_cell(&cell, args.instances, args.seed, args.workers)
+                        })
+                        .collect();
+                    (algo, sweep)
+                })
+                .collect();
+            KSweepPanel { title, series }
+        })
+        .collect()
+}
+
+/// Computes, renders, and (optionally) writes `fig5.csv`.
+pub fn report(args: &CommonArgs) -> String {
+    let panels = compute(args);
+    let mut out =
+        String::from("Figure 5 — avg completion-time ratio as K varies 1..6 (non-preemptive)\n\n");
+    let mut csv = Table::new(vec!["panel", "algorithm", "K", "mean", "ci95", "max", "n"]);
+    let xs: Vec<String> = K_RANGE.map(|k| format!("K={k}")).collect();
+    for p in &panels {
+        let series: Vec<(String, Vec<f64>)> = p
+            .series
+            .iter()
+            .map(|(algo, sweep)| {
+                (
+                    algo.label().to_string(),
+                    sweep.iter().map(|s| s.mean).collect(),
+                )
+            })
+            .collect();
+        out.push_str(&format!("== {} ==\n", p.title));
+        out.push_str(&chart::series_table("algorithm", &xs, &series));
+        out.push('\n');
+        for (algo, sweep) in &p.series {
+            for (k, s) in K_RANGE.zip(sweep) {
+                csv.push_row(vec![
+                    p.title.clone(),
+                    algo.label().to_string(),
+                    k.to_string(),
+                    format!("{}", s.mean),
+                    format!("{}", s.ci95),
+                    format!("{}", s.max),
+                    s.n.to_string(),
+                ]);
+            }
+        }
+    }
+    if let Err(e) = args.write_csv("fig5", &csv.to_csv()) {
+        out.push_str(&format!("(csv write failed: {e})\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_args() -> CommonArgs {
+        CommonArgs {
+            instances: 15,
+            seed: 13,
+            csv_dir: None,
+            workers: None,
+        }
+    }
+
+    #[test]
+    fn shape_is_three_panels_by_six_algos_by_six_k() {
+        let panels = compute(&tiny_args());
+        assert_eq!(panels.len(), 3);
+        for p in &panels {
+            assert_eq!(p.series.len(), 6);
+            for (_, sweep) in &p.series {
+                assert_eq!(sweep.len(), 6);
+            }
+        }
+    }
+
+    #[test]
+    fn k_equals_one_is_homogeneous_and_near_greedy_optimal() {
+        // With a single type every algorithm is a homogeneous list
+        // scheduler; ratios must be close to 1 (Graham's 2−1/P caps them,
+        // and averages sit well below that).
+        let panels = compute(&tiny_args());
+        for p in &panels {
+            for (algo, sweep) in &p.series {
+                assert!(
+                    sweep[0].mean < 2.0,
+                    "{}/{}: K=1 mean {}",
+                    p.title,
+                    algo.label(),
+                    sweep[0].mean
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn kgreedy_degrades_with_k_on_layered_ep() {
+        let panels = compute(&tiny_args());
+        let (_, kgreedy) = &panels[0].series[0];
+        assert!(
+            kgreedy[5].mean > kgreedy[0].mean + 0.3,
+            "KGreedy K=6 mean {} not clearly above K=1 mean {}",
+            kgreedy[5].mean,
+            kgreedy[0].mean
+        );
+    }
+
+    #[test]
+    fn report_mentions_every_k() {
+        let text = report(&tiny_args());
+        for k in K_RANGE {
+            assert!(text.contains(&format!("K={k}")));
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Figure 7 — non-preemptive vs preemptive scheduling (paper §V-F).
+//!
+//! Paired bars per algorithm on (a) Small Layered EP, (b) Medium Layered
+//! Tree, (c) Medium Layered IR. Expected shape: preemption helps a little
+//! (earlier chances to fix bad placements) but does not close the gap
+//! between online KGreedy and the offline algorithms.
+
+use fhs_core::{Algorithm, ALL_ALGORITHMS};
+use fhs_sim::Mode;
+use fhs_workloads::{resources::SystemSize, Family, Typing, WorkloadSpec};
+
+use crate::args::CommonArgs;
+use crate::runner::{run_cell, Cell};
+use crate::stats::Summary;
+use crate::table::Table;
+
+/// Default instances per cell for the binary (paper: 5000).
+pub const DEFAULT_INSTANCES: usize = 200;
+
+/// One panel: per algorithm, a (non-preemptive, preemptive) summary pair.
+#[derive(Clone, Debug)]
+pub struct ModePanel {
+    /// Panel caption.
+    pub title: String,
+    /// `(algorithm, non-preemptive, preemptive)` rows.
+    pub rows: Vec<(Algorithm, Summary, Summary)>,
+}
+
+/// The three panels of the figure.
+pub fn panel_specs() -> [WorkloadSpec; 3] {
+    [
+        WorkloadSpec::new(Family::Ep, Typing::Layered, SystemSize::Small, 4),
+        WorkloadSpec::new(Family::Tree, Typing::Layered, SystemSize::Medium, 4),
+        WorkloadSpec::new(Family::Ir, Typing::Layered, SystemSize::Medium, 4),
+    ]
+}
+
+/// Computes the three panels in both execution modes.
+pub fn compute(args: &CommonArgs) -> Vec<ModePanel> {
+    panel_specs()
+        .into_iter()
+        .map(|spec| ModePanel {
+            title: spec.label(),
+            rows: ALL_ALGORITHMS
+                .into_iter()
+                .map(|algo| {
+                    let run = |mode, quantum| {
+                        let mut cell = Cell::new(spec, algo, mode);
+                        cell.quantum = quantum;
+                        run_cell(&cell, args.instances, args.seed, args.workers)
+                    };
+                    // Preemptive cells use the paper's literal per-quantum
+                    // scheduler (quantum = 1).
+                    (
+                        algo,
+                        run(Mode::NonPreemptive, None),
+                        run(Mode::Preemptive, Some(1)),
+                    )
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+/// Computes, renders, and (optionally) writes `fig7.csv`.
+pub fn report(args: &CommonArgs) -> String {
+    let panels = compute(args);
+    let mut out = String::from(
+        "Figure 7 — non-preemptive vs preemptive (avg completion-time ratio, K=4)\n\n",
+    );
+    let mut csv = Table::new(vec![
+        "panel",
+        "algorithm",
+        "nonpreemptive_mean",
+        "preemptive_mean",
+        "nonpreemptive_ci95",
+        "preemptive_ci95",
+        "n",
+    ]);
+    for p in &panels {
+        let mut t = Table::new(vec!["algorithm", "non-preemptive", "preemptive", "delta"]);
+        for (algo, np, pe) in &p.rows {
+            t.push_row(vec![
+                algo.label().to_string(),
+                format!("{:.3}", np.mean),
+                format!("{:.3}", pe.mean),
+                format!("{:+.3}", pe.mean - np.mean),
+            ]);
+            csv.push_row(vec![
+                p.title.clone(),
+                algo.label().to_string(),
+                format!("{}", np.mean),
+                format!("{}", pe.mean),
+                format!("{}", np.ci95),
+                format!("{}", pe.ci95),
+                np.n.to_string(),
+            ]);
+        }
+        out.push_str(&format!("== {} ==\n{}\n", p.title, t.render()));
+    }
+    if let Err(e) = args.write_csv("fig7", &csv.to_csv()) {
+        out.push_str(&format!("(csv write failed: {e})\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_args() -> CommonArgs {
+        CommonArgs {
+            instances: 15,
+            seed: 17,
+            csv_dir: None,
+            workers: None,
+        }
+    }
+
+    #[test]
+    fn three_panels_six_algorithms_two_modes() {
+        let panels = compute(&tiny_args());
+        assert_eq!(panels.len(), 3);
+        for p in &panels {
+            assert_eq!(p.rows.len(), 6);
+            for (algo, np, pe) in &p.rows {
+                assert!(np.mean >= 1.0 && pe.mean >= 1.0, "{}", algo.label());
+            }
+        }
+    }
+
+    #[test]
+    fn preemptive_kgreedy_still_trails_offline_mqb() {
+        // The paper's point: preemption does not rescue online scheduling.
+        let panels = compute(&tiny_args());
+        for p in &panels {
+            let kgreedy_pre = p.rows[0].2.mean;
+            let mqb_np = p.rows[5].1.mean;
+            assert!(
+                kgreedy_pre > mqb_np,
+                "{}: preemptive KGreedy {} !> MQB {}",
+                p.title,
+                kgreedy_pre,
+                mqb_np
+            );
+        }
+    }
+
+    #[test]
+    fn report_shows_both_modes() {
+        let text = report(&tiny_args());
+        assert!(text.contains("non-preemptive"));
+        assert!(text.contains("preemptive"));
+        assert!(text.contains("delta"));
+    }
+}

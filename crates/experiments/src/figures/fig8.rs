@@ -1,0 +1,137 @@
+//! Figure 8 — MQB with approximated information (paper §V-G).
+//!
+//! Per panel (Small Layered EP / Medium Layered Tree / Medium Layered IR):
+//! KGreedy plus the six MQB information variants
+//! ({All, 1Step} × {Pre, Exp, Noise}), reporting **average and maximum**
+//! completion-time ratio as in the paper.
+//!
+//! Expected shape: MQB+1Step ≈ MQB+All on tree/IR but worse on EP (EP
+//! needs deep lookahead); noisy or exponential estimates still beat
+//! KGreedy by 20–30% on tree/IR.
+
+use fhs_core::{mqb::InfoModel, Algorithm};
+use fhs_sim::Mode;
+use fhs_workloads::{resources::SystemSize, Family, Typing, WorkloadSpec};
+
+use crate::args::CommonArgs;
+use crate::figures::{panel_csv_table, Panel};
+use crate::runner::{run_cell, Cell};
+
+/// Default instances per cell for the binary (paper: 5000).
+pub const DEFAULT_INSTANCES: usize = 300;
+
+/// The three panels of the figure.
+pub fn panel_specs() -> [WorkloadSpec; 3] {
+    [
+        WorkloadSpec::new(Family::Ep, Typing::Layered, SystemSize::Small, 4),
+        WorkloadSpec::new(Family::Tree, Typing::Layered, SystemSize::Medium, 4),
+        WorkloadSpec::new(Family::Ir, Typing::Layered, SystemSize::Medium, 4),
+    ]
+}
+
+/// The seven bars of each panel: KGreedy then the six MQB variants.
+pub fn algorithms() -> Vec<Algorithm> {
+    std::iter::once(Algorithm::KGreedy)
+        .chain(InfoModel::ALL_VARIANTS.into_iter().map(Algorithm::MqbWith))
+        .collect()
+}
+
+/// Computes the three panels (summaries carry both mean and max).
+pub fn compute(args: &CommonArgs) -> Vec<Panel> {
+    panel_specs()
+        .into_iter()
+        .map(|spec| Panel {
+            title: spec.label(),
+            rows: algorithms()
+                .into_iter()
+                .map(|algo| {
+                    let cell = Cell::new(spec, algo, Mode::NonPreemptive);
+                    (
+                        algo.label().to_string(),
+                        run_cell(&cell, args.instances, args.seed, args.workers),
+                    )
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+/// Computes, renders, and (optionally) writes `fig8.csv`.
+pub fn report(args: &CommonArgs) -> String {
+    let panels = compute(args);
+    let mut csv = panel_csv_table();
+    let mut out = String::from(
+        "Figure 8 — MQB with partial/imprecise information (avg and max ratio, non-preemptive, K=4)\n\n",
+    );
+    for p in &panels {
+        out.push_str(&p.render());
+        out.push('\n');
+        p.csv_rows(&mut csv);
+    }
+    if let Err(e) = args.write_csv("fig8", &csv.to_csv()) {
+        out.push_str(&format!("(csv write failed: {e})\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_args() -> CommonArgs {
+        CommonArgs {
+            instances: 20,
+            seed: 29,
+            csv_dir: None,
+            workers: None,
+        }
+    }
+
+    #[test]
+    fn seven_bars_per_panel_in_paper_order() {
+        let algos = algorithms();
+        assert_eq!(algos.len(), 7);
+        assert_eq!(algos[0].label(), "KGreedy");
+        assert_eq!(algos[1].label(), "MQB+All+Pre");
+        assert_eq!(algos[6].label(), "MQB+1Step+Noise");
+        let panels = compute(&tiny_args());
+        assert_eq!(panels.len(), 3);
+        for p in &panels {
+            assert_eq!(p.rows.len(), 7);
+        }
+    }
+
+    #[test]
+    fn precise_full_info_mqb_beats_kgreedy_on_layered_workloads() {
+        let panels = compute(&tiny_args());
+        for p in &panels {
+            let kgreedy = p.rows[0].1.mean;
+            let mqb_all_pre = p.rows[1].1.mean;
+            assert!(
+                mqb_all_pre < kgreedy,
+                "{}: {} !< {}",
+                p.title,
+                mqb_all_pre,
+                kgreedy
+            );
+        }
+    }
+
+    #[test]
+    fn noisy_estimates_still_help_on_tree_and_ir() {
+        let panels = compute(&tiny_args());
+        for p in &panels[1..] {
+            let kgreedy = p.rows[0].1.mean;
+            for row in &p.rows[1..] {
+                assert!(
+                    row.1.mean < kgreedy,
+                    "{}/{}: {} !< KGreedy {}",
+                    p.title,
+                    row.0,
+                    row.1.mean,
+                    kgreedy
+                );
+            }
+        }
+    }
+}

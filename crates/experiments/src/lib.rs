@@ -1,0 +1,30 @@
+//! # fhs-experiments — the paper's evaluation, regenerated
+//!
+//! One module (and one binary) per figure of the paper's §V:
+//!
+//! | Module | Paper figure | Content |
+//! |---|---|---|
+//! | [`figures::fig4`] | Fig. 4 (a–f) | six algorithms × six workloads, average completion-time ratio |
+//! | [`figures::fig5`] | Fig. 5 (a–c) | ratio as the number of resource types K grows 1→6 |
+//! | [`figures::fig6`] | Fig. 6 (a–b) | skewed load (type 1's pool ÷ 5) |
+//! | [`figures::fig7`] | Fig. 7 (a–c) | non-preemptive vs preemptive |
+//! | [`figures::fig8`] | Fig. 8 (a–c) | MQB under partial / imprecise information |
+//! | [`figures::lower_bound`] | Thm. 2 / Fig. 2 | adversarial family: measured KGreedy vs the online lower bound |
+//!
+//! Every cell aggregates `--instances` independent job instances (the
+//! paper uses 5000; binaries default lower for wall-clock sanity and take
+//! `--instances 5000` for full parity). All randomness is derived from
+//! `--seed`, so tables reproduce exactly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod chart;
+pub mod figures;
+pub mod runner;
+pub mod stats;
+pub mod table;
+
+pub use runner::{run_cell, Cell};
+pub use stats::Summary;

@@ -1,0 +1,131 @@
+//! The experiment cell runner: evaluate one (workload, algorithm, mode)
+//! combination over many seeded instances, in parallel.
+
+use fhs_core::{make_policy, Algorithm};
+use fhs_sim::{metrics, Mode, RunOptions};
+use fhs_workloads::WorkloadSpec;
+
+use crate::stats::Summary;
+
+/// One experiment cell: a point/bar in one of the paper's figures.
+#[derive(Clone, Copy, Debug)]
+pub struct Cell {
+    /// Workload description.
+    pub spec: WorkloadSpec,
+    /// Algorithm under test.
+    pub algo: Algorithm,
+    /// Execution mode.
+    pub mode: Mode,
+    /// Preemptive re-decision quantum (`None` = completion epochs; Fig. 7
+    /// uses `Some(1)`, the paper's per-quantum scheduler).
+    pub quantum: Option<u64>,
+}
+
+impl Cell {
+    /// A cell with the default (completion-epoch) cadence.
+    pub fn new(spec: WorkloadSpec, algo: Algorithm, mode: Mode) -> Self {
+        Cell {
+            spec,
+            algo,
+            mode,
+            quantum: None,
+        }
+    }
+}
+
+/// SplitMix64: derives independent per-instance seeds from a base seed.
+/// Instance `i` of every cell sees the same job and machine (the paper
+/// compares algorithms on common random numbers).
+pub fn instance_seed(base: u64, i: u64) -> u64 {
+    let mut z = base.wrapping_add(i.wrapping_mul(0x9E3779B97F4A7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Evaluates `cell` over `instances` seeded instances and summarizes the
+/// completion-time ratios. Work is fanned across `workers` threads
+/// (`None` = all cores); results are independent of the worker count.
+pub fn run_cell(cell: &Cell, instances: usize, base_seed: u64, workers: Option<usize>) -> Summary {
+    let ratios = run_cell_ratios(cell, instances, base_seed, workers);
+    Summary::from_samples(&ratios)
+}
+
+/// As [`run_cell`], but returns the raw per-instance ratios (instance
+/// order). Useful for paired comparisons across algorithms.
+pub fn run_cell_ratios(
+    cell: &Cell,
+    instances: usize,
+    base_seed: u64,
+    workers: Option<usize>,
+) -> Vec<f64> {
+    let eval = |i: u64| -> f64 {
+        let seed = instance_seed(base_seed, i);
+        let (job, cfg) = cell.spec.sample(seed);
+        let mut policy = make_policy(cell.algo);
+        let mut opts = RunOptions::seeded(seed);
+        opts.quantum = cell.quantum;
+        metrics::evaluate_with(&job, &cfg, policy.as_mut(), cell.mode, &opts).ratio
+    };
+    match workers {
+        Some(w) => fhs_par::parallel_map_with(w, 0..instances as u64, eval),
+        None => fhs_par::parallel_map(0..instances as u64, eval),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fhs_workloads::{resources::SystemSize, Family, Typing};
+
+    fn small_cell(algo: Algorithm) -> Cell {
+        Cell::new(
+            WorkloadSpec::new(Family::Ep, Typing::Layered, SystemSize::Small, 3),
+            algo,
+            Mode::NonPreemptive,
+        )
+    }
+
+    #[test]
+    fn instance_seeds_are_distinct() {
+        let seeds: std::collections::HashSet<u64> =
+            (0..1000).map(|i| instance_seed(42, i)).collect();
+        assert_eq!(seeds.len(), 1000);
+    }
+
+    #[test]
+    fn ratios_are_at_least_one() {
+        let r = run_cell_ratios(&small_cell(Algorithm::KGreedy), 20, 1, Some(2));
+        assert_eq!(r.len(), 20);
+        assert!(r.iter().all(|&x| x >= 1.0));
+    }
+
+    #[test]
+    fn results_are_independent_of_worker_count() {
+        let c = small_cell(Algorithm::Mqb);
+        let seq = run_cell_ratios(&c, 12, 9, Some(1));
+        let par = run_cell_ratios(&c, 12, 9, Some(4));
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn summary_matches_raw_ratios() {
+        let c = small_cell(Algorithm::LSpan);
+        let raw = run_cell_ratios(&c, 15, 3, Some(2));
+        let s = run_cell(&c, 15, 3, Some(2));
+        assert_eq!(s.n, 15);
+        assert!((s.mean - raw.iter().sum::<f64>() / 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn algorithms_share_instances_via_common_seeds() {
+        // Paired comparison: the job sampled for instance i must be the
+        // same across algorithms (common random numbers).
+        let a = small_cell(Algorithm::KGreedy);
+        let seed = instance_seed(5, 3);
+        let (job_a, cfg_a) = a.spec.sample(seed);
+        let (job_b, cfg_b) = small_cell(Algorithm::Mqb).spec.sample(seed);
+        assert_eq!(job_a.num_tasks(), job_b.num_tasks());
+        assert_eq!(cfg_a, cfg_b);
+    }
+}

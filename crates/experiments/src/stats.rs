@@ -1,0 +1,139 @@
+//! Sample statistics for completion-time ratios.
+
+/// Summary statistics over one experiment cell's per-instance ratios.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Summary {
+    /// Sample count.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Sample standard deviation (Bessel-corrected; 0 for n < 2).
+    pub std: f64,
+    /// Half-width of the normal-approximation 95% confidence interval
+    /// (`1.96·std/√n`; 0 for n < 2).
+    pub ci95: f64,
+    /// Median (linear-interpolated).
+    pub p50: f64,
+    /// 95th percentile (linear-interpolated).
+    pub p95: f64,
+}
+
+impl Summary {
+    /// Computes a summary; panics on an empty sample.
+    pub fn from_samples(samples: &[f64]) -> Self {
+        assert!(!samples.is_empty(), "summary of an empty sample");
+        let n = samples.len();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for &s in samples {
+            min = min.min(s);
+            max = max.max(s);
+        }
+        let (std, ci95) = if n >= 2 {
+            let var = samples.iter().map(|&s| (s - mean).powi(2)).sum::<f64>() / (n as f64 - 1.0);
+            let std = var.sqrt();
+            (std, 1.96 * std / (n as f64).sqrt())
+        } else {
+            (0.0, 0.0)
+        };
+        let mut sorted = samples.to_vec();
+        sorted.sort_unstable_by(f64::total_cmp);
+        Summary {
+            n,
+            mean,
+            min,
+            max,
+            std,
+            ci95,
+            p50: percentile(&sorted, 0.50),
+            p95: percentile(&sorted, 0.95),
+        }
+    }
+}
+
+/// Linear-interpolated percentile of a pre-sorted sample (`q ∈ [0, 1]`).
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:.3} ±{:.3} (max {:.3})",
+            self.mean, self.ci95, self.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_sample() {
+        let s = Summary::from_samples(&[2.0; 10]);
+        assert_eq!(s.mean, 2.0);
+        assert_eq!(s.std, 0.0);
+        assert_eq!(s.ci95, 0.0);
+        assert_eq!((s.min, s.max), (2.0, 2.0));
+        assert_eq!((s.p50, s.p95), (2.0, 2.0));
+        assert_eq!(s.n, 10);
+    }
+
+    #[test]
+    fn percentiles_interpolate() {
+        // sorted: 1..=5; median 3, p95 = 4.8
+        let s = Summary::from_samples(&[5.0, 1.0, 4.0, 2.0, 3.0]);
+        assert_eq!(s.p50, 3.0);
+        assert!((s.p95 - 4.8).abs() < 1e-12);
+        // order of input must not matter
+        let s2 = Summary::from_samples(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(s.p50, s2.p50);
+        assert_eq!(s.p95, s2.p95);
+    }
+
+    #[test]
+    fn known_mean_and_std() {
+        let s = Summary::from_samples(&[1.0, 2.0, 3.0, 4.0]);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        // var = (2.25+0.25+0.25+2.25)/3 = 5/3
+        assert!((s.std - (5.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+    }
+
+    #[test]
+    fn single_sample_has_zero_spread() {
+        let s = Summary::from_samples(&[7.5]);
+        assert_eq!(s.std, 0.0);
+        assert_eq!(s.mean, 7.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn empty_sample_panics() {
+        Summary::from_samples(&[]);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let s = Summary::from_samples(&[1.0, 3.0]);
+        let text = s.to_string();
+        assert!(text.starts_with("2.000"));
+        assert!(text.contains("max 3.000"));
+    }
+}

@@ -1,0 +1,311 @@
+//! Checked construction of [`KDag`]s.
+
+use std::fmt;
+
+use crate::graph::KDag;
+use crate::types::{TaskId, Work};
+
+/// Errors detected while building a K-DAG.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GraphError {
+    /// An edge endpoint referred to a task id that was never added.
+    UnknownTask(TaskId),
+    /// `add_edge(u, u)` — self-loops are cycles.
+    SelfLoop(TaskId),
+    /// The same `u → v` edge was added twice.
+    DuplicateEdge(TaskId, TaskId),
+    /// The finished edge set contains a directed cycle; the payload is one
+    /// task on some cycle, for diagnostics.
+    Cycle(TaskId),
+    /// A task was declared with a resource type `≥ K`.
+    TypeOutOfRange {
+        /// Offending task.
+        task: TaskId,
+        /// Declared type.
+        rtype: usize,
+        /// Number of types the builder was created with.
+        k: usize,
+    },
+    /// A task was declared with zero work; the discrete-time model requires
+    /// every task to occupy at least one time unit.
+    ZeroWork(TaskId),
+    /// The builder was created with `K = 0`.
+    NoTypes,
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::UnknownTask(t) => write!(f, "edge references unknown task {t}"),
+            GraphError::SelfLoop(t) => write!(f, "self-loop on task {t}"),
+            GraphError::DuplicateEdge(u, v) => write!(f, "duplicate edge {u} -> {v}"),
+            GraphError::Cycle(t) => write!(f, "graph contains a cycle through task {t}"),
+            GraphError::TypeOutOfRange { task, rtype, k } => {
+                write!(f, "task {task} has type {rtype}, but K = {k}")
+            }
+            GraphError::ZeroWork(t) => write!(f, "task {t} has zero work"),
+            GraphError::NoTypes => write!(f, "a K-DAG needs at least one resource type"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// Incremental builder for [`KDag`].
+///
+/// Tasks are added first (each returning its dense [`TaskId`]), then edges;
+/// [`KDagBuilder::build`] validates the result (acyclicity, type ranges,
+/// positive work) and freezes it into CSR form.
+///
+/// ```
+/// use kdag::KDagBuilder;
+/// let mut b = KDagBuilder::new(2);
+/// let u = b.add_task(0, 1);
+/// let v = b.add_task(1, 1);
+/// b.add_edge(u, v).unwrap();
+/// let dag = b.build().unwrap();
+/// assert_eq!(dag.num_edges(), 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct KDagBuilder {
+    k: usize,
+    rtypes: Vec<usize>,
+    works: Vec<Work>,
+    edges: Vec<(TaskId, TaskId)>,
+}
+
+impl KDagBuilder {
+    /// Starts a builder for a system with `k` resource types.
+    pub fn new(k: usize) -> Self {
+        KDagBuilder {
+            k,
+            rtypes: Vec::new(),
+            works: Vec::new(),
+            edges: Vec::new(),
+        }
+    }
+
+    /// Pre-reserves capacity for `tasks` tasks and `edges` edges.
+    pub fn with_capacity(k: usize, tasks: usize, edges: usize) -> Self {
+        KDagBuilder {
+            k,
+            rtypes: Vec::with_capacity(tasks),
+            works: Vec::with_capacity(tasks),
+            edges: Vec::with_capacity(edges),
+        }
+    }
+
+    /// Adds a task of resource type `rtype` with `work` time units and
+    /// returns its id. Validation of `rtype`/`work` is deferred to
+    /// [`KDagBuilder::build`] so generators can stay infallible.
+    pub fn add_task(&mut self, rtype: usize, work: Work) -> TaskId {
+        let id = TaskId::from_index(self.works.len());
+        self.rtypes.push(rtype);
+        self.works.push(work);
+        id
+    }
+
+    /// Adds a precedence edge `from → to` (`to` cannot start before `from`
+    /// completes). Rejects self-loops and endpoints not yet added; duplicate
+    /// edges and cycles are detected at [`KDagBuilder::build`] time.
+    pub fn add_edge(&mut self, from: TaskId, to: TaskId) -> Result<(), GraphError> {
+        let n = self.works.len();
+        if from.index() >= n {
+            return Err(GraphError::UnknownTask(from));
+        }
+        if to.index() >= n {
+            return Err(GraphError::UnknownTask(to));
+        }
+        if from == to {
+            return Err(GraphError::SelfLoop(from));
+        }
+        self.edges.push((from, to));
+        Ok(())
+    }
+
+    /// Number of tasks added so far.
+    pub fn num_tasks(&self) -> usize {
+        self.works.len()
+    }
+
+    /// Number of edges added so far.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Validates and freezes the graph.
+    pub fn build(self) -> Result<KDag, GraphError> {
+        if self.k == 0 {
+            return Err(GraphError::NoTypes);
+        }
+        let n = self.works.len();
+        for i in 0..n {
+            let t = TaskId::from_index(i);
+            if self.rtypes[i] >= self.k {
+                return Err(GraphError::TypeOutOfRange {
+                    task: t,
+                    rtype: self.rtypes[i],
+                    k: self.k,
+                });
+            }
+            if self.works[i] == 0 {
+                return Err(GraphError::ZeroWork(t));
+            }
+        }
+
+        // Duplicate-edge detection via sort: O(E log E), no hashing.
+        let mut sorted = self.edges.clone();
+        sorted.sort_unstable();
+        for w in sorted.windows(2) {
+            if w[0] == w[1] {
+                return Err(GraphError::DuplicateEdge(w[0].0, w[0].1));
+            }
+        }
+
+        // CSR construction (counting sort over edge endpoints).
+        let mut child_offsets = vec![0u32; n + 1];
+        let mut parent_offsets = vec![0u32; n + 1];
+        for &(u, v) in &self.edges {
+            child_offsets[u.index() + 1] += 1;
+            parent_offsets[v.index() + 1] += 1;
+        }
+        for i in 0..n {
+            child_offsets[i + 1] += child_offsets[i];
+            parent_offsets[i + 1] += parent_offsets[i];
+        }
+        let mut child_targets = vec![TaskId::from_index(0); self.edges.len()];
+        let mut parent_targets = vec![TaskId::from_index(0); self.edges.len()];
+        let mut child_fill = child_offsets.clone();
+        let mut parent_fill = parent_offsets.clone();
+        for &(u, v) in &self.edges {
+            let ci = child_fill[u.index()] as usize;
+            child_targets[ci] = v;
+            child_fill[u.index()] += 1;
+            let pi = parent_fill[v.index()] as usize;
+            parent_targets[pi] = u;
+            parent_fill[v.index()] += 1;
+        }
+
+        let dag = KDag {
+            k: self.k,
+            rtypes: self.rtypes,
+            works: self.works,
+            child_offsets,
+            child_targets,
+            parent_offsets,
+            parent_targets,
+        };
+
+        // Cycle check: Kahn's algorithm must consume every task.
+        match crate::topo::topological_order(&dag) {
+            Some(order) if order.len() == n => Ok(dag),
+            _ => {
+                // Find a task on a cycle for the error payload: any task
+                // not appearing in a maximal Kahn pass.
+                let order = crate::topo::partial_topological_order(&dag);
+                let mut in_order = vec![false; n];
+                for t in &order {
+                    in_order[t.index()] = true;
+                }
+                let culprit = (0..n)
+                    .map(TaskId::from_index)
+                    .find(|t| !in_order[t.index()])
+                    .expect("cycle reported but all tasks ordered");
+                Err(GraphError::Cycle(culprit))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_unknown_endpoints_eagerly() {
+        let mut b = KDagBuilder::new(1);
+        let u = b.add_task(0, 1);
+        let ghost = TaskId::from_index(7);
+        assert_eq!(b.add_edge(u, ghost), Err(GraphError::UnknownTask(ghost)));
+        assert_eq!(b.add_edge(ghost, u), Err(GraphError::UnknownTask(ghost)));
+    }
+
+    #[test]
+    fn rejects_self_loop_eagerly() {
+        let mut b = KDagBuilder::new(1);
+        let u = b.add_task(0, 1);
+        assert_eq!(b.add_edge(u, u), Err(GraphError::SelfLoop(u)));
+    }
+
+    #[test]
+    fn rejects_duplicate_edge_at_build() {
+        let mut b = KDagBuilder::new(1);
+        let u = b.add_task(0, 1);
+        let v = b.add_task(0, 1);
+        b.add_edge(u, v).unwrap();
+        b.add_edge(u, v).unwrap();
+        assert_eq!(b.build().unwrap_err(), GraphError::DuplicateEdge(u, v));
+    }
+
+    #[test]
+    fn rejects_cycles_at_build() {
+        let mut b = KDagBuilder::new(1);
+        let u = b.add_task(0, 1);
+        let v = b.add_task(0, 1);
+        let w = b.add_task(0, 1);
+        b.add_edge(u, v).unwrap();
+        b.add_edge(v, w).unwrap();
+        b.add_edge(w, u).unwrap();
+        assert!(matches!(b.build().unwrap_err(), GraphError::Cycle(_)));
+    }
+
+    #[test]
+    fn rejects_type_out_of_range_and_zero_work() {
+        let mut b = KDagBuilder::new(2);
+        b.add_task(2, 1);
+        assert!(matches!(
+            b.build().unwrap_err(),
+            GraphError::TypeOutOfRange { rtype: 2, k: 2, .. }
+        ));
+
+        let mut b = KDagBuilder::new(2);
+        let z = b.add_task(0, 0);
+        assert_eq!(b.build().unwrap_err(), GraphError::ZeroWork(z));
+    }
+
+    #[test]
+    fn rejects_zero_types() {
+        assert_eq!(
+            KDagBuilder::new(0).build().unwrap_err(),
+            GraphError::NoTypes
+        );
+    }
+
+    #[test]
+    fn builds_a_valid_dag_with_csr_adjacency() {
+        let mut b = KDagBuilder::with_capacity(2, 3, 2);
+        let a = b.add_task(0, 2);
+        let c = b.add_task(1, 3);
+        let d = b.add_task(0, 4);
+        b.add_edge(a, c).unwrap();
+        b.add_edge(a, d).unwrap();
+        assert_eq!(b.num_tasks(), 3);
+        assert_eq!(b.num_edges(), 2);
+        let g = b.build().unwrap();
+        assert_eq!(g.children(a), &[c, d]);
+        assert_eq!(g.parents(d), &[a]);
+        assert_eq!(g.num_parents(a), 0);
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        let msg = GraphError::TypeOutOfRange {
+            task: TaskId::from_index(3),
+            rtype: 5,
+            k: 4,
+        }
+        .to_string();
+        assert!(msg.contains("t3") && msg.contains('5') && msg.contains('4'));
+        assert!(GraphError::NoTypes.to_string().contains("at least one"));
+    }
+}

@@ -1,0 +1,89 @@
+//! Graphviz DOT export for K-DAGs.
+//!
+//! Task types are rendered as node shapes (cycling through a fixed shape
+//! palette like the paper's Figure 1: circles, squares, triangles, …) and
+//! node labels show `id:work`.
+
+use std::fmt::Write as _;
+
+use crate::graph::KDag;
+
+const SHAPES: &[&str] = &[
+    "circle",
+    "box",
+    "triangle",
+    "diamond",
+    "hexagon",
+    "ellipse",
+    "octagon",
+    "trapezium",
+];
+
+/// Renders `dag` as a DOT digraph string.
+///
+/// ```
+/// use kdag::{KDagBuilder, dot};
+/// let mut b = KDagBuilder::new(2);
+/// let u = b.add_task(0, 1);
+/// let v = b.add_task(1, 2);
+/// b.add_edge(u, v).unwrap();
+/// let text = dot::to_dot(&b.build().unwrap(), "example");
+/// assert!(text.contains("digraph example"));
+/// assert!(text.contains("t0 -> t1"));
+/// ```
+pub fn to_dot(dag: &KDag, name: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph {name} {{");
+    let _ = writeln!(out, "  rankdir=TB;");
+    for v in dag.tasks() {
+        let shape = SHAPES[dag.rtype(v) % SHAPES.len()];
+        let _ = writeln!(
+            out,
+            "  {v} [shape={shape}, label=\"{v}:{w}\", tooltip=\"type {t}\"];",
+            w = dag.work(v),
+            t = dag.rtype(v)
+        );
+    }
+    for v in dag.tasks() {
+        for &c in dag.children(v) {
+            let _ = writeln!(out, "  {v} -> {c};");
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::KDagBuilder;
+
+    #[test]
+    fn dot_contains_every_task_and_edge() {
+        let mut b = KDagBuilder::new(3);
+        let a = b.add_task(0, 1);
+        let c = b.add_task(1, 2);
+        let d = b.add_task(2, 3);
+        b.add_edge(a, c).unwrap();
+        b.add_edge(c, d).unwrap();
+        let g = b.build().unwrap();
+        let s = to_dot(&g, "g");
+        for v in g.tasks() {
+            assert!(s.contains(&format!("{v} [shape=")));
+        }
+        assert!(s.contains("t0 -> t1"));
+        assert!(s.contains("t1 -> t2"));
+        // distinct shapes for the three types
+        assert!(s.contains("shape=circle"));
+        assert!(s.contains("shape=box"));
+        assert!(s.contains("shape=triangle"));
+    }
+
+    #[test]
+    fn shape_palette_cycles_beyond_its_length() {
+        let mut b = KDagBuilder::new(SHAPES.len() + 1);
+        b.add_task(SHAPES.len(), 1); // wraps to shape 0
+        let g = b.build().unwrap();
+        assert!(to_dot(&g, "wrap").contains("shape=circle"));
+    }
+}

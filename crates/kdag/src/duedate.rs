@@ -1,0 +1,115 @@
+//! Due dates — the ShiftBT heuristic's scheduling key.
+//!
+//! The paper defines a task's *due date* as "the latest time to start a
+//! task without delaying other tasks", computed as the total span of the
+//! job minus the remaining span of the task:
+//!
+//! `due(v) = T∞(J) − span(v)`
+//!
+//! where `span(v)` includes `v`'s own work (see
+//! [`crate::metrics::remaining_spans`]). Tasks on a critical path get due
+//! date equal to their earliest possible start; slack tasks get later due
+//! dates. The *lateness* of a task in a schedule that starts it at `s(v)`
+//! is `s(v) − due(v)` (equivalently completion-based with a constant
+//! shift of `w(v)`).
+
+use crate::graph::KDag;
+use crate::metrics::remaining_spans;
+use crate::types::Work;
+
+/// Due dates (latest safe start times) for every task: `T∞ − span(v)`.
+///
+/// Always ≥ 0 since `span(v) ≤ T∞` for every task.
+pub fn due_dates(dag: &KDag) -> Vec<Work> {
+    let spans = remaining_spans(dag);
+    let total = spans.iter().copied().max().unwrap_or(0);
+    spans.into_iter().map(|s| total - s).collect()
+}
+
+/// Earliest possible start times under infinite resources:
+/// `est(v) = max over parents p of est(p) + w(p)` (0 for roots).
+///
+/// Together with [`due_dates`], `est(v) ≤ due(v)` always holds, and
+/// equality characterizes critical tasks.
+pub fn earliest_starts(dag: &KDag) -> Vec<Work> {
+    let mut est = vec![0; dag.num_tasks()];
+    for v in crate::topo::topological_order(dag).expect("KDag invariant violated: cycle") {
+        for &c in dag.children(v) {
+            est[c.index()] = est[c.index()].max(est[v.index()] + dag.work(v));
+        }
+    }
+    est
+}
+
+/// Per-task slack `due(v) − est(v)`: zero exactly on critical tasks.
+pub fn slacks(dag: &KDag) -> Vec<Work> {
+    due_dates(dag)
+        .into_iter()
+        .zip(earliest_starts(dag))
+        .map(|(d, e)| d - e)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{critical_path, span};
+    use crate::KDagBuilder;
+
+    fn fork_join() -> KDag {
+        // t0(3) -> {t1(5), t2(2)} -> t3(1); span = 9.
+        let mut b = KDagBuilder::new(2);
+        let a = b.add_task(0, 3);
+        let x = b.add_task(1, 5);
+        let y = b.add_task(1, 2);
+        let z = b.add_task(0, 1);
+        b.add_edge(a, x).unwrap();
+        b.add_edge(a, y).unwrap();
+        b.add_edge(x, z).unwrap();
+        b.add_edge(y, z).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn due_dates_are_span_complements() {
+        let g = fork_join();
+        // spans: [9, 6, 3, 1] -> due: [0, 3, 6, 8]
+        assert_eq!(due_dates(&g), vec![0, 3, 6, 8]);
+    }
+
+    #[test]
+    fn earliest_starts_follow_chains() {
+        let g = fork_join();
+        assert_eq!(earliest_starts(&g), vec![0, 3, 3, 8]);
+    }
+
+    #[test]
+    fn critical_tasks_have_zero_slack() {
+        let g = fork_join();
+        let sl = slacks(&g);
+        for &v in &critical_path(&g) {
+            assert_eq!(sl[v.index()], 0, "critical task {v} must have no slack");
+        }
+        // the short branch (t2) has slack 3
+        assert_eq!(sl[2], 3);
+    }
+
+    #[test]
+    fn est_never_exceeds_due() {
+        let g = fork_join();
+        let due = due_dates(&g);
+        let est = earliest_starts(&g);
+        for v in g.tasks() {
+            assert!(est[v.index()] <= due[v.index()]);
+        }
+    }
+
+    #[test]
+    fn single_task_has_zero_due_date() {
+        let mut b = KDagBuilder::new(1);
+        b.add_task(0, 42);
+        let g = b.build().unwrap();
+        assert_eq!(due_dates(&g), vec![0]);
+        assert_eq!(span(&g), 42);
+    }
+}

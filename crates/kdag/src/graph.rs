@@ -1,0 +1,314 @@
+//! The immutable K-DAG graph.
+
+use crate::types::{TaskId, Work};
+
+/// An immutable K-DAG: a directed acyclic graph of typed tasks.
+///
+/// Construct one through [`crate::KDagBuilder`], which validates acyclicity
+/// and type ranges. Once built, the graph is read-only; schedulers and the
+/// simulator keep their mutable execution state (remaining work, readiness)
+/// outside the graph so that one job description can be simulated many
+/// times and shared across threads (`KDag` is `Send + Sync`).
+///
+/// Adjacency is stored in CSR (compressed sparse row) form for both the
+/// child and the parent direction, so the per-task neighbour lists are
+/// contiguous slices and iteration in the simulator's hot path is
+/// allocation-free.
+#[derive(Clone, Debug)]
+pub struct KDag {
+    pub(crate) k: usize,
+    pub(crate) rtypes: Vec<usize>,
+    pub(crate) works: Vec<Work>,
+    // CSR adjacency: children of task i are child_targets[child_offsets[i]..child_offsets[i+1]].
+    pub(crate) child_offsets: Vec<u32>,
+    pub(crate) child_targets: Vec<TaskId>,
+    pub(crate) parent_offsets: Vec<u32>,
+    pub(crate) parent_targets: Vec<TaskId>,
+}
+
+/// Semantic equality: same `K`, same tasks (type/work by id) and the same
+/// *edge set* — adjacency storage order (which follows edge insertion
+/// order) is not observable.
+impl PartialEq for KDag {
+    fn eq(&self, other: &Self) -> bool {
+        if self.k != other.k
+            || self.rtypes != other.rtypes
+            || self.works != other.works
+            || self.num_edges() != other.num_edges()
+        {
+            return false;
+        }
+        self.tasks().all(|v| {
+            let mut a: Vec<TaskId> = self.children(v).to_vec();
+            let mut b: Vec<TaskId> = other.children(v).to_vec();
+            a.sort_unstable();
+            b.sort_unstable();
+            a == b
+        })
+    }
+}
+
+impl Eq for KDag {}
+
+impl KDag {
+    /// Number of resource types `K` this job was declared against.
+    ///
+    /// Every task's type is `< k`. Note a job need not *use* all `K` types;
+    /// `k` is the system-facing declaration.
+    #[inline]
+    pub fn num_types(&self) -> usize {
+        self.k
+    }
+
+    /// Number of tasks `|V(J)|`.
+    #[inline]
+    pub fn num_tasks(&self) -> usize {
+        self.works.len()
+    }
+
+    /// Number of precedence edges `|E(J)|`.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.child_targets.len()
+    }
+
+    /// Returns `true` if the job has no tasks.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.works.is_empty()
+    }
+
+    /// The resource type `α` of task `v` (0-based, `< K`).
+    #[inline]
+    pub fn rtype(&self, v: TaskId) -> usize {
+        self.rtypes[v.index()]
+    }
+
+    /// The work `T1(v, α)` of task `v` (always ≥ 1).
+    #[inline]
+    pub fn work(&self, v: TaskId) -> Work {
+        self.works[v.index()]
+    }
+
+    /// Children of `v`: tasks with an edge `v → u`.
+    #[inline]
+    pub fn children(&self, v: TaskId) -> &[TaskId] {
+        let i = v.index();
+        let lo = self.child_offsets[i] as usize;
+        let hi = self.child_offsets[i + 1] as usize;
+        &self.child_targets[lo..hi]
+    }
+
+    /// Parents of `v`: tasks with an edge `u → v`.
+    #[inline]
+    pub fn parents(&self, v: TaskId) -> &[TaskId] {
+        let i = v.index();
+        let lo = self.parent_offsets[i] as usize;
+        let hi = self.parent_offsets[i + 1] as usize;
+        &self.parent_targets[lo..hi]
+    }
+
+    /// Number of parents `pr(v)`; the denominator in descendant-value
+    /// propagation.
+    #[inline]
+    pub fn num_parents(&self, v: TaskId) -> usize {
+        let i = v.index();
+        (self.parent_offsets[i + 1] - self.parent_offsets[i]) as usize
+    }
+
+    /// Number of children of `v`.
+    #[inline]
+    pub fn num_children(&self, v: TaskId) -> usize {
+        let i = v.index();
+        (self.child_offsets[i + 1] - self.child_offsets[i]) as usize
+    }
+
+    /// Iterator over all task ids in dense index order.
+    pub fn tasks(&self) -> impl ExactSizeIterator<Item = TaskId> + '_ {
+        (0..self.num_tasks()).map(TaskId::from_index)
+    }
+
+    /// Tasks with no parents — ready at time 0.
+    pub fn roots(&self) -> impl Iterator<Item = TaskId> + '_ {
+        self.tasks().filter(|&v| self.num_parents(v) == 0)
+    }
+
+    /// Tasks with no children.
+    pub fn sinks(&self) -> impl Iterator<Item = TaskId> + '_ {
+        self.tasks().filter(|&v| self.num_children(v) == 0)
+    }
+
+    /// Total work `T1(J, α)` of the tasks of type `alpha`.
+    pub fn total_work_of_type(&self, alpha: usize) -> Work {
+        self.tasks()
+            .filter(|&v| self.rtype(v) == alpha)
+            .map(|v| self.work(v))
+            .sum()
+    }
+
+    /// Per-type total work as a vector of length `K`: `[T1(J,0), …]`.
+    pub fn total_work_per_type(&self) -> Vec<Work> {
+        let mut out = vec![0; self.k];
+        for v in self.tasks() {
+            out[self.rtype(v)] += self.work(v);
+        }
+        out
+    }
+
+    /// Total work `T1(J)` over all types.
+    pub fn total_work(&self) -> Work {
+        self.works.iter().sum()
+    }
+
+    /// Number of tasks of type `alpha`, `|V(J, α)|`.
+    pub fn num_tasks_of_type(&self, alpha: usize) -> usize {
+        self.rtypes.iter().filter(|&&t| t == alpha).count()
+    }
+
+    /// Returns `true` iff `u ≺ v`, i.e. a directed path from `u` to `v`
+    /// exists. O(|V| + |E|) DFS; intended for tests and validation, not the
+    /// simulator hot path.
+    pub fn precedes(&self, u: TaskId, v: TaskId) -> bool {
+        if u == v {
+            return false;
+        }
+        let mut seen = vec![false; self.num_tasks()];
+        let mut stack = vec![u];
+        seen[u.index()] = true;
+        while let Some(x) = stack.pop() {
+            for &c in self.children(x) {
+                if c == v {
+                    return true;
+                }
+                if !seen[c.index()] {
+                    seen[c.index()] = true;
+                    stack.push(c);
+                }
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{KDagBuilder, TaskId};
+
+    fn diamond() -> crate::KDag {
+        // t0 -> {t1,t2} -> t3, types 0/1/1/0, works 1/2/3/4.
+        let mut b = KDagBuilder::new(2);
+        let a = b.add_task(0, 1);
+        let x = b.add_task(1, 2);
+        let y = b.add_task(1, 3);
+        let z = b.add_task(0, 4);
+        b.add_edge(a, x).unwrap();
+        b.add_edge(a, y).unwrap();
+        b.add_edge(x, z).unwrap();
+        b.add_edge(y, z).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn counts_and_accessors() {
+        let g = diamond();
+        assert_eq!(g.num_tasks(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.num_types(), 2);
+        assert!(!g.is_empty());
+        assert_eq!(g.work(TaskId::from_index(2)), 3);
+        assert_eq!(g.rtype(TaskId::from_index(2)), 1);
+    }
+
+    #[test]
+    fn adjacency_is_consistent_both_directions() {
+        let g = diamond();
+        for v in g.tasks() {
+            for &c in g.children(v) {
+                assert!(g.parents(c).contains(&v));
+            }
+            for &p in g.parents(v) {
+                assert!(g.children(p).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn roots_and_sinks() {
+        let g = diamond();
+        assert_eq!(g.roots().collect::<Vec<_>>(), vec![TaskId::from_index(0)]);
+        assert_eq!(g.sinks().collect::<Vec<_>>(), vec![TaskId::from_index(3)]);
+    }
+
+    #[test]
+    fn per_type_work_sums() {
+        let g = diamond();
+        assert_eq!(g.total_work_of_type(0), 5);
+        assert_eq!(g.total_work_of_type(1), 5);
+        assert_eq!(g.total_work_per_type(), vec![5, 5]);
+        assert_eq!(g.total_work(), 10);
+        assert_eq!(g.num_tasks_of_type(0), 2);
+        assert_eq!(g.num_tasks_of_type(1), 2);
+    }
+
+    #[test]
+    fn precedes_follows_paths_not_edges_only() {
+        let g = diamond();
+        let (a, x, z) = (
+            TaskId::from_index(0),
+            TaskId::from_index(1),
+            TaskId::from_index(3),
+        );
+        assert!(g.precedes(a, z)); // transitive
+        assert!(g.precedes(a, x));
+        assert!(!g.precedes(z, a));
+        assert!(!g.precedes(a, a)); // irreflexive
+        assert!(!g.precedes(x, TaskId::from_index(2))); // siblings unordered
+    }
+
+    #[test]
+    fn equality_ignores_edge_insertion_order() {
+        let build = |swap: bool| {
+            let mut b = KDagBuilder::new(1);
+            let a = b.add_task(0, 1);
+            let x = b.add_task(0, 1);
+            let y = b.add_task(0, 1);
+            if swap {
+                b.add_edge(a, y).unwrap();
+                b.add_edge(a, x).unwrap();
+            } else {
+                b.add_edge(a, x).unwrap();
+                b.add_edge(a, y).unwrap();
+            }
+            b.build().unwrap()
+        };
+        assert_eq!(build(false), build(true));
+    }
+
+    #[test]
+    fn equality_detects_real_differences() {
+        let mut b = KDagBuilder::new(1);
+        let a = b.add_task(0, 1);
+        let x = b.add_task(0, 1);
+        b.add_edge(a, x).unwrap();
+        let g1 = b.build().unwrap();
+        let mut b = KDagBuilder::new(1);
+        b.add_task(0, 1);
+        b.add_task(0, 2); // different work
+        let g2 = b.build().unwrap();
+        assert_ne!(g1, g2);
+        let mut b = KDagBuilder::new(1);
+        b.add_task(0, 1);
+        b.add_task(0, 1);
+        let g3 = b.build().unwrap(); // missing edge
+        assert_ne!(g1, g3);
+    }
+
+    #[test]
+    fn empty_graph_is_valid() {
+        let g = KDagBuilder::new(3).build().unwrap();
+        assert!(g.is_empty());
+        assert_eq!(g.num_tasks(), 0);
+        assert_eq!(g.total_work_per_type(), vec![0, 0, 0]);
+        assert_eq!(g.roots().count(), 0);
+    }
+}

@@ -1,0 +1,136 @@
+//! Structural profiles of K-DAG jobs — the quantities the paper's
+//! workload discussion reasons about (parallelism, per-type balance,
+//! layer widths), packaged for tests, tooling, and reports.
+
+use crate::graph::KDag;
+use crate::metrics;
+use crate::topo;
+
+/// A summary of a job's shape.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JobProfile {
+    /// `|V(J)|`.
+    pub tasks: usize,
+    /// `|E(J)|`.
+    pub edges: usize,
+    /// Total work `T1(J)`.
+    pub total_work: u64,
+    /// Span `T∞(J)`.
+    pub span: u64,
+    /// Average parallelism `T1(J) / T∞(J)` (0 for empty jobs).
+    pub parallelism: f64,
+    /// Per-type total work `[T1(J,0), …]`.
+    pub work_per_type: Vec<u64>,
+    /// Per-type task counts.
+    pub tasks_per_type: Vec<usize>,
+    /// Task count of each longest-path layer (depth 0 first).
+    pub layer_widths: Vec<usize>,
+}
+
+impl JobProfile {
+    /// Computes the profile of `job` in two graph sweeps.
+    pub fn of(job: &KDag) -> Self {
+        let span = metrics::span(job);
+        let total_work = job.total_work();
+        JobProfile {
+            tasks: job.num_tasks(),
+            edges: job.num_edges(),
+            total_work,
+            span,
+            parallelism: if span == 0 {
+                0.0
+            } else {
+                total_work as f64 / span as f64
+            },
+            work_per_type: job.total_work_per_type(),
+            tasks_per_type: (0..job.num_types())
+                .map(|a| job.num_tasks_of_type(a))
+                .collect(),
+            layer_widths: topo::layers(job).iter().map(Vec::len).collect(),
+        }
+    }
+
+    /// Maximum layer width — a cheap proxy for the job's peak demand.
+    pub fn max_width(&self) -> usize {
+        self.layer_widths.iter().copied().max().unwrap_or(0)
+    }
+
+    /// The *work-per-processor ratio* spread of §V-E: for a machine with
+    /// `procs[α]` processors per type, returns
+    /// `(min_α T1α/Pα, max_α T1α/Pα)`. A small spread means the load is
+    /// "well balanced" in the paper's sense.
+    pub fn work_per_processor_spread(&self, procs: &[usize]) -> (f64, f64) {
+        assert_eq!(procs.len(), self.work_per_type.len());
+        let ratios: Vec<f64> = self
+            .work_per_type
+            .iter()
+            .zip(procs)
+            .map(|(&w, &p)| w as f64 / p as f64)
+            .collect();
+        (
+            ratios.iter().cloned().fold(f64::INFINITY, f64::min),
+            ratios.iter().cloned().fold(0.0, f64::max),
+        )
+    }
+}
+
+impl std::fmt::Display for JobProfile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} tasks, {} edges, T1={} T∞={} (parallelism {:.1}), depth {}, max width {}",
+            self.tasks,
+            self.edges,
+            self.total_work,
+            self.span,
+            self.parallelism,
+            self.layer_widths.len(),
+            self.max_width()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::examples::figure1;
+    use crate::KDagBuilder;
+
+    #[test]
+    fn profile_of_figure1() {
+        let p = JobProfile::of(&figure1());
+        assert_eq!(p.tasks, 14);
+        assert_eq!(p.total_work, 14);
+        assert_eq!(p.span, 7);
+        assert_eq!(p.parallelism, 2.0);
+        assert_eq!(p.work_per_type, vec![7, 4, 3]);
+        assert_eq!(p.tasks_per_type, vec![7, 4, 3]);
+        assert_eq!(p.layer_widths.iter().sum::<usize>(), 14);
+        assert_eq!(p.layer_widths.len(), 7); // depth = span for unit tasks
+    }
+
+    #[test]
+    fn spread_detects_imbalance() {
+        let p = JobProfile::of(&figure1());
+        let (lo, hi) = p.work_per_processor_spread(&[1, 1, 1]);
+        assert_eq!((lo, hi), (3.0, 7.0));
+        // matching processors to work balances the ratios
+        let (lo, hi) = p.work_per_processor_spread(&[7, 4, 3]);
+        assert_eq!((lo, hi), (1.0, 1.0));
+    }
+
+    #[test]
+    fn empty_job_profile() {
+        let p = JobProfile::of(&KDagBuilder::new(2).build().unwrap());
+        assert_eq!(p.parallelism, 0.0);
+        assert_eq!(p.max_width(), 0);
+        assert!(p.layer_widths.is_empty());
+    }
+
+    #[test]
+    fn display_is_one_line() {
+        let text = JobProfile::of(&figure1()).to_string();
+        assert!(text.contains("14 tasks"));
+        assert!(!text.contains('\n'));
+    }
+}

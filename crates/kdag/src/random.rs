@@ -1,0 +1,142 @@
+//! Seeded random K-DAGs for tests, fuzzing, and quick experiments.
+//!
+//! The construction only ever adds edges from a lower to a higher task
+//! index, so acyclicity holds by construction; types, works, and fanin
+//! are sampled uniformly within the given bounds. This is the generator
+//! behind the project's property-test suites (exposed here so every
+//! crate shares one implementation) — for the paper's *structured*
+//! workload families use `fhs-workloads` instead.
+
+use crate::builder::KDagBuilder;
+use crate::graph::KDag;
+use crate::types::TaskId;
+
+/// Bounds for [`random_kdag`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RandomDagParams {
+    /// Number of resource types `K`.
+    pub k: usize,
+    /// Exact number of tasks.
+    pub tasks: usize,
+    /// Work range `1..=max_work`.
+    pub max_work: u64,
+    /// Per-task maximum number of parents (sampled `0..=max_fanin`,
+    /// capped by the task's index).
+    pub max_fanin: usize,
+}
+
+impl Default for RandomDagParams {
+    fn default() -> Self {
+        RandomDagParams {
+            k: 3,
+            tasks: 30,
+            max_work: 4,
+            max_fanin: 3,
+        }
+    }
+}
+
+/// A tiny deterministic PRNG (SplitMix64) so this module needs no
+/// external dependency; the sequences are stable across platforms and
+/// releases of this crate.
+#[derive(Clone, Debug)]
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `0..bound` (bound ≥ 1; negligible modulo bias at the
+    /// bounds used here).
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound
+    }
+}
+
+/// Generates a random K-DAG from `params`, deterministic in `seed`.
+///
+/// # Panics
+/// If `params.k == 0`, `params.tasks == 0`, or `params.max_work == 0`.
+pub fn random_kdag(params: &RandomDagParams, seed: u64) -> KDag {
+    assert!(params.k > 0 && params.tasks > 0 && params.max_work > 0);
+    let mut rng = SplitMix64(seed);
+    let mut b = KDagBuilder::with_capacity(params.k, params.tasks, params.tasks * params.max_fanin);
+    let ids: Vec<TaskId> = (0..params.tasks)
+        .map(|_| {
+            let rtype = rng.below(params.k as u64) as usize;
+            let work = 1 + rng.below(params.max_work);
+            b.add_task(rtype, work)
+        })
+        .collect();
+    for i in 1..params.tasks {
+        let fanin = rng.below(params.max_fanin as u64 + 1) as usize;
+        let mut parents = std::collections::BTreeSet::new();
+        for _ in 0..fanin {
+            parents.insert(rng.below(i as u64) as usize);
+        }
+        for p in parents {
+            b.add_edge(ids[p], ids[i]).expect("forward edge");
+        }
+    }
+    b.build().expect("forward-edge graphs are acyclic")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn respects_all_bounds() {
+        let params = RandomDagParams {
+            k: 4,
+            tasks: 50,
+            max_work: 6,
+            max_fanin: 2,
+        };
+        for seed in 0..20 {
+            let g = random_kdag(&params, seed);
+            assert_eq!(g.num_tasks(), 50);
+            assert_eq!(g.num_types(), 4);
+            for v in g.tasks() {
+                assert!(g.rtype(v) < 4);
+                assert!((1..=6).contains(&g.work(v)));
+                assert!(g.num_parents(v) <= 2);
+            }
+            assert!(crate::topo::topological_order(&g).is_some());
+        }
+    }
+
+    #[test]
+    fn deterministic_in_the_seed() {
+        let params = RandomDagParams::default();
+        assert_eq!(random_kdag(&params, 7), random_kdag(&params, 7));
+        assert_ne!(random_kdag(&params, 7), random_kdag(&params, 8));
+    }
+
+    #[test]
+    fn fanin_zero_gives_independent_tasks() {
+        let params = RandomDagParams {
+            max_fanin: 0,
+            ..RandomDagParams::default()
+        };
+        let g = random_kdag(&params, 1);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_zero_tasks() {
+        random_kdag(
+            &RandomDagParams {
+                tasks: 0,
+                ..RandomDagParams::default()
+            },
+            0,
+        );
+    }
+}

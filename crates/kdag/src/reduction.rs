@@ -1,0 +1,154 @@
+//! Transitive reduction of K-DAGs.
+//!
+//! Generators (and real workflow compilers) often emit *redundant* edges
+//! — precedence pairs already implied by longer paths. Redundant edges do
+//! not change any schedule's legality, but they inflate `pr(u)` and
+//! thereby dilute descendant values (MQB/MaxDP split each node's
+//! contribution across its parents), and they slow the simulator's
+//! readiness bookkeeping. [`transitive_reduction`] removes every
+//! redundant edge; the result is the unique minimal DAG with the same
+//! reachability relation.
+
+use crate::builder::KDagBuilder;
+use crate::graph::KDag;
+use crate::topo::topological_order;
+
+/// Returns `dag` with every transitively redundant edge removed.
+///
+/// An edge `u → v` is redundant iff a path `u → … → v` of length ≥ 2
+/// exists. O(|V|·(|V|/64 + |E|)) via per-node descendant bitsets in
+/// reverse topological order — fine for the job sizes this project
+/// simulates (thousands of tasks).
+pub fn transitive_reduction(dag: &KDag) -> KDag {
+    let n = dag.num_tasks();
+    let words = n.div_ceil(64);
+    // reach[v] = bitset of all strict descendants of v
+    let mut reach: Vec<Vec<u64>> = vec![vec![0u64; words]; n];
+    let order = topological_order(dag).expect("KDag invariant violated: cycle");
+
+    for &v in order.iter().rev() {
+        let vi = v.index();
+        // OR in children and their reach sets
+        for &c in dag.children(v) {
+            let ci = c.index();
+            reach[vi][ci / 64] |= 1 << (ci % 64);
+            // split borrow: copy child's set into v's
+            let (a, b) = if vi < ci {
+                let (lo, hi) = reach.split_at_mut(ci);
+                (&mut lo[vi], &hi[0])
+            } else {
+                let (lo, hi) = reach.split_at_mut(vi);
+                (&mut hi[0], &lo[ci])
+            };
+            for (w, &cw) in a.iter_mut().zip(b.iter()) {
+                *w |= cw;
+            }
+        }
+    }
+
+    let mut b = KDagBuilder::with_capacity(dag.num_types(), n, dag.num_edges());
+    for v in dag.tasks() {
+        b.add_task(dag.rtype(v), dag.work(v));
+    }
+    for v in dag.tasks() {
+        for &c in dag.children(v) {
+            // redundant iff some OTHER child of v reaches c
+            let ci = c.index();
+            let redundant = dag
+                .children(v)
+                .iter()
+                .any(|&other| other != c && (reach[other.index()][ci / 64] >> (ci % 64)) & 1 == 1);
+            if !redundant {
+                b.add_edge(v, c).expect("subset of valid edges");
+            }
+        }
+    }
+    b.build().expect("edge subset of a DAG is a DAG")
+}
+
+/// Returns `true` iff `a` and `b` have identical reachability (same task
+/// set assumed). O(|V|·|E|) — for tests.
+pub fn same_reachability(a: &KDag, b: &KDag) -> bool {
+    if a.num_tasks() != b.num_tasks() {
+        return false;
+    }
+    for u in a.tasks() {
+        for v in a.tasks() {
+            if u != v && a.precedes(u, v) != b.precedes(u, v) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::TaskId;
+
+    fn dag_with_shortcut() -> KDag {
+        // 0 -> 1 -> 2 plus the redundant shortcut 0 -> 2.
+        let mut b = KDagBuilder::new(1);
+        let a = b.add_task(0, 1);
+        let m = b.add_task(0, 1);
+        let z = b.add_task(0, 1);
+        b.add_edge(a, m).unwrap();
+        b.add_edge(m, z).unwrap();
+        b.add_edge(a, z).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn removes_the_shortcut() {
+        let g = dag_with_shortcut();
+        let r = transitive_reduction(&g);
+        assert_eq!(r.num_edges(), 2);
+        assert!(same_reachability(&g, &r));
+        assert_eq!(r.children(TaskId::from_index(0)), &[TaskId::from_index(1)]);
+    }
+
+    #[test]
+    fn already_minimal_dags_are_unchanged() {
+        let g = crate::examples::figure1();
+        let r = transitive_reduction(&g);
+        assert_eq!(r.num_edges(), g.num_edges());
+        assert_eq!(r, g);
+    }
+
+    #[test]
+    fn long_shortcuts_are_removed_too() {
+        // chain 0->1->2->3 plus 0->3 (implied via a length-3 path)
+        let mut b = KDagBuilder::new(1);
+        let t: Vec<_> = (0..4).map(|_| b.add_task(0, 1)).collect();
+        b.add_edge(t[0], t[1]).unwrap();
+        b.add_edge(t[1], t[2]).unwrap();
+        b.add_edge(t[2], t[3]).unwrap();
+        b.add_edge(t[0], t[3]).unwrap();
+        let g = b.build().unwrap();
+        let r = transitive_reduction(&g);
+        assert_eq!(r.num_edges(), 3);
+        assert!(same_reachability(&g, &r));
+    }
+
+    #[test]
+    fn diamond_keeps_all_edges() {
+        // 0 -> {1,2} -> 3: no edge is redundant
+        let mut b = KDagBuilder::new(1);
+        let t: Vec<_> = (0..4).map(|_| b.add_task(0, 1)).collect();
+        b.add_edge(t[0], t[1]).unwrap();
+        b.add_edge(t[0], t[2]).unwrap();
+        b.add_edge(t[1], t[3]).unwrap();
+        b.add_edge(t[2], t[3]).unwrap();
+        let g = b.build().unwrap();
+        assert_eq!(transitive_reduction(&g).num_edges(), 4);
+    }
+
+    #[test]
+    fn reduction_preserves_span_and_work() {
+        let g = dag_with_shortcut();
+        let r = transitive_reduction(&g);
+        assert_eq!(crate::metrics::span(&r), crate::metrics::span(&g));
+        assert_eq!(r.total_work_per_type(), g.total_work_per_type());
+    }
+}

@@ -1,0 +1,180 @@
+//! Topological utilities over [`KDag`]s.
+
+use crate::graph::KDag;
+use crate::types::TaskId;
+
+/// Returns a topological order of all tasks (parents before children), or
+/// `None` if the graph contains a cycle. Kahn's algorithm, O(|V| + |E|).
+///
+/// The order is deterministic: among simultaneously-available tasks, lower
+/// task ids come first (the frontier is a sorted-by-construction FIFO over
+/// an initial id-ordered scan).
+pub fn topological_order(dag: &KDag) -> Option<Vec<TaskId>> {
+    let order = partial_topological_order(dag);
+    (order.len() == dag.num_tasks()).then_some(order)
+}
+
+/// Kahn's algorithm run to exhaustion; on cyclic graphs returns only the
+/// tasks not involved in (or downstream of) a cycle. Used for cycle
+/// diagnostics in the builder.
+pub(crate) fn partial_topological_order(dag: &KDag) -> Vec<TaskId> {
+    let n = dag.num_tasks();
+    let mut indeg: Vec<u32> = (0..n)
+        .map(|i| dag.num_parents(TaskId::from_index(i)) as u32)
+        .collect();
+    let mut queue: std::collections::VecDeque<TaskId> = (0..n)
+        .map(TaskId::from_index)
+        .filter(|&v| indeg[v.index()] == 0)
+        .collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(v) = queue.pop_front() {
+        order.push(v);
+        for &c in dag.children(v) {
+            indeg[c.index()] -= 1;
+            if indeg[c.index()] == 0 {
+                queue.push_back(c);
+            }
+        }
+    }
+    order
+}
+
+/// Returns the tasks in *reverse* topological order (children before
+/// parents). Panics on cyclic input — only built [`KDag`]s (which are
+/// validated) should reach this.
+pub fn reverse_topological_order(dag: &KDag) -> Vec<TaskId> {
+    let mut order = topological_order(dag).expect("KDag invariant violated: cycle");
+    order.reverse();
+    order
+}
+
+/// Longest-path depth (in edge count) of every task: roots have depth 0,
+/// and `depth(v) = 1 + max over parents`. Useful for layered layouts and
+/// generator tests.
+pub fn depths(dag: &KDag) -> Vec<u32> {
+    let mut depth = vec![0u32; dag.num_tasks()];
+    for &v in topological_order(dag)
+        .expect("KDag invariant violated: cycle")
+        .iter()
+    {
+        for &c in dag.children(v) {
+            depth[c.index()] = depth[c.index()].max(depth[v.index()] + 1);
+        }
+    }
+    depth
+}
+
+/// Groups tasks into layers by longest-path depth; layer `d` holds every
+/// task whose depth is `d`, in id order. The number of layers equals
+/// `max(depths) + 1` (or 0 for an empty graph).
+pub fn layers(dag: &KDag) -> Vec<Vec<TaskId>> {
+    if dag.is_empty() {
+        return Vec::new();
+    }
+    let depth = depths(dag);
+    let num_layers = *depth.iter().max().unwrap() as usize + 1;
+    let mut out = vec![Vec::new(); num_layers];
+    for v in dag.tasks() {
+        out[depth[v.index()] as usize].push(v);
+    }
+    out
+}
+
+/// Verifies that `order` is a permutation of all tasks consistent with the
+/// precedence edges. Intended for tests and schedule validation.
+pub fn is_topological_order(dag: &KDag, order: &[TaskId]) -> bool {
+    if order.len() != dag.num_tasks() {
+        return false;
+    }
+    let mut position = vec![usize::MAX; dag.num_tasks()];
+    for (pos, &v) in order.iter().enumerate() {
+        if v.index() >= dag.num_tasks() || position[v.index()] != usize::MAX {
+            return false;
+        }
+        position[v.index()] = pos;
+    }
+    dag.tasks().all(|v| {
+        dag.children(v)
+            .iter()
+            .all(|&c| position[v.index()] < position[c.index()])
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::KDagBuilder;
+
+    fn two_chains_joined() -> KDag {
+        // 0 -> 1 -> 4, 2 -> 3 -> 4
+        let mut b = KDagBuilder::new(1);
+        let t: Vec<_> = (0..5).map(|_| b.add_task(0, 1)).collect();
+        b.add_edge(t[0], t[1]).unwrap();
+        b.add_edge(t[1], t[4]).unwrap();
+        b.add_edge(t[2], t[3]).unwrap();
+        b.add_edge(t[3], t[4]).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn topological_order_respects_edges() {
+        let g = two_chains_joined();
+        let order = topological_order(&g).unwrap();
+        assert!(is_topological_order(&g, &order));
+        assert_eq!(order.len(), 5);
+    }
+
+    #[test]
+    fn reverse_order_is_reversed() {
+        let g = two_chains_joined();
+        let mut fwd = topological_order(&g).unwrap();
+        fwd.reverse();
+        assert_eq!(fwd, reverse_topological_order(&g));
+    }
+
+    #[test]
+    fn depths_are_longest_paths() {
+        // 0 -> 1 -> 2, and 0 -> 2 directly: depth(2) must be 2 (longest).
+        let mut b = KDagBuilder::new(1);
+        let a = b.add_task(0, 1);
+        let m = b.add_task(0, 1);
+        let z = b.add_task(0, 1);
+        b.add_edge(a, m).unwrap();
+        b.add_edge(m, z).unwrap();
+        b.add_edge(a, z).unwrap();
+        let g = b.build().unwrap();
+        assert_eq!(depths(&g), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn layers_partition_all_tasks() {
+        let g = two_chains_joined();
+        let ls = layers(&g);
+        assert_eq!(ls.iter().map(Vec::len).sum::<usize>(), g.num_tasks());
+        assert_eq!(ls.len(), 3);
+        // layer 0 = the two roots
+        assert_eq!(ls[0].len(), 2);
+        assert_eq!(ls[2].len(), 1);
+    }
+
+    #[test]
+    fn layers_of_empty_graph() {
+        let g = KDagBuilder::new(1).build().unwrap();
+        assert!(layers(&g).is_empty());
+        assert_eq!(topological_order(&g).unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn is_topological_order_rejects_bad_inputs() {
+        let g = two_chains_joined();
+        let mut order = topological_order(&g).unwrap();
+        // wrong length
+        assert!(!is_topological_order(&g, &order[1..]));
+        // duplicate entry
+        let dup = vec![order[0]; 5];
+        assert!(!is_topological_order(&g, &dup));
+        // edge violated
+        order.swap(0, 4); // sink before its ancestors
+        assert!(!is_topological_order(&g, &order));
+    }
+}

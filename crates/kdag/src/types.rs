@@ -1,0 +1,72 @@
+//! Fundamental scalar types of the K-DAG model.
+
+use std::fmt;
+
+/// Execution time of a task, in discrete simulator time units.
+///
+/// The theory sections of the paper use unit-size tasks; the experiments
+/// draw task works from small integer ranges. `u64` comfortably covers both
+/// and keeps makespan arithmetic exact (no floating-point drift in the
+/// simulator core).
+pub type Work = u64;
+
+/// Identifier of a task inside one [`crate::KDag`].
+///
+/// Task ids are dense indices assigned by the [`crate::KDagBuilder`] in
+/// insertion order, which makes them usable as direct vector indices in the
+/// simulator's hot loops (no hashing).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TaskId(pub(crate) u32);
+
+impl TaskId {
+    /// Creates a task id from a raw dense index.
+    ///
+    /// Exposed for generators and tests that construct ids positionally;
+    /// ids only have meaning relative to the graph they were created for.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        TaskId(u32::try_from(index).expect("task index exceeds u32 range"))
+    }
+
+    /// Returns the dense index of this task within its graph.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn task_id_round_trips_through_index() {
+        for i in [0usize, 1, 17, 65_535, 1_000_000] {
+            assert_eq!(TaskId::from_index(i).index(), i);
+        }
+    }
+
+    #[test]
+    fn task_id_orders_by_index() {
+        assert!(TaskId::from_index(3) < TaskId::from_index(4));
+        assert_eq!(TaskId::from_index(9), TaskId::from_index(9));
+    }
+
+    #[test]
+    fn task_id_display_is_compact() {
+        assert_eq!(TaskId::from_index(12).to_string(), "t12");
+        assert_eq!(format!("{:?}", TaskId::from_index(0)), "t0");
+    }
+}

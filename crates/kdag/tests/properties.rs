@@ -1,0 +1,234 @@
+//! Property-based tests over randomly generated K-DAGs.
+//!
+//! The generator builds a random DAG by only ever adding edges from a
+//! lower-indexed to a higher-indexed task, which guarantees acyclicity by
+//! construction; the builder's own validation is exercised separately.
+
+use kdag::{descendants, distance, duedate, metrics, topo, KDag, KDagBuilder, TaskId};
+use proptest::prelude::*;
+
+/// Strategy: a random K-DAG with up to `max_tasks` tasks, `k` types, edge
+/// probability `edge_prob` per forward pair (bounded fanin to keep graphs
+/// sparse), and works in `1..=max_work`.
+fn arb_kdag(k: usize, max_tasks: usize, max_work: u64) -> impl Strategy<Value = KDag> {
+    (1..=max_tasks).prop_flat_map(move |n| {
+        let types = proptest::collection::vec(0..k, n);
+        let works = proptest::collection::vec(1..=max_work, n);
+        // For each task i>0, pick up to 3 parents from 0..i.
+        let parents = proptest::collection::vec(proptest::collection::vec(any::<u32>(), 0..=3), n);
+        (types, works, parents).prop_map(move |(types, works, parents)| {
+            let mut b = KDagBuilder::new(k);
+            let ids: Vec<TaskId> = types
+                .iter()
+                .zip(&works)
+                .map(|(&t, &w)| b.add_task(t, w))
+                .collect();
+            let mut seen = std::collections::HashSet::new();
+            for (i, ps) in parents.iter().enumerate().skip(1) {
+                for &raw in ps {
+                    let p = (raw as usize) % i;
+                    if seen.insert((p, i)) {
+                        b.add_edge(ids[p], ids[i]).unwrap();
+                    }
+                }
+            }
+            b.build().expect("forward-edge graphs are acyclic")
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn topological_order_is_valid(dag in arb_kdag(4, 60, 5)) {
+        let order = topo::topological_order(&dag).expect("built DAGs are acyclic");
+        prop_assert!(topo::is_topological_order(&dag, &order));
+    }
+
+    #[test]
+    fn span_bounds(dag in arb_kdag(4, 60, 5)) {
+        let span = metrics::span(&dag);
+        let total = dag.total_work();
+        let max_single = dag.tasks().map(|v| dag.work(v)).max().unwrap_or(0);
+        // span is between the largest single task and the total work
+        prop_assert!(span >= max_single);
+        prop_assert!(span <= total);
+    }
+
+    #[test]
+    fn remaining_spans_decrease_along_edges(dag in arb_kdag(4, 60, 5)) {
+        let spans = metrics::remaining_spans(&dag);
+        for v in dag.tasks() {
+            for &c in dag.children(v) {
+                // span(v) ≥ w(v) + span(c) > span(c)
+                prop_assert!(spans[v.index()] > spans[c.index()]);
+                prop_assert!(spans[v.index()] >= dag.work(v) + spans[c.index()]);
+            }
+        }
+    }
+
+    #[test]
+    fn critical_path_is_a_chain_realizing_the_span(dag in arb_kdag(4, 60, 5)) {
+        let path = metrics::critical_path(&dag);
+        let total: u64 = path.iter().map(|&v| dag.work(v)).sum();
+        prop_assert_eq!(total, metrics::span(&dag));
+        for w in path.windows(2) {
+            prop_assert!(dag.children(w[0]).contains(&w[1]));
+        }
+    }
+
+    #[test]
+    fn descendant_root_identity(dag in arb_kdag(4, 60, 5)) {
+        let d = descendants::DescendantValues::compute(&dag);
+        prop_assert!(d.root_identity_holds(&dag, 1e-9));
+    }
+
+    #[test]
+    fn descendant_totals_match_type_blind(dag in arb_kdag(4, 60, 5)) {
+        let d = descendants::DescendantValues::compute(&dag);
+        let blind = descendants::type_blind_descendants(&dag);
+        for v in dag.tasks() {
+            prop_assert!((d.total(v) - blind[v.index()]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn descendant_values_are_nonnegative_and_bounded(dag in arb_kdag(4, 60, 5)) {
+        let d = descendants::DescendantValues::compute(&dag);
+        let total = dag.total_work() as f64;
+        for v in dag.tasks() {
+            for alpha in 0..dag.num_types() {
+                let val = d.get(v, alpha);
+                prop_assert!(val >= 0.0);
+                prop_assert!(val <= total + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn different_child_distance_is_sound(dag in arb_kdag(3, 40, 3)) {
+        // Check the table against a brute-force BFS per task.
+        let table = distance::different_child_distances(&dag);
+        for v in dag.tasks() {
+            let brute = brute_force_distance(&dag, v);
+            prop_assert_eq!(table[v.index()], brute, "task {}", v);
+        }
+    }
+
+    #[test]
+    fn due_dates_are_consistent(dag in arb_kdag(4, 60, 5)) {
+        let due = duedate::due_dates(&dag);
+        let est = duedate::earliest_starts(&dag);
+        let spans = metrics::remaining_spans(&dag);
+        let span = metrics::span(&dag);
+        for v in dag.tasks() {
+            prop_assert!(est[v.index()] <= due[v.index()]);
+            prop_assert_eq!(due[v.index()], span - spans[v.index()]);
+            // A task started at its due date finishes within the span only
+            // if it is on a descending chain; at minimum it fits:
+            prop_assert!(due[v.index()] + spans[v.index()] == span);
+        }
+    }
+
+    #[test]
+    fn layers_respect_edges(dag in arb_kdag(4, 60, 5)) {
+        let depth = topo::depths(&dag);
+        for v in dag.tasks() {
+            for &c in dag.children(v) {
+                prop_assert!(depth[c.index()] > depth[v.index()]);
+            }
+        }
+        let layers = topo::layers(&dag);
+        prop_assert_eq!(layers.iter().map(Vec::len).sum::<usize>(), dag.num_tasks());
+    }
+
+    #[test]
+    fn lower_bound_dominated_by_span_and_work(dag in arb_kdag(4, 40, 5), p in 1usize..6) {
+        let procs = vec![p; dag.num_types()];
+        let lb = metrics::lower_bound(&dag, &procs);
+        prop_assert!(lb >= metrics::span(&dag));
+        for alpha in 0..dag.num_types() {
+            prop_assert!(lb >= dag.total_work_of_type(alpha).div_ceil(p as u64));
+        }
+        // more processors can only lower the bound
+        let lb_more = metrics::lower_bound(&dag, &vec![p + 1; dag.num_types()]);
+        prop_assert!(lb_more <= lb);
+    }
+}
+
+fn brute_force_distance(dag: &KDag, v: TaskId) -> Option<u32> {
+    use std::collections::VecDeque;
+    let mut best: Option<u32> = None;
+    let mut seen = vec![u32::MAX; dag.num_tasks()];
+    let mut q = VecDeque::new();
+    seen[v.index()] = 0;
+    q.push_back(v);
+    while let Some(x) = q.pop_front() {
+        for &c in dag.children(x) {
+            let d = seen[x.index()] + 1;
+            if d < seen[c.index()] {
+                seen[c.index()] = d;
+                if dag.rtype(c) != dag.rtype(v) {
+                    best = Some(best.map_or(d, |b| b.min(d)));
+                }
+                q.push_back(c);
+            }
+        }
+    }
+    best
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn transitive_reduction_is_minimal_and_equivalent(dag in arb_kdag(3, 30, 3)) {
+        use kdag::reduction::{same_reachability, transitive_reduction};
+        let r = transitive_reduction(&dag);
+        // same reachability, never more edges
+        prop_assert!(same_reachability(&dag, &r));
+        prop_assert!(r.num_edges() <= dag.num_edges());
+        // idempotent
+        let rr = transitive_reduction(&r);
+        prop_assert_eq!(rr.num_edges(), r.num_edges());
+        // metrics that depend only on reachability+works are preserved
+        prop_assert_eq!(metrics::span(&r), metrics::span(&dag));
+        prop_assert_eq!(r.total_work_per_type(), dag.total_work_per_type());
+        // minimality: removing any remaining edge changes reachability
+        for v in r.tasks() {
+            for &c in r.children(v) {
+                // is there an alternative path v -> c avoiding the edge?
+                let alt = r.children(v).iter().any(|&other| other != c && r.precedes(other, c));
+                prop_assert!(!alt, "edge {v}->{c} is still redundant");
+            }
+        }
+    }
+
+    #[test]
+    fn text_format_round_trips(dag in arb_kdag(4, 40, 5)) {
+        let text = kdag::text::to_text(&dag);
+        let back = kdag::text::from_text(&text).expect("serialized output parses");
+        prop_assert_eq!(&back, &dag);
+    }
+
+    #[test]
+    fn profile_is_internally_consistent(dag in arb_kdag(4, 40, 5)) {
+        let p = kdag::profile::JobProfile::of(&dag);
+        prop_assert_eq!(p.tasks, dag.num_tasks());
+        prop_assert_eq!(p.work_per_type.iter().sum::<u64>(), p.total_work);
+        prop_assert_eq!(p.tasks_per_type.iter().sum::<usize>(), p.tasks);
+        prop_assert_eq!(p.layer_widths.iter().sum::<usize>(), p.tasks);
+        prop_assert!(p.parallelism >= 1.0 - 1e-12 || p.tasks == 0);
+    }
+
+    #[test]
+    fn disjoint_union_metrics_add_up(dag in arb_kdag(3, 25, 4)) {
+        let batch = kdag::compose::disjoint_union(&[&dag, &dag]);
+        prop_assert_eq!(batch.job.num_tasks(), 2 * dag.num_tasks());
+        prop_assert_eq!(batch.job.total_work(), 2 * dag.total_work());
+        prop_assert_eq!(metrics::span(&batch.job), metrics::span(&dag));
+        let d = descendants::DescendantValues::compute(&batch.job);
+        prop_assert!(d.root_identity_holds(&batch.job, 1e-9));
+    }
+}

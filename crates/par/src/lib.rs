@@ -1,0 +1,165 @@
+//! # fhs-par — a minimal scoped parallel-map executor
+//!
+//! The experiment harness evaluates thousands of independent `(job,
+//! policy)` instances per table cell; this crate fans that work across
+//! cores with a self-balancing worker pool built from `std::thread::scope`
+//! and a crossbeam channel (no global thread-pool dependency, per the
+//! project's offline-crate constraint).
+//!
+//! Work distribution is pull-based: workers take the next index from a
+//! shared channel, so uneven per-item cost (MQB instances are much more
+//! expensive than KGreedy ones) balances automatically.
+//!
+//! ```
+//! let squares = fhs_par::parallel_map(0..100u64, |i| i * i);
+//! assert_eq!(squares[99], 99 * 99);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use parking_lot::Mutex;
+
+/// Number of worker threads used by [`parallel_map`]: the machine's
+/// available parallelism, floor 1.
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Applies `f` to every item of `items` using up to [`default_workers`]
+/// threads, preserving input order in the output.
+///
+/// `f` runs on worker threads, so it must be `Sync` (shared by reference)
+/// and item/result types must cross threads. Panics in `f` propagate.
+pub fn parallel_map<I, T, U, F>(items: I, f: F) -> Vec<U>
+where
+    I: IntoIterator<Item = T>,
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    parallel_map_with(default_workers(), items, f)
+}
+
+/// [`parallel_map`] with an explicit worker count (1 runs inline, which is
+/// also the degenerate path used by tests for determinism checks).
+pub fn parallel_map_with<I, T, U, F>(workers: usize, items: I, f: F) -> Vec<U>
+where
+    I: IntoIterator<Item = T>,
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let items: Vec<T> = items.into_iter().collect();
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = workers.max(1).min(n);
+    if workers == 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    // Pull-based distribution: each worker receives (index, item) pairs
+    // and writes its result into the pre-sized slot table.
+    let (tx, rx) = crossbeam::channel::bounded::<(usize, T)>(workers * 2);
+    let slots: Vec<Mutex<Option<U>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let f = &f;
+    let slots_ref = &slots;
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let rx = rx.clone();
+            scope.spawn(move || {
+                for (i, item) in rx.iter() {
+                    *slots_ref[i].lock() = Some(f(item));
+                }
+            });
+        }
+        drop(rx);
+        for pair in items.into_iter().enumerate() {
+            tx.send(pair).expect("workers outlive the feed loop");
+        }
+        drop(tx);
+    });
+
+    slots
+        .into_iter()
+        .map(|m| m.into_inner().expect("every slot filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn preserves_order() {
+        let out = parallel_map_with(4, 0..1000usize, |i| i * 2);
+        assert_eq!(out, (0..1000).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input_gives_empty_output() {
+        let out: Vec<u32> = parallel_map(Vec::<u32>::new(), |x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_worker_runs_inline() {
+        let out = parallel_map_with(1, 0..10u32, |i| i + 1);
+        assert_eq!(out[9], 10);
+    }
+
+    #[test]
+    fn actually_uses_multiple_threads() {
+        let ids = parallel_map_with(4, 0..64u32, |_| {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            std::thread::current().id()
+        });
+        let distinct: std::collections::HashSet<_> = ids.into_iter().collect();
+        assert!(distinct.len() > 1, "expected work on more than one thread");
+    }
+
+    #[test]
+    fn every_item_processed_exactly_once() {
+        let counter = AtomicUsize::new(0);
+        let out = parallel_map_with(8, 0..500usize, |i| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 500);
+        assert_eq!(out.len(), 500);
+    }
+
+    #[test]
+    fn matches_sequential_result_bitwise() {
+        let seq = parallel_map_with(1, 0..256u64, |i| i.wrapping_mul(0x9E3779B97F4A7C15));
+        let par = parallel_map_with(7, 0..256u64, |i| i.wrapping_mul(0x9E3779B97F4A7C15));
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn default_workers_is_positive() {
+        assert!(default_workers() >= 1);
+    }
+}
+
+#[cfg(test)]
+mod panic_tests {
+    use super::*;
+
+    #[test]
+    #[should_panic]
+    fn worker_panics_propagate() {
+        let _ = parallel_map_with(4, 0..16u32, |i| {
+            if i == 7 {
+                panic!("boom");
+            }
+            i
+        });
+    }
+}

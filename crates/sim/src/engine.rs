@@ -1,0 +1,693 @@
+//! The simulation engines: non-preemptive, preemptive (epoch-skipping),
+//! and the literal per-quantum reference engine.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use kdag::{KDag, TaskId, Work};
+
+use crate::config::MachineConfig;
+use crate::policy::{Assignments, EpochView, Policy};
+use crate::state::JobState;
+use crate::trace::{Segment, Trace};
+use crate::Time;
+
+/// Scheduling mode (paper §IV, last paragraph).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mode {
+    /// A task, once placed, runs to completion on its processor.
+    NonPreemptive,
+    /// The allocation is re-decided every quantum; tasks can be paused and
+    /// migrated within their type's pool. Reallocation overhead is ignored,
+    /// as in the paper.
+    Preemptive,
+}
+
+/// Knobs for one engine run.
+#[derive(Clone, Debug, Default)]
+pub struct RunOptions {
+    /// Record a full execution [`Trace`] (slower; off by default).
+    pub record_trace: bool,
+    /// Seed forwarded to [`Policy::init`] for stochastic policies.
+    pub seed: u64,
+    /// Preemptive re-decision cadence. `None` (default) re-decides at
+    /// task-completion events only — exactly equivalent to per-quantum
+    /// re-decisions for policies whose choices do not depend on remaining
+    /// work (FIFO/KGreedy, DType, MaxDP, ShiftBT; property-tested), and a
+    /// coarser cadence for those that do (LSpan, MQB). `Some(q)`
+    /// re-decides at least every `q` time units — `Some(1)` is the
+    /// paper's literal per-quantum scheduler. Ignored by the
+    /// non-preemptive engine.
+    pub quantum: Option<Work>,
+}
+
+impl RunOptions {
+    /// Options with a seed and defaults otherwise.
+    pub fn seeded(seed: u64) -> Self {
+        RunOptions {
+            seed,
+            ..RunOptions::default()
+        }
+    }
+
+    /// Enables trace recording.
+    pub fn with_trace(mut self) -> Self {
+        self.record_trace = true;
+        self
+    }
+
+    /// Sets the preemptive re-decision quantum.
+    pub fn with_quantum(mut self, q: Work) -> Self {
+        assert!(q > 0, "quantum must be positive");
+        self.quantum = Some(q);
+        self
+    }
+}
+
+/// Result of one engine run.
+#[derive(Clone, Debug)]
+pub struct SimOutcome {
+    /// Completion time `T(J)` of the job under the policy.
+    pub makespan: Time,
+    /// Number of decision epochs the policy was consulted at.
+    pub epochs: u64,
+    /// Per-type processor-busy time (for utilization accounting).
+    pub busy_time: Vec<Time>,
+    /// The execution trace, when [`RunOptions::record_trace`] was set.
+    pub trace: Option<Trace>,
+}
+
+impl SimOutcome {
+    /// Per-type utilization `busy_α / (P_α · makespan)`; all-1.0 for an
+    /// empty job (degenerate but total).
+    pub fn utilization(&self, config: &MachineConfig) -> Vec<f64> {
+        (0..config.num_types())
+            .map(|alpha| {
+                if self.makespan == 0 {
+                    1.0
+                } else {
+                    self.busy_time[alpha] as f64
+                        / (config.procs(alpha) as f64 * self.makespan as f64)
+                }
+            })
+            .collect()
+    }
+}
+
+/// Runs `policy` on `job` over `config` in the given `mode`.
+///
+/// # Panics
+/// * If `job.num_types() != config.num_types()`.
+/// * If the policy makes an invalid selection (task not a candidate, wrong
+///   type, over slot capacity, duplicate).
+/// * If the policy deadlocks the system (assigns nothing while work
+///   remains and processors are free).
+pub fn run(
+    job: &KDag,
+    config: &MachineConfig,
+    policy: &mut dyn Policy,
+    mode: Mode,
+    opts: &RunOptions,
+) -> SimOutcome {
+    assert_eq!(
+        job.num_types(),
+        config.num_types(),
+        "job declared K={} but machine has K={}",
+        job.num_types(),
+        config.num_types()
+    );
+    policy.init(job, config, opts.seed);
+    match mode {
+        Mode::NonPreemptive => run_nonpreemptive(job, config, policy, opts),
+        Mode::Preemptive => run_preemptive(job, config, policy, opts, opts.quantum),
+    }
+}
+
+/// The literal per-quantum preemptive engine: the policy is consulted at
+/// *every* unit time step, exactly as described in the paper. Slower by a
+/// factor of the mean task work; kept as the reference implementation the
+/// epoch-skipping engine is property-tested against.
+pub fn run_per_step(
+    job: &KDag,
+    config: &MachineConfig,
+    policy: &mut dyn Policy,
+    opts: &RunOptions,
+) -> SimOutcome {
+    assert_eq!(job.num_types(), config.num_types());
+    policy.init(job, config, opts.seed);
+    run_preemptive(job, config, policy, opts, Some(1))
+}
+
+fn run_nonpreemptive(
+    job: &KDag,
+    config: &MachineConfig,
+    policy: &mut dyn Policy,
+    opts: &RunOptions,
+) -> SimOutcome {
+    let k = config.num_types();
+    let mut state = JobState::new(job);
+    let mut out = Assignments::default();
+    let mut heap: BinaryHeap<Reverse<(Time, TaskId)>> = BinaryHeap::new();
+    let mut busy = vec![0usize; k];
+    let mut busy_time = vec![0u64; k];
+    let mut epochs = 0u64;
+
+    // Free-processor index stacks (stable proc ids for the trace).
+    let mut free_procs: Vec<Vec<u32>> = (0..k)
+        .map(|a| (0..config.procs(a) as u32).rev().collect())
+        .collect();
+    let mut proc_of: Vec<u32> = vec![0; job.num_tasks()];
+    let mut segments: Vec<Segment> = Vec::new();
+
+    let mut now: Time = 0;
+    let mut slots = vec![0usize; k];
+
+    if state.all_done(job) {
+        return SimOutcome {
+            makespan: 0,
+            epochs: 0,
+            busy_time,
+            trace: opts.record_trace.then(|| Trace::new(Vec::new(), 0)),
+        };
+    }
+
+    loop {
+        // Decision epoch at `now`.
+        let mut has_slot_and_work = false;
+        for alpha in 0..k {
+            slots[alpha] = config.procs(alpha) - busy[alpha];
+            if slots[alpha] > 0 && !state.queues()[alpha].is_empty() {
+                has_slot_and_work = true;
+            }
+        }
+        if has_slot_and_work {
+            epochs += 1;
+            out.reset(k);
+            let view = EpochView {
+                time: now,
+                job,
+                config,
+                queues: state.queues(),
+                queue_work: state.queue_work(),
+                slots: &slots,
+                preemptive: false,
+            };
+            policy.assign(&view, &mut out);
+            for alpha in 0..k {
+                let chosen = out.chosen(alpha);
+                assert!(
+                    chosen.len() <= slots[alpha],
+                    "policy over-assigned type {alpha}: {} > {} slots",
+                    chosen.len(),
+                    slots[alpha]
+                );
+                // Copy the slice out to end the borrow of `out`.
+                for i in 0..chosen.len() {
+                    let v = out.chosen(alpha)[i];
+                    assert_eq!(
+                        job.rtype(v),
+                        alpha,
+                        "policy put task {v} (type {}) on type-{alpha} processors",
+                        job.rtype(v)
+                    );
+                    let rem = state.start(job, v); // panics if not ready / dup
+                    busy[alpha] += 1;
+                    busy_time[alpha] += rem;
+                    let p = free_procs[alpha].pop().expect("slot accounting");
+                    proc_of[v.index()] = p;
+                    heap.push(Reverse((now + rem, v)));
+                    if opts.record_trace {
+                        segments.push(Segment {
+                            task: v,
+                            rtype: alpha,
+                            proc: p,
+                            start: now,
+                            end: now + rem,
+                        });
+                    }
+                }
+            }
+        }
+
+        if heap.is_empty() {
+            assert!(
+                state.all_done(job),
+                "deadlock: no running tasks but {} tasks incomplete",
+                job.num_tasks() - state.done_count()
+            );
+            break;
+        }
+
+        // Advance to the next completion time; drain all events there.
+        let Reverse((t, first)) = heap.pop().expect("checked non-empty");
+        now = t;
+        finish(
+            job,
+            config,
+            &mut state,
+            &mut busy,
+            &mut free_procs,
+            &proc_of,
+            first,
+        );
+        while let Some(&Reverse((t2, _))) = heap.peek() {
+            if t2 != now {
+                break;
+            }
+            let Reverse((_, v)) = heap.pop().expect("peeked");
+            finish(
+                job,
+                config,
+                &mut state,
+                &mut busy,
+                &mut free_procs,
+                &proc_of,
+                v,
+            );
+        }
+
+        if state.all_done(job) {
+            break;
+        }
+    }
+
+    SimOutcome {
+        makespan: now,
+        epochs,
+        busy_time,
+        trace: opts
+            .record_trace
+            .then(|| Trace::new(std::mem::take(&mut segments), now)),
+    }
+}
+
+fn finish(
+    job: &KDag,
+    _config: &MachineConfig,
+    state: &mut JobState,
+    busy: &mut [usize],
+    free_procs: &mut [Vec<u32>],
+    proc_of: &[u32],
+    v: TaskId,
+) {
+    let alpha = job.rtype(v);
+    busy[alpha] -= 1;
+    free_procs[alpha].push(proc_of[v.index()]);
+    state.complete(job, v);
+}
+
+fn run_preemptive(
+    job: &KDag,
+    config: &MachineConfig,
+    policy: &mut dyn Policy,
+    opts: &RunOptions,
+    quantum: Option<Work>,
+) -> SimOutcome {
+    let k = config.num_types();
+    let mut state = JobState::new(job);
+    let mut out = Assignments::default();
+    let mut busy_time = vec![0u64; k];
+    let mut epochs = 0u64;
+    let mut now: Time = 0;
+    let slots: Vec<usize> = (0..k).map(|a| config.procs(a)).collect();
+
+    // Stable processor assignment for traces: remember each task's last
+    // processor and prefer it while it remains chosen.
+    let mut last_proc: Vec<Option<u32>> = vec![None; job.num_tasks()];
+    let mut segments: Vec<Segment> = Vec::new();
+
+    // Duplicate detection stamps, one slot per task.
+    let mut stamp = vec![0u64; job.num_tasks()];
+    let mut epoch_id = 0u64;
+
+    while !state.all_done(job) {
+        epoch_id += 1;
+        epochs += 1;
+        out.reset(k);
+        let view = EpochView {
+            time: now,
+            job,
+            config,
+            queues: state.queues(),
+            queue_work: state.queue_work(),
+            slots: &slots,
+            preemptive: true,
+        };
+        policy.assign(&view, &mut out);
+
+        // Validate and find the time to the next completion among chosen.
+        let mut min_rem: Option<Work> = None;
+        let mut total_chosen = 0usize;
+        for (alpha, &slot_count) in slots.iter().enumerate() {
+            let chosen = out.chosen(alpha);
+            assert!(
+                chosen.len() <= slot_count,
+                "policy over-assigned type {alpha}"
+            );
+            for &v in chosen {
+                assert_eq!(job.rtype(v), alpha, "type mismatch for task {v}");
+                assert_ne!(stamp[v.index()], epoch_id, "task {v} chosen twice");
+                stamp[v.index()] = epoch_id;
+                let rem = state
+                    .remaining(job, v)
+                    .unwrap_or_else(|| panic!("task {v} is not a candidate"));
+                assert!(rem > 0, "task {v} already finished");
+                min_rem = Some(min_rem.map_or(rem, |m| m.min(rem)));
+                total_chosen += 1;
+            }
+        }
+        assert!(
+            total_chosen > 0,
+            "deadlock: policy assigned nothing with {} tasks incomplete",
+            job.num_tasks() - state.done_count()
+        );
+
+        let dt = match quantum {
+            Some(q) => q.min(min_rem.expect("chosen non-empty")),
+            None => min_rem.expect("chosen non-empty"),
+        };
+
+        // Record trace segments with stable-ish processor ids.
+        if opts.record_trace {
+            for alpha in 0..k {
+                let mut used = vec![false; config.procs(alpha)];
+                // First pass: keep previous processors where possible.
+                let chosen: Vec<TaskId> = out.chosen(alpha).to_vec();
+                let mut needs: Vec<TaskId> = Vec::new();
+                for &v in &chosen {
+                    match last_proc[v.index()] {
+                        Some(p) if !used[p as usize] => used[p as usize] = true,
+                        _ => needs.push(v),
+                    }
+                }
+                let mut next_free = 0usize;
+                for v in needs {
+                    while used[next_free] {
+                        next_free += 1;
+                    }
+                    used[next_free] = true;
+                    last_proc[v.index()] = Some(next_free as u32);
+                }
+                for &v in &chosen {
+                    segments.push(Segment {
+                        task: v,
+                        rtype: alpha,
+                        proc: last_proc[v.index()].expect("assigned above"),
+                        start: now,
+                        end: now + dt,
+                    });
+                }
+            }
+        }
+
+        // Advance: progress every chosen task by dt, completing the ones
+        // that hit zero (which releases children at time now + dt).
+        now += dt;
+        for (alpha, bt) in busy_time.iter_mut().enumerate() {
+            *bt += out.chosen(alpha).len() as u64 * dt;
+            for i in 0..out.chosen(alpha).len() {
+                let v = out.chosen(alpha)[i];
+                if state.progress(job, v, dt) == 0 {
+                    state.complete(job, v);
+                    last_proc[v.index()] = None;
+                }
+            }
+        }
+    }
+
+    if opts.record_trace {
+        crate::trace::coalesce(&mut segments);
+    }
+    SimOutcome {
+        makespan: now,
+        epochs,
+        busy_time,
+        trace: opts
+            .record_trace
+            .then(|| Trace::new(std::mem::take(&mut segments), now)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::FifoPolicy;
+    use kdag::KDagBuilder;
+
+    fn opts_trace() -> RunOptions {
+        RunOptions {
+            record_trace: true,
+            seed: 0,
+            quantum: None,
+        }
+    }
+
+    fn chain_job() -> KDag {
+        // 2-type chain: (0,w2) -> (1,w3) -> (0,w1)
+        let mut b = KDagBuilder::new(2);
+        let a = b.add_task(0, 2);
+        let m = b.add_task(1, 3);
+        let z = b.add_task(0, 1);
+        b.add_edge(a, m).unwrap();
+        b.add_edge(m, z).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn chain_runs_serially_regardless_of_processors() {
+        let job = chain_job();
+        for p in 1..4 {
+            let cfg = MachineConfig::uniform(2, p);
+            let out = run(
+                &job,
+                &cfg,
+                &mut FifoPolicy,
+                Mode::NonPreemptive,
+                &RunOptions::default(),
+            );
+            assert_eq!(out.makespan, 6);
+        }
+    }
+
+    #[test]
+    fn independent_tasks_fill_processors() {
+        // 6 unit tasks of type 0 on 2 processors -> makespan 3.
+        let mut b = KDagBuilder::new(1);
+        for _ in 0..6 {
+            b.add_task(0, 1);
+        }
+        let job = b.build().unwrap();
+        let cfg = MachineConfig::uniform(1, 2);
+        let out = run(
+            &job,
+            &cfg,
+            &mut FifoPolicy,
+            Mode::NonPreemptive,
+            &RunOptions::default(),
+        );
+        assert_eq!(out.makespan, 3);
+        assert_eq!(out.busy_time, vec![6]);
+        assert_eq!(out.utilization(&cfg), vec![1.0]);
+    }
+
+    #[test]
+    fn empty_job_completes_instantly() {
+        let job = KDagBuilder::new(2).build().unwrap();
+        let cfg = MachineConfig::uniform(2, 1);
+        for mode in [Mode::NonPreemptive, Mode::Preemptive] {
+            let out = run(&job, &cfg, &mut FifoPolicy, mode, &RunOptions::default());
+            assert_eq!(out.makespan, 0);
+            assert_eq!(out.epochs, 0);
+        }
+    }
+
+    #[test]
+    fn preemptive_matches_nonpreemptive_on_chain() {
+        let job = chain_job();
+        let cfg = MachineConfig::uniform(2, 1);
+        let np = run(
+            &job,
+            &cfg,
+            &mut FifoPolicy,
+            Mode::NonPreemptive,
+            &RunOptions::default(),
+        );
+        let pe = run(
+            &job,
+            &cfg,
+            &mut FifoPolicy,
+            Mode::Preemptive,
+            &RunOptions::default(),
+        );
+        assert_eq!(np.makespan, pe.makespan);
+    }
+
+    #[test]
+    fn per_step_engine_agrees_with_epoch_engine() {
+        let job = chain_job();
+        let cfg = MachineConfig::uniform(2, 1);
+        let fast = run(
+            &job,
+            &cfg,
+            &mut FifoPolicy,
+            Mode::Preemptive,
+            &RunOptions::default(),
+        );
+        let slow = run_per_step(&job, &cfg, &mut FifoPolicy, &RunOptions::default());
+        assert_eq!(fast.makespan, slow.makespan);
+        assert_eq!(fast.busy_time, slow.busy_time);
+        // the per-step engine pays one epoch per time unit
+        assert!(slow.epochs >= fast.epochs);
+    }
+
+    #[test]
+    fn traces_are_recorded_and_valid() {
+        let job = chain_job();
+        let cfg = MachineConfig::uniform(2, 2);
+        for mode in [Mode::NonPreemptive, Mode::Preemptive] {
+            let out = run(&job, &cfg, &mut FifoPolicy, mode, &opts_trace());
+            let trace = out.trace.expect("trace requested");
+            crate::trace::validate(&trace, &job, &cfg).unwrap();
+            assert_eq!(trace.makespan(), out.makespan);
+        }
+    }
+
+    #[test]
+    fn makespan_never_beats_lower_bound() {
+        let job = chain_job();
+        let cfg = MachineConfig::uniform(2, 1);
+        let lb = kdag::metrics::lower_bound(&job, cfg.procs_per_type());
+        let out = run(
+            &job,
+            &cfg,
+            &mut FifoPolicy,
+            Mode::NonPreemptive,
+            &RunOptions::default(),
+        );
+        assert!(out.makespan >= lb);
+    }
+
+    #[test]
+    #[should_panic(expected = "job declared K=2 but machine has K=1")]
+    fn mismatched_k_panics() {
+        let job = chain_job();
+        let cfg = MachineConfig::uniform(1, 1);
+        run(
+            &job,
+            &cfg,
+            &mut FifoPolicy,
+            Mode::NonPreemptive,
+            &RunOptions::default(),
+        );
+    }
+
+    /// A hostile policy that assigns a wrong-type task.
+    struct WrongType;
+    impl crate::policy::Policy for WrongType {
+        fn name(&self) -> &str {
+            "WrongType"
+        }
+        fn init(&mut self, _: &KDag, _: &MachineConfig, _: u64) {}
+        fn assign(&mut self, view: &EpochView<'_>, out: &mut Assignments) {
+            // put a type-0 candidate on type-1 processors
+            if let Some(rt) = view.queues[0].first() {
+                out.push(1, rt.id);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "type mismatch")]
+    fn engine_rejects_wrong_type_assignment() {
+        let job = chain_job();
+        let cfg = MachineConfig::uniform(2, 1);
+        run(
+            &job,
+            &cfg,
+            &mut WrongType,
+            Mode::Preemptive,
+            &RunOptions::default(),
+        );
+    }
+
+    /// A policy that refuses to schedule anything.
+    struct Lazy;
+    impl crate::policy::Policy for Lazy {
+        fn name(&self) -> &str {
+            "Lazy"
+        }
+        fn init(&mut self, _: &KDag, _: &MachineConfig, _: u64) {}
+        fn assign(&mut self, _: &EpochView<'_>, _: &mut Assignments) {}
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn engine_detects_deadlock_nonpreemptive() {
+        let job = chain_job();
+        let cfg = MachineConfig::uniform(2, 1);
+        run(
+            &job,
+            &cfg,
+            &mut Lazy,
+            Mode::NonPreemptive,
+            &RunOptions::default(),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn engine_detects_deadlock_preemptive() {
+        let job = chain_job();
+        let cfg = MachineConfig::uniform(2, 1);
+        run(
+            &job,
+            &cfg,
+            &mut Lazy,
+            Mode::Preemptive,
+            &RunOptions::default(),
+        );
+    }
+
+    /// Duplicate selection of the same task in one epoch.
+    struct Duper;
+    impl crate::policy::Policy for Duper {
+        fn name(&self) -> &str {
+            "Duper"
+        }
+        fn init(&mut self, _: &KDag, _: &MachineConfig, _: u64) {}
+        fn assign(&mut self, view: &EpochView<'_>, out: &mut Assignments) {
+            if let Some(rt) = view.queues[0].first() {
+                out.push(0, rt.id);
+                out.push(0, rt.id);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "chosen twice")]
+    fn engine_rejects_duplicates_preemptive() {
+        // Need ≥ 2 slots so the over-assignment check doesn't fire first.
+        let mut b = KDagBuilder::new(1);
+        b.add_task(0, 5);
+        b.add_task(0, 5);
+        let job = b.build().unwrap();
+        let cfg = MachineConfig::uniform(1, 2);
+        run(
+            &job,
+            &cfg,
+            &mut Duper,
+            Mode::Preemptive,
+            &RunOptions::default(),
+        );
+    }
+
+    #[test]
+    fn busy_time_equals_total_work_when_all_complete() {
+        let job = chain_job();
+        let cfg = MachineConfig::uniform(2, 3);
+        for mode in [Mode::NonPreemptive, Mode::Preemptive] {
+            let out = run(&job, &cfg, &mut FifoPolicy, mode, &RunOptions::default());
+            assert_eq!(out.busy_time.iter().sum::<u64>(), job.total_work());
+        }
+    }
+}

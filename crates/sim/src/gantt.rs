@@ -1,0 +1,121 @@
+//! ASCII Gantt rendering of execution traces — handy in examples and when
+//! debugging a scheduler's decisions.
+
+use std::fmt::Write as _;
+
+use kdag::KDag;
+
+use crate::config::MachineConfig;
+use crate::trace::Trace;
+
+const GLYPHS: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+
+/// Renders a trace as one text row per processor, one column per time unit
+/// (capped at `max_width` columns; longer traces are scaled down by
+/// integer bucketing — a bucket shows the task occupying its first unit).
+/// Idle time renders as `.`; task `i` renders as a cycling alphanumeric
+/// glyph.
+pub fn render(trace: &Trace, job: &KDag, config: &MachineConfig, max_width: usize) -> String {
+    let makespan = trace.makespan().max(1);
+    let width = (makespan as usize).min(max_width.max(1));
+    // scale: time units per column, rounded up
+    let scale = (makespan as usize).div_ceil(width);
+
+    // grid[(rtype, proc)] -> row of chars
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "t = 0 .. {} ({} unit(s) per column, '.' = idle)",
+        trace.makespan(),
+        scale
+    );
+    for alpha in 0..config.num_types() {
+        for proc in 0..config.procs(alpha) {
+            let mut row = vec![b'.'; width];
+            for s in trace.segments() {
+                if s.rtype == alpha && s.proc as usize == proc {
+                    let glyph = GLYPHS[s.task.index() % GLYPHS.len()];
+                    let c0 = (s.start as usize) / scale;
+                    let c1 = ((s.end as usize - 1) / scale).min(width - 1);
+                    for c in &mut row[c0..=c1] {
+                        *c = glyph;
+                    }
+                }
+            }
+            let _ = writeln!(
+                out,
+                "type{alpha} p{proc:<2} |{}|",
+                String::from_utf8(row).expect("ascii glyphs")
+            );
+        }
+    }
+    let _ = writeln!(
+        out,
+        "tasks: {} segments: {}",
+        job.num_tasks(),
+        trace.segments().len()
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{run, Mode, RunOptions};
+    use crate::policy::FifoPolicy;
+    use kdag::KDagBuilder;
+
+    fn traced_run() -> (KDag, MachineConfig, Trace) {
+        let mut b = KDagBuilder::new(2);
+        let a = b.add_task(0, 2);
+        let c = b.add_task(1, 3);
+        let d = b.add_task(1, 1);
+        b.add_edge(a, c).unwrap();
+        b.add_edge(a, d).unwrap();
+        let job = b.build().unwrap();
+        let cfg = MachineConfig::new(vec![1, 2]);
+        let out = run(
+            &job,
+            &cfg,
+            &mut FifoPolicy,
+            Mode::NonPreemptive,
+            &RunOptions {
+                record_trace: true,
+                seed: 0,
+                quantum: None,
+            },
+        );
+        let trace = out.trace.unwrap();
+        (job, cfg, trace)
+    }
+
+    #[test]
+    fn renders_one_row_per_processor() {
+        let (job, cfg, trace) = traced_run();
+        let text = render(&trace, &job, &cfg, 80);
+        // 1 type-0 + 2 type-1 processors => 3 grid rows
+        assert_eq!(text.lines().filter(|l| l.contains('|')).count(), 3);
+        assert!(text.contains("type0 p0"));
+        assert!(text.contains("type1 p1"));
+    }
+
+    #[test]
+    fn busy_cells_use_task_glyphs() {
+        let (job, cfg, trace) = traced_run();
+        let text = render(&trace, &job, &cfg, 80);
+        assert!(text.contains('a')); // task 0
+        assert!(text.contains('b')); // task 1
+        assert!(text.contains('c')); // task 2
+        assert!(text.contains('.')); // idle after the chain head
+    }
+
+    #[test]
+    fn narrow_width_scales_down() {
+        let (job, cfg, trace) = traced_run();
+        let text = render(&trace, &job, &cfg, 2);
+        for line in text.lines().filter(|l| l.contains('|')) {
+            let body = line.split('|').nth(1).unwrap();
+            assert!(body.len() <= 2, "row too wide: {line}");
+        }
+    }
+}

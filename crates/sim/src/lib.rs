@@ -1,0 +1,67 @@
+//! # fhs-sim — discrete-time simulator for functionally heterogeneous systems
+//!
+//! Reimplements (in Rust) the discrete-time simulator the paper built in C#
+//! (§V-A): `K` typed processor pools execute the tasks of a
+//! [`kdag::KDag`]; a task of type `α` may only run on one of the `P_α`
+//! processors of type `α`, and becomes *ready* once all its parents have
+//! completed.
+//!
+//! Two execution engines are provided:
+//!
+//! * **Non-preemptive** ([`engine::run`] with [`Mode::NonPreemptive`]):
+//!   tasks are placed when a processor is idle and run to completion.
+//! * **Preemptive** ([`Mode::Preemptive`]): conceptually the scheduler
+//!   re-decides the full processor assignment at every unit quantum; a task
+//!   may be paused and later resumed on a different processor. By default
+//!   the engine re-decides at completion events and advances the clock in
+//!   between — exactly equivalent to per-quantum re-decisions for policies
+//!   whose choices don't depend on candidates' *remaining* work (FIFO,
+//!   DType, MaxDP, ShiftBT; property-tested), and a coarser preemption
+//!   cadence for those that do (LSpan, MQB). Pass
+//!   [`RunOptions::with_quantum`]`(1)` (or use [`engine::run_per_step`])
+//!   for the paper's literal per-quantum scheduler.
+//!
+//! Scheduling behaviour is supplied through the [`Policy`] trait; the six
+//! algorithms of the paper live in the `fhs-core` crate. The engines
+//! optionally record a full [`trace::Trace`] which can be validated against
+//! the model's rules ([`trace::validate`]) and rendered as an ASCII Gantt
+//! chart ([`gantt`]).
+//!
+//! ```
+//! use kdag::KDagBuilder;
+//! use fhs_sim::{engine, MachineConfig, Mode, RunOptions};
+//! use fhs_sim::policy::FifoPolicy;
+//!
+//! let mut b = KDagBuilder::new(2);
+//! let u = b.add_task(0, 2);
+//! let v = b.add_task(1, 3);
+//! b.add_edge(u, v).unwrap();
+//! let job = b.build().unwrap();
+//!
+//! let cfg = MachineConfig::uniform(2, 1); // one processor of each type
+//! let mut policy = FifoPolicy::default();
+//! let out = engine::run(&job, &cfg, &mut policy, Mode::NonPreemptive,
+//!                       &RunOptions::default());
+//! assert_eq!(out.makespan, 5); // the two tasks form a chain
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+
+pub mod engine;
+pub mod gantt;
+pub mod metrics;
+pub mod policy;
+pub mod state;
+pub mod svg;
+pub mod timeline;
+pub mod trace;
+
+pub use config::MachineConfig;
+pub use engine::{Mode, RunOptions, SimOutcome};
+pub use policy::{Assignments, EpochView, Policy, ReadyTask};
+
+/// Simulator clock value, in discrete time units.
+pub type Time = u64;

@@ -1,0 +1,249 @@
+//! The scheduling-policy interface between the engines and the algorithms.
+//!
+//! At every *decision epoch* the engine presents the policy with an
+//! [`EpochView`] — the per-type candidate queues and the number of slots
+//! available per type — and the policy fills an [`Assignments`] with the
+//! tasks it wants running. This mirrors the information model of the
+//! paper:
+//!
+//! * An **online** policy (KGreedy) only looks at queue membership (ids and
+//!   arrival order) — task works and the DAG structure below ready tasks
+//!   are *unknown to the online scheduler* (§II), and the trait cannot stop
+//!   a policy from peeking, but the provided online policies don't.
+//! * **Offline** policies precompute whatever they need from the full
+//!   K-DAG in [`Policy::init`].
+
+use kdag::{KDag, TaskId, Work};
+
+use crate::config::MachineConfig;
+use crate::Time;
+
+/// A candidate task visible to the policy at a decision epoch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReadyTask {
+    /// The task.
+    pub id: TaskId,
+    /// Global arrival sequence number: strictly increasing in the order
+    /// tasks became ready. FIFO policies dispatch by this.
+    pub seq: u64,
+    /// Remaining work. Equals the full work for never-started tasks; under
+    /// preemptive execution, partially-run candidates have smaller values.
+    pub remaining: Work,
+}
+
+/// Everything a policy may inspect at one decision epoch.
+#[derive(Debug)]
+pub struct EpochView<'a> {
+    /// Current simulation time.
+    pub time: Time,
+    /// The job being executed.
+    pub job: &'a KDag,
+    /// The machine configuration.
+    pub config: &'a MachineConfig,
+    /// Per-type candidate queues in arrival (seq) order.
+    ///
+    /// Non-preemptive epochs list only *ready* (not yet started) tasks.
+    /// Preemptive epochs list ready **and currently-running** tasks — the
+    /// policy re-decides the whole allocation and un-chosen running tasks
+    /// are preempted.
+    pub queues: &'a [Vec<ReadyTask>],
+    /// Total remaining work per queue — the `l_α` of MQB's x-utilization.
+    pub queue_work: &'a [Work],
+    /// Upper bound on how many tasks may be chosen per type: free
+    /// processors (non-preemptive) or all `P_α` processors (preemptive).
+    pub slots: &'a [usize],
+    /// Whether this is a preemptive decision (queues may contain
+    /// partially-executed tasks).
+    pub preemptive: bool,
+}
+
+impl EpochView<'_> {
+    /// The x-utilization `r_α = l_α / P_α` of queue `alpha` (MQB §IV-A).
+    pub fn x_utilization(&self, alpha: usize) -> f64 {
+        self.queue_work[alpha] as f64 / self.config.procs(alpha) as f64
+    }
+}
+
+/// The policy's output: for each type, the tasks to run now.
+///
+/// Reused across epochs to avoid per-epoch allocation.
+#[derive(Clone, Debug, Default)]
+pub struct Assignments {
+    per_type: Vec<Vec<TaskId>>,
+}
+
+impl Assignments {
+    /// Clears and resizes for `k` types.
+    pub fn reset(&mut self, k: usize) {
+        self.per_type.resize_with(k, Vec::new);
+        self.per_type.truncate(k);
+        for v in &mut self.per_type {
+            v.clear();
+        }
+    }
+
+    /// Schedules `task` onto a type-`alpha` processor this epoch.
+    #[inline]
+    pub fn push(&mut self, alpha: usize, task: TaskId) {
+        self.per_type[alpha].push(task);
+    }
+
+    /// Tasks chosen for type `alpha`.
+    #[inline]
+    pub fn chosen(&self, alpha: usize) -> &[TaskId] {
+        &self.per_type[alpha]
+    }
+
+    /// Total number of tasks chosen across all types.
+    pub fn total(&self) -> usize {
+        self.per_type.iter().map(Vec::len).sum()
+    }
+}
+
+/// A scheduling algorithm.
+///
+/// One policy value is used for one job execution: [`Policy::init`] is
+/// called once before the run (offline policies precompute their tables
+/// there), then [`Policy::assign`] once per decision epoch.
+pub trait Policy: Send {
+    /// Human-readable algorithm name (used in tables and benches).
+    fn name(&self) -> &str;
+
+    /// Called once before simulation starts. `seed` feeds any stochastic
+    /// component (e.g. MQB's noisy-information models); deterministic
+    /// policies may ignore it.
+    fn init(&mut self, job: &KDag, config: &MachineConfig, seed: u64);
+
+    /// Fill `out` with at most `view.slots[α]` tasks from `view.queues[α]`
+    /// for each type `α`. Choosing fewer than the slot count is allowed
+    /// (but wastes processors); choosing tasks not present in the queue or
+    /// duplicates is an error the engine panics on.
+    fn assign(&mut self, view: &EpochView<'_>, out: &mut Assignments);
+}
+
+impl<P: Policy + ?Sized> Policy for Box<P> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+    fn init(&mut self, job: &KDag, config: &MachineConfig, seed: u64) {
+        (**self).init(job, config, seed)
+    }
+    fn assign(&mut self, view: &EpochView<'_>, out: &mut Assignments) {
+        (**self).assign(view, out)
+    }
+}
+
+/// Greedy FIFO policy: per type, run the `slots[α]` earliest-arrived
+/// candidates. This is the paper's **KGreedy** online algorithm (each
+/// type's pool is a Graham greedy scheduler); it lives here because the
+/// engines' own tests need a concrete policy without depending on
+/// `fhs-core`.
+#[derive(Clone, Debug, Default)]
+pub struct FifoPolicy;
+
+impl Policy for FifoPolicy {
+    fn name(&self) -> &str {
+        "KGreedy"
+    }
+
+    fn init(&mut self, _job: &KDag, _config: &MachineConfig, _seed: u64) {}
+
+    fn assign(&mut self, view: &EpochView<'_>, out: &mut Assignments) {
+        for alpha in 0..view.config.num_types() {
+            // Queues are kept in arrival order by the engine, so FIFO is a
+            // prefix take.
+            for rt in view.queues[alpha].iter().take(view.slots[alpha]) {
+                out.push(alpha, rt.id);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kdag::KDagBuilder;
+
+    #[test]
+    fn assignments_reset_reuses_buffers() {
+        let mut a = Assignments::default();
+        a.reset(2);
+        a.push(0, TaskId::from_index(0));
+        a.push(1, TaskId::from_index(1));
+        assert_eq!(a.total(), 2);
+        a.reset(3);
+        assert_eq!(a.total(), 0);
+        assert_eq!(a.chosen(2), &[]);
+        a.reset(1);
+        assert_eq!(a.total(), 0);
+    }
+
+    #[test]
+    fn fifo_takes_prefix_per_type() {
+        let mut b = KDagBuilder::new(2);
+        let ids: Vec<_> = (0..4).map(|i| b.add_task(i % 2, 1)).collect();
+        let job = b.build().unwrap();
+        let cfg = MachineConfig::new(vec![1, 2]);
+        let queues = vec![
+            vec![
+                ReadyTask {
+                    id: ids[0],
+                    seq: 0,
+                    remaining: 1,
+                },
+                ReadyTask {
+                    id: ids[2],
+                    seq: 2,
+                    remaining: 1,
+                },
+            ],
+            vec![
+                ReadyTask {
+                    id: ids[1],
+                    seq: 1,
+                    remaining: 1,
+                },
+                ReadyTask {
+                    id: ids[3],
+                    seq: 3,
+                    remaining: 1,
+                },
+            ],
+        ];
+        let view = EpochView {
+            time: 0,
+            job: &job,
+            config: &cfg,
+            queues: &queues,
+            queue_work: &[2, 2],
+            slots: &[1, 2],
+            preemptive: false,
+        };
+        let mut out = Assignments::default();
+        out.reset(2);
+        FifoPolicy.assign(&view, &mut out);
+        assert_eq!(out.chosen(0), &[ids[0]]);
+        assert_eq!(out.chosen(1), &[ids[1], ids[3]]);
+    }
+
+    #[test]
+    fn x_utilization_divides_by_procs() {
+        let job = {
+            let mut b = KDagBuilder::new(2);
+            b.add_task(0, 1);
+            b.build().unwrap()
+        };
+        let cfg = MachineConfig::new(vec![2, 4]);
+        let view = EpochView {
+            time: 0,
+            job: &job,
+            config: &cfg,
+            queues: &[vec![], vec![]],
+            queue_work: &[10, 10],
+            slots: &[2, 4],
+            preemptive: false,
+        };
+        assert_eq!(view.x_utilization(0), 5.0);
+        assert_eq!(view.x_utilization(1), 2.5);
+    }
+}

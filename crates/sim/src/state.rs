@@ -1,0 +1,275 @@
+//! Mutable execution state of one job run, shared by both engines.
+
+use kdag::{KDag, TaskId, Work};
+
+use crate::policy::ReadyTask;
+
+/// Lifecycle of a task during simulation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TaskStatus {
+    /// Not all parents have completed.
+    Blocked,
+    /// Released: all parents done, the task sits in its type's queue.
+    /// Under preemptive execution a task stays `Ready` while running (it is
+    /// a re-selectable candidate every epoch).
+    Ready,
+    /// Started on a processor (non-preemptive engine only).
+    Running,
+    /// Completed.
+    Done,
+}
+
+/// Queues, statuses, and dependency counters for one run.
+///
+/// The per-type queues are kept in arrival order (monotonic `seq`), so FIFO
+/// policies can dispatch by prefix and every policy sees a deterministic
+/// ordering.
+#[derive(Debug)]
+pub struct JobState {
+    status: Vec<TaskStatus>,
+    indeg: Vec<u32>,
+    queues: Vec<Vec<ReadyTask>>,
+    queue_work: Vec<Work>,
+    next_seq: u64,
+    done: usize,
+}
+
+impl JobState {
+    /// Initializes the state and releases the roots (at seq 0, 1, … in id
+    /// order).
+    pub fn new(job: &KDag) -> Self {
+        let n = job.num_tasks();
+        let mut s = JobState {
+            status: vec![TaskStatus::Blocked; n],
+            indeg: (0..n)
+                .map(|i| job.num_parents(TaskId::from_index(i)) as u32)
+                .collect(),
+            queues: vec![Vec::new(); job.num_types()],
+            queue_work: vec![0; job.num_types()],
+            next_seq: 0,
+            done: 0,
+        };
+        for v in job.roots() {
+            s.release(job, v);
+        }
+        s
+    }
+
+    /// Number of completed tasks.
+    #[inline]
+    pub fn done_count(&self) -> usize {
+        self.done
+    }
+
+    /// `true` when every task of `job` has completed.
+    #[inline]
+    pub fn all_done(&self, job: &KDag) -> bool {
+        self.done == job.num_tasks()
+    }
+
+    /// Current status of `v`.
+    #[inline]
+    pub fn status(&self, v: TaskId) -> TaskStatus {
+        self.status[v.index()]
+    }
+
+    /// The per-type candidate queues, arrival-ordered.
+    #[inline]
+    pub fn queues(&self) -> &[Vec<ReadyTask>] {
+        &self.queues
+    }
+
+    /// Total remaining work per queue (`l_α`).
+    #[inline]
+    pub fn queue_work(&self) -> &[Work] {
+        &self.queue_work
+    }
+
+    /// Releases `v` into its queue with the next arrival sequence number.
+    fn release(&mut self, job: &KDag, v: TaskId) {
+        debug_assert_eq!(self.status[v.index()], TaskStatus::Blocked);
+        self.status[v.index()] = TaskStatus::Ready;
+        let alpha = job.rtype(v);
+        let w = job.work(v);
+        self.queues[alpha].push(ReadyTask {
+            id: v,
+            seq: self.next_seq,
+            remaining: w,
+        });
+        self.queue_work[alpha] += w;
+        self.next_seq += 1;
+    }
+
+    /// Non-preemptive start: moves `v` from `Ready` to `Running`, removing
+    /// it from its queue. Returns the task's (full) remaining work.
+    ///
+    /// # Panics
+    /// If `v` is not currently `Ready` — this is how the engine rejects
+    /// invalid policy selections.
+    pub fn start(&mut self, job: &KDag, v: TaskId) -> Work {
+        assert_eq!(
+            self.status[v.index()],
+            TaskStatus::Ready,
+            "policy selected task {v} which is not ready"
+        );
+        self.status[v.index()] = TaskStatus::Running;
+        let alpha = job.rtype(v);
+        let pos = self.queues[alpha]
+            .iter()
+            .position(|rt| rt.id == v)
+            .expect("ready task must be queued");
+        let rt = self.queues[alpha].remove(pos);
+        self.queue_work[alpha] -= rt.remaining;
+        rt.remaining
+    }
+
+    /// Marks `v` complete and releases any children whose last dependency
+    /// this was. Newly released children are appended to their queues.
+    pub fn complete(&mut self, job: &KDag, v: TaskId) {
+        let st = self.status[v.index()];
+        assert!(
+            st == TaskStatus::Running || st == TaskStatus::Ready,
+            "completing task {v} in status {st:?}"
+        );
+        if st == TaskStatus::Ready {
+            // Preemptive completion: still queued; drop the entry.
+            let alpha = job.rtype(v);
+            let pos = self.queues[alpha]
+                .iter()
+                .position(|rt| rt.id == v)
+                .expect("ready task must be queued");
+            let rt = self.queues[alpha].remove(pos);
+            self.queue_work[alpha] -= rt.remaining;
+        }
+        self.status[v.index()] = TaskStatus::Done;
+        self.done += 1;
+        for &c in job.children(v) {
+            self.indeg[c.index()] -= 1;
+            if self.indeg[c.index()] == 0 {
+                self.release(job, c);
+            }
+        }
+    }
+
+    /// Preemptive progress: subtracts `dt` from the queued remaining work
+    /// of `v`. Returns the new remaining work.
+    ///
+    /// # Panics
+    /// If `v` is not `Ready`, or `dt` exceeds its remaining work.
+    pub fn progress(&mut self, job: &KDag, v: TaskId, dt: Work) -> Work {
+        assert_eq!(
+            self.status[v.index()],
+            TaskStatus::Ready,
+            "progressing task {v} which is not a candidate"
+        );
+        let alpha = job.rtype(v);
+        let rt = self.queues[alpha]
+            .iter_mut()
+            .find(|rt| rt.id == v)
+            .expect("ready task must be queued");
+        assert!(rt.remaining >= dt, "task {v} overran its remaining work");
+        rt.remaining -= dt;
+        self.queue_work[alpha] -= dt;
+        rt.remaining
+    }
+
+    /// Remaining work of a queued candidate (preemptive engines).
+    pub fn remaining(&self, job: &KDag, v: TaskId) -> Option<Work> {
+        let alpha = job.rtype(v);
+        self.queues[alpha]
+            .iter()
+            .find(|rt| rt.id == v)
+            .map(|rt| rt.remaining)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kdag::KDagBuilder;
+
+    fn chain() -> (KDag, Vec<TaskId>) {
+        let mut b = KDagBuilder::new(2);
+        let ids = vec![b.add_task(0, 2), b.add_task(1, 3), b.add_task(0, 1)];
+        b.add_edge(ids[0], ids[1]).unwrap();
+        b.add_edge(ids[1], ids[2]).unwrap();
+        (b.build().unwrap(), ids)
+    }
+
+    #[test]
+    fn roots_are_released_at_construction() {
+        let (job, ids) = chain();
+        let s = JobState::new(&job);
+        assert_eq!(s.status(ids[0]), TaskStatus::Ready);
+        assert_eq!(s.status(ids[1]), TaskStatus::Blocked);
+        assert_eq!(s.queues()[0].len(), 1);
+        assert_eq!(s.queue_work(), &[2, 0]);
+    }
+
+    #[test]
+    fn start_complete_releases_children_in_order() {
+        let (job, ids) = chain();
+        let mut s = JobState::new(&job);
+        let rem = s.start(&job, ids[0]);
+        assert_eq!(rem, 2);
+        assert_eq!(s.queue_work(), &[0, 0]);
+        s.complete(&job, ids[0]);
+        assert_eq!(s.status(ids[1]), TaskStatus::Ready);
+        assert_eq!(s.queue_work(), &[0, 3]);
+        s.start(&job, ids[1]);
+        s.complete(&job, ids[1]);
+        s.start(&job, ids[2]);
+        s.complete(&job, ids[2]);
+        assert!(s.all_done(&job));
+    }
+
+    #[test]
+    #[should_panic(expected = "not ready")]
+    fn starting_blocked_task_panics() {
+        let (job, ids) = chain();
+        let mut s = JobState::new(&job);
+        s.start(&job, ids[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not ready")]
+    fn double_start_panics() {
+        let (job, ids) = chain();
+        let mut s = JobState::new(&job);
+        s.start(&job, ids[0]);
+        s.start(&job, ids[0]);
+    }
+
+    #[test]
+    fn preemptive_progress_and_complete_from_queue() {
+        let (job, ids) = chain();
+        let mut s = JobState::new(&job);
+        assert_eq!(s.progress(&job, ids[0], 1), 1);
+        assert_eq!(s.queue_work(), &[1, 0]);
+        assert_eq!(s.remaining(&job, ids[0]), Some(1));
+        assert_eq!(s.progress(&job, ids[0], 1), 0);
+        s.complete(&job, ids[0]); // completes directly from Ready
+        assert_eq!(s.status(ids[0]), TaskStatus::Done);
+        assert_eq!(s.status(ids[1]), TaskStatus::Ready);
+    }
+
+    #[test]
+    fn seq_numbers_are_monotonic_across_releases() {
+        // Two roots then a join child: child's seq must be larger.
+        let mut b = KDagBuilder::new(1);
+        let a = b.add_task(0, 1);
+        let c = b.add_task(0, 1);
+        let j = b.add_task(0, 1);
+        b.add_edge(a, j).unwrap();
+        b.add_edge(c, j).unwrap();
+        let job = b.build().unwrap();
+        let mut s = JobState::new(&job);
+        let root_seqs: Vec<u64> = s.queues()[0].iter().map(|rt| rt.seq).collect();
+        assert_eq!(root_seqs, vec![0, 1]);
+        s.start(&job, a);
+        s.complete(&job, a);
+        s.start(&job, c);
+        s.complete(&job, c);
+        assert_eq!(s.queues()[0][0].seq, 2);
+    }
+}

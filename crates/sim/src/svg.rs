@@ -1,0 +1,177 @@
+//! SVG rendering of execution traces — publication-quality Gantt charts
+//! from any simulated schedule.
+//!
+//! One horizontal lane per processor, one rounded rectangle per execution
+//! segment, colored by resource type, with a time axis. The output is a
+//! standalone `<svg>` document.
+
+use std::fmt::Write as _;
+
+use kdag::KDag;
+
+use crate::config::MachineConfig;
+use crate::trace::Trace;
+
+const LANE_H: u32 = 22;
+const LANE_GAP: u32 = 4;
+const LEFT_MARGIN: u32 = 84;
+const TOP_MARGIN: u32 = 28;
+const PX_PER_UNIT_MAX: f64 = 48.0;
+const CHART_W: u32 = 960;
+
+/// Type-indexed fill colors (cycled when `K` exceeds the palette).
+const PALETTE: &[&str] = &[
+    "#4e79a7", "#f28e2b", "#59a14f", "#e15759", "#b07aa1", "#76b7b2", "#edc948", "#9c755f",
+];
+
+/// Renders `trace` as a standalone SVG document string.
+pub fn render(trace: &Trace, job: &KDag, config: &MachineConfig) -> String {
+    let makespan = trace.makespan().max(1);
+    let px = (CHART_W as f64 / makespan as f64).min(PX_PER_UNIT_MAX);
+    let lanes: u32 = config.total_procs() as u32;
+    let height = TOP_MARGIN + lanes * (LANE_H + LANE_GAP) + 30;
+    let width = LEFT_MARGIN + (makespan as f64 * px).ceil() as u32 + 16;
+
+    // lane index per (rtype, proc)
+    let mut lane_of = Vec::new(); // (rtype, proc) in row order
+    for alpha in 0..config.num_types() {
+        for p in 0..config.procs(alpha) {
+            lane_of.push((alpha, p as u32));
+        }
+    }
+    let lane_y = |lane: usize| TOP_MARGIN + lane as u32 * (LANE_H + LANE_GAP);
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{width}" height="{height}" font-family="sans-serif" font-size="11">"#
+    );
+    let _ = writeln!(
+        out,
+        r#"<rect width="{width}" height="{height}" fill="white"/>"#
+    );
+
+    // axis ticks: at most ~12, integer spacing
+    let tick_step = ((makespan as f64 / 12.0).ceil() as u64).max(1);
+    let mut t = 0;
+    while t <= makespan {
+        let x = LEFT_MARGIN as f64 + t as f64 * px;
+        let _ = writeln!(
+            out,
+            r##"<line x1="{x:.1}" y1="{TOP_MARGIN}" x2="{x:.1}" y2="{}" stroke="#ddd"/>"##,
+            lane_y(lane_of.len())
+        );
+        let _ = writeln!(
+            out,
+            r##"<text x="{x:.1}" y="{}" text-anchor="middle" fill="#555">{t}</text>"##,
+            lane_y(lane_of.len()) + 14
+        );
+        t += tick_step;
+    }
+
+    // lane labels
+    for (lane, &(alpha, p)) in lane_of.iter().enumerate() {
+        let y = lane_y(lane);
+        let _ = writeln!(
+            out,
+            r##"<text x="6" y="{}" fill="#333">type{alpha} p{p}</text>"##,
+            y + LANE_H / 2 + 4
+        );
+    }
+
+    // segments
+    for s in trace.segments() {
+        let lane = lane_of
+            .iter()
+            .position(|&(a, p)| a == s.rtype && p == s.proc)
+            .expect("segment references a known processor");
+        let x = LEFT_MARGIN as f64 + s.start as f64 * px;
+        let w = (s.end - s.start) as f64 * px;
+        let y = lane_y(lane);
+        let color = PALETTE[s.rtype % PALETTE.len()];
+        let _ = writeln!(
+            out,
+            r##"<rect x="{x:.1}" y="{y}" width="{w:.1}" height="{LANE_H}" rx="3" fill="{color}" stroke="#333" stroke-width="0.5"><title>{task} [{s0}, {s1})</title></rect>"##,
+            task = s.task,
+            s0 = s.start,
+            s1 = s.end,
+        );
+        if w >= 18.0 {
+            let _ = writeln!(
+                out,
+                r##"<text x="{:.1}" y="{}" text-anchor="middle" fill="white">{}</text>"##,
+                x + w / 2.0,
+                y + LANE_H / 2 + 4,
+                s.task
+            );
+        }
+    }
+
+    let _ = writeln!(
+        out,
+        r##"<text x="{LEFT_MARGIN}" y="16" fill="#000">makespan {makespan} — {} tasks on {}</text>"##,
+        job.num_tasks(),
+        config
+    );
+    out.push_str("</svg>\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{run, Mode, RunOptions};
+    use crate::policy::FifoPolicy;
+    use kdag::KDagBuilder;
+
+    fn traced() -> (KDag, MachineConfig, Trace) {
+        let mut b = KDagBuilder::new(2);
+        let a = b.add_task(0, 2);
+        let c = b.add_task(1, 3);
+        b.add_edge(a, c).unwrap();
+        let job = b.build().unwrap();
+        let cfg = MachineConfig::new(vec![1, 2]);
+        let out = run(
+            &job,
+            &cfg,
+            &mut FifoPolicy,
+            Mode::NonPreemptive,
+            &RunOptions::default().with_trace(),
+        );
+        let tr = out.trace.unwrap();
+        (job, cfg, tr)
+    }
+
+    #[test]
+    fn produces_wellformed_svg() {
+        let (job, cfg, tr) = traced();
+        let svg = render(&tr, &job, &cfg);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        // one rect per segment (plus the background)
+        let rects = svg.matches("<rect").count();
+        assert_eq!(rects, tr.segments().len() + 1);
+        // lane labels for all three processors
+        assert!(svg.contains("type0 p0"));
+        assert!(svg.contains("type1 p0"));
+        assert!(svg.contains("type1 p1"));
+    }
+
+    #[test]
+    fn segments_carry_tooltips_and_type_colors() {
+        let (job, cfg, tr) = traced();
+        let svg = render(&tr, &job, &cfg);
+        assert!(svg.contains("<title>t0 [0, 2)</title>"));
+        assert!(svg.contains(PALETTE[0]));
+        assert!(svg.contains(PALETTE[1]));
+    }
+
+    #[test]
+    fn empty_trace_still_renders() {
+        let job = KDagBuilder::new(1).build().unwrap();
+        let cfg = MachineConfig::uniform(1, 1);
+        let svg = render(&Trace::new(Vec::new(), 0), &job, &cfg);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.contains("makespan 1")); // clamped to ≥ 1 for layout
+    }
+}

@@ -1,0 +1,163 @@
+//! Utilization timelines: per-type busy-processor profiles extracted from
+//! execution traces — the quantity MQB is designed to keep balanced.
+
+use kdag::KDag;
+
+use crate::config::MachineConfig;
+use crate::trace::Trace;
+use crate::Time;
+
+/// Per-type busy-processor counts over time.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Timeline {
+    makespan: Time,
+    /// `busy[α][t]` = busy type-`α` processors during `[t, t+1)`.
+    busy: Vec<Vec<u32>>,
+}
+
+impl Timeline {
+    /// Builds the timeline of `trace` (O(segments + K·makespan)).
+    pub fn of(trace: &Trace, job: &KDag, config: &MachineConfig) -> Self {
+        let makespan = trace.makespan();
+        let k = config.num_types();
+        let mut busy = vec![vec![0u32; makespan as usize]; k];
+        for s in trace.segments() {
+            debug_assert_eq!(job.rtype(s.task), s.rtype);
+            for t in s.start..s.end {
+                busy[s.rtype][t as usize] += 1;
+            }
+        }
+        Timeline { makespan, busy }
+    }
+
+    /// The trace's makespan.
+    pub fn makespan(&self) -> Time {
+        self.makespan
+    }
+
+    /// Busy type-`alpha` processors during `[t, t+1)`.
+    pub fn busy_at(&self, alpha: usize, t: Time) -> u32 {
+        self.busy[alpha][t as usize]
+    }
+
+    /// Instantaneous utilization of type `alpha` at time `t`.
+    pub fn utilization_at(&self, alpha: usize, t: Time, config: &MachineConfig) -> f64 {
+        self.busy_at(alpha, t) as f64 / config.procs(alpha) as f64
+    }
+
+    /// Fraction of time steps at which *every* type had at least one busy
+    /// processor — a scalar measure of the interleaving quality the paper
+    /// pursues (1.0 = perfectly interleaved, 0.0 = fully serialized by
+    /// type). Returns 1.0 for an empty timeline.
+    pub fn interleaving_index(&self) -> f64 {
+        if self.makespan == 0 {
+            return 1.0;
+        }
+        let all_busy = (0..self.makespan as usize)
+            .filter(|&t| self.busy.iter().all(|row| row[t] > 0))
+            .count();
+        all_busy as f64 / self.makespan as f64
+    }
+
+    /// One text sparkline per type (`.`, `▁▂▃▄▅▆▇█` by utilization level),
+    /// bucketed to at most `max_width` columns.
+    pub fn sparklines(&self, config: &MachineConfig, max_width: usize) -> String {
+        const LEVELS: [char; 9] = ['.', '▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+        let mut out = String::new();
+        let width = (self.makespan as usize).clamp(1, max_width.max(1));
+        let scale = (self.makespan as usize).div_ceil(width).max(1);
+        for (alpha, row) in self.busy.iter().enumerate() {
+            out.push_str(&format!("type{alpha} |"));
+            for bucket in row.chunks(scale) {
+                let avg = bucket.iter().copied().sum::<u32>() as f64 / bucket.len() as f64;
+                let u = avg / config.procs(alpha) as f64;
+                let idx = ((u * 8.0).round() as usize).min(8);
+                out.push(LEVELS[idx]);
+            }
+            out.push_str("|\n");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{run, Mode, RunOptions};
+    use crate::policy::FifoPolicy;
+    use kdag::KDagBuilder;
+
+    fn traced(job: &KDag, cfg: &MachineConfig) -> Trace {
+        run(
+            job,
+            cfg,
+            &mut FifoPolicy,
+            Mode::NonPreemptive,
+            &RunOptions::default().with_trace(),
+        )
+        .trace
+        .expect("requested")
+    }
+
+    fn chain_job() -> (KDag, MachineConfig) {
+        let mut b = KDagBuilder::new(2);
+        let a = b.add_task(0, 2);
+        let c = b.add_task(1, 3);
+        b.add_edge(a, c).unwrap();
+        (b.build().unwrap(), MachineConfig::uniform(2, 1))
+    }
+
+    #[test]
+    fn busy_counts_match_the_schedule() {
+        let (job, cfg) = chain_job();
+        let tl = Timeline::of(&traced(&job, &cfg), &job, &cfg);
+        assert_eq!(tl.makespan(), 5);
+        // type 0 busy in [0,2), type 1 busy in [2,5)
+        assert_eq!(tl.busy_at(0, 0), 1);
+        assert_eq!(tl.busy_at(0, 2), 0);
+        assert_eq!(tl.busy_at(1, 1), 0);
+        assert_eq!(tl.busy_at(1, 4), 1);
+        assert_eq!(tl.utilization_at(0, 0, &cfg), 1.0);
+    }
+
+    #[test]
+    fn chain_has_zero_interleaving() {
+        let (job, cfg) = chain_job();
+        let tl = Timeline::of(&traced(&job, &cfg), &job, &cfg);
+        // the two types never overlap on a chain
+        assert_eq!(tl.interleaving_index(), 0.0);
+    }
+
+    #[test]
+    fn parallel_types_have_full_interleaving() {
+        let mut b = KDagBuilder::new(2);
+        b.add_task(0, 4);
+        b.add_task(1, 4);
+        let job = b.build().unwrap();
+        let cfg = MachineConfig::uniform(2, 1);
+        let tl = Timeline::of(&traced(&job, &cfg), &job, &cfg);
+        assert_eq!(tl.interleaving_index(), 1.0);
+    }
+
+    #[test]
+    fn sparklines_render_one_row_per_type() {
+        let (job, cfg) = chain_job();
+        let tl = Timeline::of(&traced(&job, &cfg), &job, &cfg);
+        let text = tl.sparklines(&cfg, 40);
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.contains("type0 |"));
+        assert!(text.contains('█'));
+        assert!(text.contains('.'));
+    }
+
+    #[test]
+    fn sparklines_respect_width_cap() {
+        let (job, cfg) = chain_job();
+        let tl = Timeline::of(&traced(&job, &cfg), &job, &cfg);
+        let text = tl.sparklines(&cfg, 3);
+        for line in text.lines() {
+            let body: String = line.chars().skip_while(|&c| c != '|').collect();
+            assert!(body.chars().count() <= 3 + 2, "row too wide: {line}");
+        }
+    }
+}

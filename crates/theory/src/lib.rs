@@ -1,0 +1,18 @@
+//! # fhs-theory — closed-form results from the paper's §III
+//!
+//! * [`bounds::lemma1_expected_steps`] — Lemma 1: drawing without
+//!   replacement from `n` balls of which `r` are red, the expected number
+//!   of draws to collect every red ball is `r(n+1)/(r+1)`.
+//! * [`bounds::theorem2_lower_bound`] — Theorem 2: no randomized online
+//!   K-DAG scheduler beats `K + 1 − Σ_α 1/(P_α+1) − 1/(P_max+1)`
+//!   competitiveness.
+//! * [`bounds::kgreedy_upper_bound`] — the `(K+1)`-competitive guarantee
+//!   of the online greedy algorithm.
+//! * [`montecarlo`] — simulation cross-checks of Lemma 1 and of the
+//!   adversarial construction's expected drain times.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bounds;
+pub mod montecarlo;

@@ -1,0 +1,59 @@
+//! Monte-Carlo cross-checks of the closed forms.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Simulates Lemma 1's experiment once: draws from `n` balls (of which `r`
+/// red) without replacement and returns the number of draws needed to
+/// collect every red ball. Returns 0 when `r == 0`.
+pub fn draws_to_collect_reds<R: Rng>(n: u64, r: u64, rng: &mut R) -> u64 {
+    assert!(r <= n);
+    if r == 0 {
+        return 0;
+    }
+    // Permute positions; the answer is the maximum position of a red ball.
+    let mut balls: Vec<bool> = (0..n).map(|i| i < r).collect();
+    balls.shuffle(rng);
+    (balls
+        .iter()
+        .rposition(|&red| red)
+        .expect("at least one red ball")
+        + 1) as u64
+}
+
+/// Averages [`draws_to_collect_reds`] over `trials` runs.
+pub fn estimate_expected_draws<R: Rng>(n: u64, r: u64, trials: u32, rng: &mut R) -> f64 {
+    let total: u64 = (0..trials).map(|_| draws_to_collect_reds(n, r, rng)).sum();
+    total as f64 / trials as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounds::lemma1_expected_steps;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn single_draw_extremes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(draws_to_collect_reds(5, 0, &mut rng), 0);
+        assert_eq!(draws_to_collect_reds(5, 5, &mut rng), 5);
+        let d = draws_to_collect_reds(10, 1, &mut rng);
+        assert!((1..=10).contains(&d));
+    }
+
+    #[test]
+    fn monte_carlo_confirms_lemma1() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for &(n, r) in &[(20u64, 3u64), (50, 5), (12, 12), (30, 1)] {
+            let estimate = estimate_expected_draws(n, r, 20_000, &mut rng);
+            let exact = lemma1_expected_steps(n, r);
+            let rel = (estimate - exact).abs() / exact;
+            assert!(
+                rel < 0.02,
+                "n={n} r={r}: estimate {estimate} vs exact {exact}"
+            );
+        }
+    }
+}

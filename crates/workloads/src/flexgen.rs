@@ -1,0 +1,157 @@
+//! Flexible-workload generation: turn any K-DAG into a JIT-flexible one
+//! (paper §VII extension).
+//!
+//! [`flexibilize`] gives each task of an existing job a probability of
+//! gaining alternative placements: extra `(type, work)` options whose
+//! work is the original scaled by a slowdown factor — the common JIT
+//! situation where the natural target is fastest and fallback binaries
+//! are somewhat slower.
+
+use kdag::flex::{FlexKDag, FlexKDagBuilder, Placement};
+use kdag::KDag;
+use rand::Rng;
+
+/// Parameters of the flexibilization transform.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FlexParams {
+    /// Probability that a task gains alternative placements.
+    pub flexible_prob: f64,
+    /// How many alternative types a flexible task gains (capped at
+    /// `K − 1`).
+    pub extra_options: usize,
+    /// Slowdown range for alternative binaries: alternative work =
+    /// `ceil(original × U[lo, hi])`.
+    pub slowdown: (f64, f64),
+}
+
+impl Default for FlexParams {
+    fn default() -> Self {
+        FlexParams {
+            flexible_prob: 0.5,
+            extra_options: 1,
+            slowdown: (1.0, 2.0),
+        }
+    }
+}
+
+/// Rewrites `job` as a [`FlexKDag`] with the same structure; option 0 of
+/// every task is its original placement, so `bind_first` reproduces the
+/// input exactly.
+pub fn flexibilize<R: Rng>(job: &KDag, params: &FlexParams, rng: &mut R) -> FlexKDag {
+    let k = job.num_types();
+    let mut b = FlexKDagBuilder::new(k);
+    for v in job.tasks() {
+        let base = Placement {
+            rtype: job.rtype(v),
+            work: job.work(v),
+        };
+        let mut options = vec![base];
+        if k > 1 && rng.gen_bool(params.flexible_prob) {
+            let extra = params.extra_options.min(k - 1);
+            // sample distinct alternative types
+            let mut types: Vec<usize> = (0..k).filter(|&t| t != base.rtype).collect();
+            for i in 0..extra {
+                let j = rng.gen_range(i..types.len());
+                types.swap(i, j);
+                let factor = rng.gen_range(params.slowdown.0..=params.slowdown.1);
+                options.push(Placement {
+                    rtype: types[i],
+                    work: ((base.work as f64 * factor).ceil() as u64).max(1),
+                });
+            }
+        }
+        b.add_task(options);
+    }
+    for v in job.tasks() {
+        for &c in job.children(v) {
+            b.add_edge(v, c).expect("edges copied from a valid KDag");
+        }
+    }
+    b.build().expect("structure copied from a valid KDag")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::Typing;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn base_job() -> KDag {
+        let mut rng = StdRng::seed_from_u64(3);
+        let p = crate::ir::IrParams {
+            iterations: 2,
+            maps: 6,
+            reduces: 3,
+        };
+        crate::ir::generate(3, &p, Typing::Layered, &mut rng)
+    }
+
+    #[test]
+    fn option_zero_reproduces_the_original() {
+        let job = base_job();
+        let mut rng = StdRng::seed_from_u64(9);
+        let flex = flexibilize(&job, &FlexParams::default(), &mut rng);
+        let bound = flex.bind(&vec![0; flex.num_tasks()]);
+        assert_eq!(bound.num_tasks(), job.num_tasks());
+        assert_eq!(bound.num_edges(), job.num_edges());
+        for v in job.tasks() {
+            assert_eq!(bound.rtype(v), job.rtype(v));
+            assert_eq!(bound.work(v), job.work(v));
+        }
+    }
+
+    #[test]
+    fn alternatives_are_distinct_types_with_slowdown() {
+        let job = base_job();
+        let mut rng = StdRng::seed_from_u64(10);
+        let params = FlexParams {
+            flexible_prob: 1.0,
+            extra_options: 2,
+            slowdown: (1.5, 1.5),
+        };
+        let flex = flexibilize(&job, &params, &mut rng);
+        for v in job.tasks() {
+            let opts = flex.options(v);
+            assert_eq!(opts.len(), 3);
+            let mut types: Vec<usize> = opts.iter().map(|p| p.rtype).collect();
+            types.sort_unstable();
+            types.dedup();
+            assert_eq!(types.len(), 3, "distinct types for {v}");
+            for alt in &opts[1..] {
+                assert_eq!(alt.work, (job.work(v) as f64 * 1.5).ceil() as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_probability_keeps_everything_fixed() {
+        let job = base_job();
+        let mut rng = StdRng::seed_from_u64(11);
+        let params = FlexParams {
+            flexible_prob: 0.0,
+            ..FlexParams::default()
+        };
+        let flex = flexibilize(&job, &params, &mut rng);
+        for v in job.tasks() {
+            assert_eq!(flex.options(v).len(), 1);
+        }
+    }
+
+    #[test]
+    fn single_type_jobs_stay_inflexible() {
+        let mut b = kdag::KDagBuilder::new(1);
+        b.add_task(0, 2);
+        let job = b.build().unwrap();
+        let mut rng = StdRng::seed_from_u64(12);
+        let flex = flexibilize(
+            &job,
+            &FlexParams {
+                flexible_prob: 1.0,
+                ..FlexParams::default()
+            },
+            &mut rng,
+        );
+        assert_eq!(flex.options(kdag::TaskId::from_index(0)).len(), 1);
+    }
+}

@@ -1,0 +1,253 @@
+//! Iterative reduction (IR) workloads: MapReduce-style iterations (paper
+//! §V-B, Fig. 3c).
+//!
+//! Each iteration has a **map phase** (independent tasks) feeding a
+//! **reduce phase**. Per the paper, "a reduce task depends on a subset of
+//! all map tasks" and "tasks with a high fanout have a higher probability
+//! of providing output to each reduce task": every map task draws a fanout
+//! weight `u = 0.02 + 0.6·r³` with `r ∈ U[0,1]` (heavy-tailed: a few hot
+//! maps feed most reduces, most maps feed none), and each (map, reduce)
+//! edge exists independently with probability `u`. Every reduce is guaranteed at least one input
+//! (the heaviest-weight map). The next iteration's maps each depend on a
+//! random non-empty subset of the previous reduces.
+//!
+//! * **Layered** IR assigns one type per *phase* (map phase of iteration
+//!   `t` gets type `2t mod K`, its reduce phase `2t+1 mod K`). The paper
+//!   says "all nodes at each iteration … have the same type"; we refine to
+//!   per-phase layers so that jobs with few iterations still exercise all
+//!   `K` pools — the same structured-types regime, one level finer (see
+//!   DESIGN.md).
+//! * **Random** IR draws each task's type uniformly.
+
+use kdag::{KDag, KDagBuilder, TaskId};
+use rand::Rng;
+
+use crate::sample_work;
+use crate::spec::Typing;
+
+/// IR generation parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IrParams {
+    /// Number of map→reduce iterations.
+    pub iterations: usize,
+    /// Map tasks per iteration.
+    pub maps: usize,
+    /// Reduce tasks per iteration.
+    pub reduces: usize,
+}
+
+impl IrParams {
+    /// Samples instance parameters: `iterations ∈ U[2, 5]` and the
+    /// caller's size-scaled phase widths.
+    pub fn sample<R: Rng>(
+        rng: &mut R,
+        map_range: (usize, usize),
+        reduce_range: (usize, usize),
+    ) -> Self {
+        IrParams {
+            iterations: rng.gen_range(2..=5),
+            maps: rng.gen_range(map_range.0..=map_range.1),
+            reduces: rng.gen_range(reduce_range.0..=reduce_range.1),
+        }
+    }
+}
+
+/// Generates an IR K-DAG per the module description.
+pub fn generate<R: Rng>(k: usize, params: &IrParams, typing: Typing, rng: &mut R) -> KDag {
+    let iters = params.iterations.max(1);
+    let maps = params.maps.max(1);
+    let reduces = params.reduces.max(1);
+    let n = iters * (maps + reduces);
+    let mut b = KDagBuilder::with_capacity(k, n, n * 2);
+
+    let type_of = |phase: usize, rng: &mut R| match typing {
+        Typing::Layered => phase % k,
+        Typing::Random => rng.gen_range(0..k),
+    };
+
+    let mut prev_reduces: Vec<TaskId> = Vec::new();
+    for it in 0..iters {
+        // Map phase.
+        let map_phase = 2 * it;
+        let map_ids: Vec<TaskId> = (0..maps)
+            .map(|_| b.add_task(type_of(map_phase, rng), sample_work(rng)))
+            .collect();
+        // Wire maps to the previous iteration's reduces: each map takes 1–2
+        // distinct parents, sampled with heavy-tailed reduce weights so a
+        // few hot reduces gate most of the next iteration — finishing them
+        // early is what good interleaving buys.
+        if !prev_reduces.is_empty() {
+            let rweights: Vec<f64> = (0..prev_reduces.len())
+                .map(|_| {
+                    let r: f64 = rng.gen_range(0.0..1.0);
+                    0.05 + r * r * r
+                })
+                .collect();
+            let total_w: f64 = rweights.iter().sum();
+            let pick = |rng: &mut R| {
+                let mut x: f64 = rng.gen_range(0.0..total_w);
+                for (i, &w) in rweights.iter().enumerate() {
+                    if x < w {
+                        return prev_reduces[i];
+                    }
+                    x -= w;
+                }
+                *prev_reduces.last().expect("non-empty")
+            };
+            for &m in &map_ids {
+                let first = pick(rng);
+                b.add_edge(first, m).expect("cross-iteration edge");
+                if rng.gen_bool(0.5) {
+                    let second = pick(rng);
+                    if second != first {
+                        b.add_edge(second, m).expect("cross-iteration edge");
+                    }
+                }
+            }
+        }
+
+        // Per-map fanout weights: high-weight maps feed more reduces.
+        let weights: Vec<f64> = (0..maps)
+            .map(|_| {
+                let r: f64 = rng.gen_range(0.0..1.0);
+                0.02 + 0.6 * r * r * r
+            })
+            .collect();
+        let heaviest = weights
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .expect("maps ≥ 1");
+
+        // Reduce phase.
+        let reduce_phase = 2 * it + 1;
+        let reduce_ids: Vec<TaskId> = (0..reduces)
+            .map(|_| b.add_task(type_of(reduce_phase, rng), sample_work(rng)))
+            .collect();
+        // Guarantee every map one output (uniform reduce), so no map is a
+        // structural sink; track the edge set to avoid duplicates from
+        // the weight-based pass.
+        let mut edges = std::collections::HashSet::new();
+        for &m in &map_ids {
+            let r = reduce_ids[rng.gen_range(0..reduce_ids.len())];
+            edges.insert((m, r));
+            b.add_edge(m, r).expect("guaranteed map→reduce edge");
+        }
+        for &r in &reduce_ids {
+            for (mi, &m) in map_ids.iter().enumerate() {
+                if rng.gen_bool(weights[mi]) && edges.insert((m, r)) {
+                    b.add_edge(m, r).expect("map→reduce edge");
+                }
+            }
+            if !edges.iter().any(|&(_, rr)| rr == r) {
+                // unreachable in practice (guaranteed edges above), kept
+                // for robustness if reduce_ids were empty-fanin
+                let _ = edges.insert((map_ids[heaviest], r))
+                    && b.add_edge(map_ids[heaviest], r).is_ok();
+            }
+        }
+        prev_reduces = reduce_ids;
+    }
+
+    b.build()
+        .expect("IR graphs are phase-ordered, hence acyclic")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kdag::topo;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn params() -> IrParams {
+        IrParams {
+            iterations: 3,
+            maps: 8,
+            reduces: 4,
+        }
+    }
+
+    #[test]
+    fn task_count_is_phases_times_width() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let g = generate(4, &params(), Typing::Random, &mut rng);
+        assert_eq!(g.num_tasks(), 3 * (8 + 4));
+        assert!(topo::topological_order(&g).is_some());
+    }
+
+    #[test]
+    fn every_reduce_has_at_least_one_map_input() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let g = generate(4, &params(), Typing::Random, &mut rng);
+        // reduces of iteration it occupy ids [it*(12)+8, it*12+12)
+        for it in 0..3 {
+            for j in 0..4 {
+                let r = TaskId::from_index(it * 12 + 8 + j);
+                assert!(g.num_parents(r) >= 1, "reduce {r} has no inputs");
+            }
+        }
+    }
+
+    #[test]
+    fn later_iterations_depend_on_earlier_reduces() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let g = generate(4, &params(), Typing::Random, &mut rng);
+        // every map of iterations ≥ 1 has at least one parent
+        for it in 1..3 {
+            for j in 0..8 {
+                let m = TaskId::from_index(it * 12 + j);
+                assert!(g.num_parents(m) >= 1, "map {m} of iter {it} is an orphan");
+            }
+        }
+        // first-iteration maps are roots
+        for j in 0..8 {
+            assert_eq!(g.num_parents(TaskId::from_index(j)), 0);
+        }
+    }
+
+    #[test]
+    fn layered_phases_share_types_and_cycle() {
+        let mut rng = StdRng::seed_from_u64(24);
+        let k = 4;
+        let g = generate(k, &params(), Typing::Layered, &mut rng);
+        for it in 0..3 {
+            for j in 0..8 {
+                assert_eq!(g.rtype(TaskId::from_index(it * 12 + j)), (2 * it) % k);
+            }
+            for j in 0..4 {
+                assert_eq!(
+                    g.rtype(TaskId::from_index(it * 12 + 8 + j)),
+                    (2 * it + 1) % k
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_iteration_has_two_layers() {
+        let mut rng = StdRng::seed_from_u64(25);
+        let p = IrParams {
+            iterations: 1,
+            maps: 5,
+            reduces: 2,
+        };
+        let g = generate(2, &p, Typing::Layered, &mut rng);
+        let layers = topo::layers(&g);
+        assert_eq!(layers.len(), 2);
+        assert_eq!(layers[0].len(), 5);
+        assert_eq!(layers[1].len(), 2);
+    }
+
+    #[test]
+    fn sampled_params_respect_ranges() {
+        let mut rng = StdRng::seed_from_u64(26);
+        for _ in 0..100 {
+            let p = IrParams::sample(&mut rng, (4, 16), (2, 8));
+            assert!((2..=5).contains(&p.iterations));
+            assert!((4..=16).contains(&p.maps));
+            assert!((2..=8).contains(&p.reduces));
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! # fhs-workloads — synthetic K-DAG generators from the paper's §V
+//!
+//! Three application families, each in a *layered* (structured types) and
+//! a *random* (uniform types) flavour:
+//!
+//! * **EP** ([`ep`]) — embarrassingly parallel: independent branches, each
+//!   a chain of tasks (Monte-Carlo-style workloads).
+//! * **Tree** ([`tree`]) — divide-and-conquer out-trees with probabilistic
+//!   fanout (search / traversal / speculative parallelism).
+//! * **IR** ([`ir`]) — iterative reduction: multiple MapReduce-style
+//!   iterations with probabilistic map→reduce wiring.
+//!
+//! Plus the **adversarial family** ([`adversarial`]) from the Theorem-2
+//! lower-bound proof (paper Fig. 2), resource-configuration samplers
+//! ([`resources`]) for the paper's *small* (1–5 processors/type) and
+//! *medium* (10–20 processors/type) systems, and the [`flexgen`]
+//! transform that turns any job into a JIT-flexible one (§VII
+//! extension).
+//!
+//! The paper reports only qualitative parameter ranges ("we varied the
+//! number of branches, the work of each task, …"); the concrete ranges
+//! used here are documented on each generator's `Params` type and scale
+//! with the system size so that medium systems are not trivially
+//! span-bound. All sampling is deterministic in the provided seed.
+//!
+//! ```
+//! use fhs_workloads::{WorkloadSpec, Family, Typing, resources::SystemSize};
+//!
+//! let spec = WorkloadSpec::new(Family::Tree, Typing::Layered, SystemSize::Medium, 4);
+//! let (job, cfg) = spec.sample(42);
+//! assert_eq!(job.num_types(), 4);
+//! assert!(cfg.procs_per_type().iter().all(|&p| (10..=20).contains(&p)));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adversarial;
+pub mod ep;
+pub mod flexgen;
+pub mod ir;
+pub mod resources;
+pub mod scope;
+pub mod spec;
+pub mod tree;
+
+pub use spec::{Family, Typing, WorkloadSpec};
+
+use rand::Rng;
+
+/// Default per-task work range used by all three families (`U[1, 4]`).
+///
+/// Moderate variance keeps the completion-time ratio a measure of
+/// *interleaving* quality (the paper's subject) rather than of
+/// longest-processing-time bin-packing at phase tails, which a very wide
+/// work range would reward instead.
+pub const WORK_RANGE: std::ops::RangeInclusive<u64> = 1..=2;
+
+pub(crate) fn sample_work<R: Rng>(rng: &mut R) -> u64 {
+    rng.gen_range(WORK_RANGE)
+}

@@ -1,0 +1,104 @@
+//! Resource-configuration samplers (paper §V-B, "Resource Configuration").
+//!
+//! * **Small** systems: 1–5 processors per type (so 4–20 total at K = 4).
+//! * **Medium** systems: 10–20 per type (40–80 total at K = 4).
+//!
+//! The skewed-load experiments (§V-E) shrink type 1's pool to 1/5 of its
+//! sampled size while leaving the others unchanged.
+
+use fhs_sim::MachineConfig;
+use rand::Rng;
+
+/// System size class from the paper.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SystemSize {
+    /// 1–5 processors per type.
+    Small,
+    /// 10–20 processors per type.
+    Medium,
+}
+
+impl SystemSize {
+    /// The inclusive per-type processor range of this class.
+    pub fn procs_range(&self) -> (usize, usize) {
+        match self {
+            SystemSize::Small => (1, 5),
+            SystemSize::Medium => (10, 20),
+        }
+    }
+
+    /// The paper's display word ("Small" / "Medium").
+    pub fn label(&self) -> &'static str {
+        match self {
+            SystemSize::Small => "Small",
+            SystemSize::Medium => "Medium",
+        }
+    }
+}
+
+/// Samples a `K`-type machine configuration of the given class: one
+/// processor count drawn uniformly from the class range and applied to
+/// **every** type.
+///
+/// Equal pools keep the default workloads *well balanced* in
+/// work-per-processor ratio, which §V-E establishes as the baseline the
+/// skewed experiments deviate from; independently-sampled pools would
+/// bake accidental skew into every experiment and (as §V-E shows) skew
+/// compresses the very differences Figures 4–5 measure.
+pub fn sample_config<R: Rng>(k: usize, size: SystemSize, rng: &mut R) -> MachineConfig {
+    let (lo, hi) = size.procs_range();
+    MachineConfig::uniform(k, rng.gen_range(lo..=hi))
+}
+
+/// The §V-E skew: type 1 (index 0) shrinks to ⌈P₁/5⌉ processors.
+pub fn skew(config: &MachineConfig) -> MachineConfig {
+    config.with_type_shrunk(0, 5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn small_and_medium_ranges() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            let c = sample_config(4, SystemSize::Small, &mut rng);
+            assert_eq!(c.num_types(), 4);
+            assert!(c.procs_per_type().iter().all(|&p| (1..=5).contains(&p)));
+            let c = sample_config(4, SystemSize::Medium, &mut rng);
+            assert!(c.procs_per_type().iter().all(|&p| (10..=20).contains(&p)));
+        }
+    }
+
+    #[test]
+    fn pools_are_balanced_across_types() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..50 {
+            let c = sample_config(4, SystemSize::Medium, &mut rng);
+            let first = c.procs(0);
+            assert!((0..4).all(|a| c.procs(a) == first));
+        }
+    }
+
+    #[test]
+    fn skew_shrinks_only_type_one() {
+        let c = MachineConfig::new(vec![15, 12, 18]);
+        let s = skew(&c);
+        assert_eq!(s.procs_per_type(), &[3, 12, 18]);
+    }
+
+    #[test]
+    fn skew_never_zeroes_a_pool() {
+        let c = MachineConfig::new(vec![2, 2]);
+        assert_eq!(skew(&c).procs(0), 1);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(SystemSize::Small.label(), "Small");
+        assert_eq!(SystemSize::Medium.label(), "Medium");
+    }
+}

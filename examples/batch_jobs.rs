@@ -1,0 +1,76 @@
+//! Batch scheduling: many jobs as one disjoint-union K-DAG.
+//!
+//! Cosmos "handles over a thousand jobs in a typical day"; scheduling a
+//! *batch* of K-DAGs for minimum total completion is just scheduling
+//! their disjoint union (the union is itself a K-DAG). This example
+//! unions a batch of IR jobs, schedules it with KGreedy and MQB, and
+//! reports both the batch makespan and the mean per-job completion time
+//! (flow time) recovered from the execution trace via the component map.
+//!
+//! Run with: `cargo run --release --example batch_jobs`
+
+use fhs::kdag::compose::{disjoint_union, Batch};
+use fhs::prelude::*;
+use fhs::sim::trace::Trace;
+
+fn per_job_completions(trace: &Trace, batch: &Batch) -> Vec<u64> {
+    let mut completion = vec![0u64; batch.num_components()];
+    for s in trace.segments() {
+        let j = batch.component_of(s.task);
+        completion[j] = completion[j].max(s.end);
+    }
+    completion
+}
+
+fn main() {
+    let spec = WorkloadSpec::new(Family::Ir, Typing::Layered, SystemSize::Small, 3);
+    let batch_size = 8;
+    let rounds = 30;
+    println!("Batches of {batch_size} layered IR jobs on one shared small system\n");
+    println!(
+        "{:<10} {:>14} {:>20}",
+        "algorithm", "batch makespan", "mean job completion"
+    );
+
+    for algo in [Algorithm::KGreedy, Algorithm::Mqb] {
+        let mut makespan_sum = 0u64;
+        let mut flow_sum = 0f64;
+        for round in 0..rounds {
+            // sample the batch (shared machine from the first instance)
+            let mut jobs = Vec::new();
+            let (first, cfg) = spec.sample(round * 100);
+            jobs.push(first);
+            for i in 1..batch_size {
+                let (job, _) = spec.sample(round * 100 + i);
+                jobs.push(job);
+            }
+            let refs: Vec<&KDag> = jobs.iter().collect();
+            let batch = disjoint_union(&refs);
+
+            let mut policy = make_policy(algo);
+            let out = engine::run(
+                &batch.job,
+                &cfg,
+                policy.as_mut(),
+                Mode::NonPreemptive,
+                &RunOptions::seeded(round).with_trace(),
+            );
+            makespan_sum += out.makespan;
+            let trace = out.trace.expect("requested");
+            let completions = per_job_completions(&trace, &batch);
+            flow_sum += completions.iter().sum::<u64>() as f64 / batch_size as f64;
+        }
+        println!(
+            "{:<10} {:>14} {:>20.1}",
+            algo.label(),
+            makespan_sum,
+            flow_sum / rounds as f64
+        );
+    }
+
+    println!(
+        "\nThe union view gives MQB cross-job visibility: descendant values\n\
+         of different jobs compete for the same queues, so the batch is\n\
+         interleaved as one workload — no per-job partitioning needed."
+    );
+}

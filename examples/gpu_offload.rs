@@ -1,0 +1,61 @@
+//! Client-side heterogeneity: CPU + GPU + vector unit, preemption on/off.
+//!
+//! The paper's other motivating setting is the heterogeneous client: a
+//! parallel program whose stages target different accelerators. This
+//! example uses the workload generators directly — an embarrassingly
+//! parallel image-processing batch whose branches walk decode (CPU) →
+//! filter (GPU) → postprocess (vector unit) phases — and compares
+//! non-preemptive against preemptive execution for every algorithm,
+//! reproducing the §V-F observation that preemption helps a little but
+//! does not rescue online scheduling.
+//!
+//! Run with: `cargo run --release --example gpu_offload`
+
+use fhs::prelude::*;
+use fhs::workloads::ep::{self, EpParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    const K: usize = 3; // CPU, GPU, vector unit
+    let machine = MachineConfig::new(vec![4, 2, 2]);
+    let batches = 150;
+    println!(
+        "Image batches: {batches} EP jobs (decode→filter→postprocess) on {machine} (CPU/GPU/vec)\n"
+    );
+
+    println!(
+        "{:<10} {:>14} {:>12} {:>8}",
+        "algorithm", "non-preemptive", "preemptive", "delta"
+    );
+    for algo in ALL_ALGORITHMS {
+        let mut sum = [0.0f64; 2];
+        for seed in 0..batches {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let params = EpParams::sample(&mut rng, (6, 18));
+            let job = ep::generate(K, &params, Typing::Layered, &mut rng);
+            for (i, mode) in [Mode::NonPreemptive, Mode::Preemptive]
+                .into_iter()
+                .enumerate()
+            {
+                let mut policy = make_policy(algo);
+                sum[i] += evaluate(&job, &machine, policy.as_mut(), mode, seed).ratio;
+            }
+        }
+        let np = sum[0] / batches as f64;
+        let pe = sum[1] / batches as f64;
+        println!(
+            "{:<10} {:>14.3} {:>12.3} {:>+8.3}",
+            algo.label(),
+            np,
+            pe,
+            pe - np
+        );
+    }
+
+    println!(
+        "\nPreemption barely moves the ratios either way, and the gap between\n\
+         online KGreedy and the informed offline policies persists — the\n\
+         paper's Figure 7 observation."
+    );
+}

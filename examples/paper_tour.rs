@@ -1,0 +1,95 @@
+//! A guided tour of the paper, section by section, in one run.
+//!
+//! Walks through: the §II model on the paper's own Figure-1 example, the
+//! §III Lemma-1 ball experiment and Theorem-2 lower bound, the §IV
+//! algorithms, and a miniature §V evaluation — each step printing what
+//! the paper claims next to what this implementation measures.
+//!
+//! Run with: `cargo run --release --example paper_tour`
+
+use fhs::prelude::*;
+use fhs::theory::{bounds, montecarlo};
+use fhs::workloads::adversarial::{self, AdversarialParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    println!("== §II: the K-DAG model (paper Figure 1) ==");
+    let fig1 = fhs::kdag::examples::figure1();
+    let profile = fhs::kdag::profile::JobProfile::of(&fig1);
+    println!("  {profile}");
+    println!(
+        "  per-type work T1(J,α): {:?}  (paper: 7, 4, 3); span T∞(J) = {} (paper: 7)",
+        profile.work_per_type, profile.span
+    );
+
+    println!("\n== §III Lemma 1: collecting r red balls among n ==");
+    let mut rng = StdRng::seed_from_u64(42);
+    for (n, r) in [(20u64, 3u64), (50, 5)] {
+        let exact = bounds::lemma1_expected_steps(n, r);
+        let simulated = montecarlo::estimate_expected_draws(n, r, 50_000, &mut rng);
+        println!("  n={n:<3} r={r}: closed form {exact:.3}, simulated {simulated:.3}");
+    }
+
+    println!("\n== §III Theorem 2: the online lower bound, measured ==");
+    let params = AdversarialParams::new(vec![3, 3, 3], 12);
+    let cfg = MachineConfig::new(params.procs.clone());
+    let t_star = params.optimal_makespan() as f64;
+    let mut kgreedy_ratio = 0.0;
+    let trials = 30;
+    for t in 0..trials {
+        let mut rng = StdRng::seed_from_u64(t);
+        let job = adversarial::generate(&params, &mut rng);
+        let mut p = make_policy(Algorithm::KGreedy);
+        let out = engine::run(
+            &job,
+            &cfg,
+            p.as_mut(),
+            Mode::NonPreemptive,
+            &RunOptions::seeded(t),
+        );
+        kgreedy_ratio += out.makespan as f64 / t_star / trials as f64;
+    }
+    println!(
+        "  K=3, P=[3,3,3], m=12: KGreedy measured {kgreedy_ratio:.3}; \
+         Thm-2 bound {:.3}; (K+1) guarantee {:.0}",
+        bounds::theorem2_lower_bound(&params.procs),
+        bounds::kgreedy_upper_bound(3)
+    );
+
+    println!("\n== §IV: the six algorithms on one layered IR instance ==");
+    let spec = WorkloadSpec::new(Family::Ir, Typing::Layered, SystemSize::Small, 4);
+    let (job, machine) = spec.sample(7);
+    println!(
+        "  instance: {} tasks on {} ({})",
+        job.num_tasks(),
+        machine,
+        spec.label()
+    );
+    for algo in ALL_ALGORITHMS {
+        let mut p = make_policy(algo);
+        let r = evaluate(&job, &machine, p.as_mut(), Mode::NonPreemptive, 7);
+        println!(
+            "  {:<8} makespan {:>4}  ratio {:.3}",
+            algo.label(),
+            r.makespan,
+            r.ratio
+        );
+    }
+
+    println!("\n== §V in miniature: 100-instance averages, layered IR ==");
+    let n = 100;
+    for algo in [Algorithm::KGreedy, Algorithm::MaxDP, Algorithm::Mqb] {
+        let mut sum = 0.0;
+        for seed in 0..n {
+            let (job, machine) = spec.sample(seed);
+            let mut p = make_policy(algo);
+            sum += evaluate(&job, &machine, p.as_mut(), Mode::NonPreemptive, seed).ratio;
+        }
+        println!("  {:<8} avg ratio {:.3}", algo.label(), sum / n as f64);
+    }
+    println!(
+        "\nFull evaluation: `cargo run -p fhs-experiments --release --bin all_figures`\n\
+         (per-figure results and the paper comparison live in EXPERIMENTS.md)."
+    );
+}

@@ -1,0 +1,68 @@
+//! Quickstart: build a small two-type job by hand, schedule it with every
+//! algorithm from the paper, and render MQB's schedule as a Gantt chart.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use fhs::prelude::*;
+use fhs::sim::gantt;
+
+fn main() {
+    // A fork-join pipeline with a CPU (type 0) and a GPU (type 1) stage:
+    // prep -> 6 GPU kernels -> merge, plus an independent CPU side-chain.
+    let mut b = KDagBuilder::new(2);
+    let prep = b.add_task(0, 2);
+    let merge = b.add_task(0, 2);
+    for _ in 0..6 {
+        let kernel = b.add_task(1, 4);
+        b.add_edge(prep, kernel).expect("edge");
+        b.add_edge(kernel, merge).expect("edge");
+    }
+    let mut side = b.add_task(0, 3);
+    for _ in 0..3 {
+        let next = b.add_task(0, 3);
+        b.add_edge(side, next).expect("edge");
+        side = next;
+    }
+    let job = b.build().expect("valid K-DAG");
+
+    // One CPU, two GPUs.
+    let machine = MachineConfig::new(vec![1, 2]);
+    let lb = fhs::kdag::metrics::lower_bound(&job, machine.procs_per_type());
+    println!(
+        "job: {} tasks, span {}, lower bound {} on {}",
+        job.num_tasks(),
+        fhs::kdag::metrics::span(&job),
+        lb,
+        machine
+    );
+
+    println!("\n{:<10} {:>9} {:>7}", "algorithm", "makespan", "ratio");
+    for algo in ALL_ALGORITHMS {
+        let mut policy = make_policy(algo);
+        let r = evaluate(&job, &machine, policy.as_mut(), Mode::NonPreemptive, 0);
+        println!("{:<10} {:>9} {:>7.3}", algo.label(), r.makespan, r.ratio);
+    }
+
+    // Show what MQB actually did.
+    let mut mqb = make_policy(Algorithm::Mqb);
+    let out = engine::run(
+        &job,
+        &machine,
+        mqb.as_mut(),
+        Mode::NonPreemptive,
+        &RunOptions {
+            record_trace: true,
+            seed: 0,
+            quantum: None,
+        },
+    );
+    let util = out.utilization(&machine);
+    let trace = out.trace.expect("trace requested");
+    println!("\nMQB schedule (type 0 = CPU, type 1 = GPU):");
+    print!("{}", gantt::render(&trace, &job, &machine, 72));
+    println!(
+        "utilization: CPU {:.0}%, GPU {:.0}%",
+        util[0] * 100.0,
+        util[1] * 100.0
+    );
+}
