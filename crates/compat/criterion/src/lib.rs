@@ -1,0 +1,278 @@
+//! # criterion (offline compat shim)
+//!
+//! A small re-implementation of the criterion API surface this workspace
+//! uses: [`Criterion::benchmark_group`], [`BenchmarkGroup::sample_size`],
+//! [`BenchmarkGroup::bench_function`], [`Bencher::iter`],
+//! [`BenchmarkId`], and the [`criterion_group!`]/[`criterion_main!`]
+//! macros. Reporting is plain text on stdout (median and min per bench);
+//! there is no HTML output, statistics engine, or history comparison.
+//!
+//! The harness understands the arguments cargo and CI pass to
+//! `harness = false` bench binaries: `--bench` (ignored), `--quick`
+//! (cuts warm-up and sample budgets), and a positional substring filter.
+//! Unknown flags are ignored so `cargo bench -- <anything>` never fails.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver, handed to every `criterion_group!` target.
+#[derive(Default)]
+pub struct Criterion {
+    quick: bool,
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// Builds a driver from command-line arguments (see crate docs for
+    /// the accepted subset).
+    pub fn from_args() -> Self {
+        let mut quick = false;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--quick" => quick = true,
+                a if a.starts_with('-') => {} // --bench and friends: ignore
+                a => filter = Some(a.to_string()),
+            }
+        }
+        Criterion { quick, filter }
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+
+    /// Registers a stand-alone benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group("").bench_function(id, f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples to collect per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark: `f` receives a [`Bencher`] and must call
+    /// [`Bencher::iter`] with the code under test.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let full = if self.name.is_empty() {
+            id.0
+        } else {
+            format!("{}/{}", self.name, id.0)
+        };
+        if let Some(filter) = &self.criterion.filter {
+            if !full.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let samples = if self.criterion.quick {
+            2
+        } else {
+            self.sample_size.min(10)
+        };
+        let mut bencher = Bencher {
+            quick: self.criterion.quick,
+            samples,
+            results: Vec::new(),
+        };
+        f(&mut bencher);
+        report(&full, &bencher.results);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; no cleanup needed).
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `group/function/parameter`-style id from a function name and a
+    /// displayable parameter.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{}/{}", function.into(), parameter))
+    }
+
+    /// Id carrying only a displayable parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// Timing harness passed to each benchmark closure.
+pub struct Bencher {
+    quick: bool,
+    samples: usize,
+    results: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `f`, calling it enough times per sample to smooth clock
+    /// granularity, and records one duration-per-iteration sample each
+    /// round.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibrate: one untimed warm-up call, then pick an iteration
+        // count targeting ~20ms per sample (2ms under --quick).
+        let t0 = Instant::now();
+        black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let target = if self.quick {
+            Duration::from_millis(2)
+        } else {
+            Duration::from_millis(20)
+        };
+        let iters = (target.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            self.results.push(start.elapsed() / iters as u32);
+        }
+    }
+}
+
+fn report(name: &str, samples: &[Duration]) {
+    if samples.is_empty() {
+        println!("{name:<50} (no samples)");
+        return;
+    }
+    let mut sorted: Vec<Duration> = samples.to_vec();
+    sorted.sort_unstable();
+    let median = sorted[sorted.len() / 2];
+    let min = sorted[0];
+    println!(
+        "{name:<50} time: [median {}, min {}]",
+        fmt_duration(median),
+        fmt_duration(min)
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// Bundles benchmark functions into a single group runner, mirroring
+/// criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Generates `main` for a `harness = false` bench binary, running each
+/// listed group with an argument-configured [`Criterion`].
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::from_args();
+            $( $group(&mut c); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_requested_samples() {
+        let mut c = Criterion::default();
+        let mut ran = 0u64;
+        c.benchmark_group("g")
+            .sample_size(3)
+            .bench_function("count", |b| {
+                b.iter(|| {
+                    ran += 1;
+                })
+            });
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn filter_skips_non_matching_benchmarks() {
+        let mut c = Criterion {
+            quick: true,
+            filter: Some("match-me".into()),
+        };
+        let mut ran = false;
+        c.benchmark_group("g").bench_function("other", |b| {
+            ran = true;
+            b.iter(|| ());
+        });
+        assert!(!ran, "filtered-out benchmark must not run");
+        c.benchmark_group("g").bench_function("match-me", |b| {
+            ran = true;
+            b.iter(|| ());
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn benchmark_id_forms() {
+        assert_eq!(BenchmarkId::from_parameter(42).0, "42");
+        assert_eq!(BenchmarkId::new("f", "p").0, "f/p");
+        assert_eq!(BenchmarkId::from("s").0, "s");
+    }
+
+    #[test]
+    fn duration_formatting_covers_units() {
+        assert_eq!(fmt_duration(Duration::from_nanos(5)), "5 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(5)), "5.00 µs");
+        assert_eq!(fmt_duration(Duration::from_millis(5)), "5.00 ms");
+        assert_eq!(fmt_duration(Duration::from_secs(5)), "5.00 s");
+    }
+}

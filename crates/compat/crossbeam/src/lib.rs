@@ -1,0 +1,257 @@
+//! # crossbeam (offline compat shim)
+//!
+//! The workspace uses exactly one piece of crossbeam: a **bounded MPMC
+//! channel** whose `Receiver` is cloneable and iterable (`rx.iter()`
+//! ends when every `Sender` is dropped and the queue drains). This shim
+//! provides that on `std::sync::{Mutex, Condvar}` — adequate for the
+//! coarse-grained work distribution in `fhs-par`, where each message
+//! carries a whole simulation instance.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Multi-producer multi-consumer channels.
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct Shared<T> {
+        state: Mutex<State<T>>,
+        /// Signalled when the queue gains an item or the last sender leaves.
+        recv_ready: Condvar,
+        /// Signalled when the queue loses an item (capacity freed).
+        send_ready: Condvar,
+    }
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        capacity: usize,
+        senders: usize,
+    }
+
+    /// The sending half of a bounded channel. `send` blocks while the
+    /// channel is full.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// The receiving half of a bounded channel. Cloneable: each message
+    /// is delivered to exactly one receiver.
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Error returned by [`Sender::send`] when every [`Receiver`] has
+    /// been dropped; carries the undelivered message.
+    pub struct SendError<T>(pub T);
+
+    impl<T> std::fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    impl<T> std::fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("sending on a disconnected channel")
+        }
+    }
+
+    impl<T> std::error::Error for SendError<T> {}
+
+    /// Creates a channel holding at most `capacity` in-flight messages.
+    /// A capacity of 0 is rounded up to 1 (upstream crossbeam supports
+    /// rendezvous channels; this workspace never requests one).
+    pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                capacity: capacity.max(1),
+                senders: 1,
+            }),
+            recv_ready: Condvar::new(),
+            send_ready: Condvar::new(),
+        });
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared },
+        )
+    }
+
+    impl<T> Sender<T> {
+        /// Blocks until there is capacity, then enqueues `msg`.
+        ///
+        /// Returns `Err` only when all receivers are gone, which in this
+        /// shim is detected by the `Arc` having no receiver clones left
+        /// (strong count == senders).
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            let mut state = self.shared.state.lock().expect("channel poisoned");
+            loop {
+                // All Arc holders are senders => no receiver remains.
+                if Arc::strong_count(&self.shared) == state.senders {
+                    return Err(SendError(msg));
+                }
+                if state.queue.len() < state.capacity {
+                    state.queue.push_back(msg);
+                    drop(state);
+                    self.shared.recv_ready.notify_one();
+                    return Ok(());
+                }
+                state = self
+                    .shared
+                    .send_ready
+                    .wait(state)
+                    .expect("channel poisoned");
+            }
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared
+                .state
+                .lock()
+                .expect("channel poisoned")
+                .senders += 1;
+            Sender {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut state = self.shared.state.lock().expect("channel poisoned");
+            state.senders -= 1;
+            if state.senders == 0 {
+                drop(state);
+                // Wake receivers parked in recv() so they can observe
+                // disconnection and finish their iterators.
+                self.shared.recv_ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks for the next message; returns `None` once every sender
+        /// is dropped and the queue is drained.
+        fn recv(&self) -> Option<T> {
+            let mut state = self.shared.state.lock().expect("channel poisoned");
+            loop {
+                if let Some(msg) = state.queue.pop_front() {
+                    drop(state);
+                    self.shared.send_ready.notify_one();
+                    // Wake a sibling receiver in case more items remain.
+                    self.shared.recv_ready.notify_one();
+                    return Some(msg);
+                }
+                if state.senders == 0 {
+                    return None;
+                }
+                state = self
+                    .shared
+                    .recv_ready
+                    .wait(state)
+                    .expect("channel poisoned");
+            }
+        }
+
+        /// A blocking iterator over received messages; ends at
+        /// disconnection (see [`Receiver::recv`]).
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { rx: self }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    /// Iterator returned by [`Receiver::iter`].
+    pub struct Iter<'a, T> {
+        rx: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.rx.recv()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+
+    #[test]
+    fn delivers_every_message_exactly_once() {
+        let (tx, rx) = channel::bounded::<usize>(4);
+        let received = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..3)
+                .map(|_| {
+                    let rx = rx.clone();
+                    scope.spawn(move || rx.iter().collect::<Vec<_>>())
+                })
+                .collect();
+            drop(rx);
+            for i in 0..100 {
+                tx.send(i).unwrap();
+            }
+            drop(tx);
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect::<Vec<_>>()
+        });
+        let mut got = received;
+        got.sort_unstable();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn iter_ends_when_senders_drop() {
+        let (tx, rx) = channel::bounded::<u32>(2);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        drop(tx);
+        assert_eq!(rx.iter().collect::<Vec<_>>(), vec![1, 2]);
+    }
+
+    #[test]
+    fn send_fails_after_all_receivers_drop() {
+        let (tx, rx) = channel::bounded::<u32>(2);
+        drop(rx);
+        assert!(tx.send(1).is_err());
+    }
+
+    #[test]
+    fn bounded_capacity_blocks_then_resumes() {
+        let (tx, rx) = channel::bounded::<u32>(1);
+        std::thread::scope(|scope| {
+            scope.spawn(move || {
+                for i in 0..50 {
+                    tx.send(i).unwrap();
+                }
+            });
+            let got: Vec<u32> = rx.iter().collect();
+            assert_eq!(got, (0..50).collect::<Vec<_>>());
+        });
+    }
+
+    #[test]
+    fn cloned_sender_keeps_channel_open() {
+        let (tx, rx) = channel::bounded::<u32>(4);
+        let tx2 = tx.clone();
+        drop(tx);
+        tx2.send(9).unwrap();
+        drop(tx2);
+        assert_eq!(rx.iter().collect::<Vec<_>>(), vec![9]);
+    }
+}

@@ -1,0 +1,67 @@
+//! # parking_lot (offline compat shim)
+//!
+//! The workspace uses exactly one thing from `parking_lot`: a [`Mutex`]
+//! whose `lock()` returns the guard directly (no `Result` to unwrap).
+//! This shim provides that on top of `std::sync::Mutex`; a poisoned lock
+//! (a worker panicked while holding it) panics on the next acquisition,
+//! which matches how the workspace treats worker panics — as fatal.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::MutexGuard;
+
+/// A mutual-exclusion primitive with `parking_lot`'s panic-free API shape.
+#[derive(Debug, Default)]
+pub struct Mutex<T> {
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a mutex protecting `value`.
+    pub fn new(value: T) -> Self {
+        Mutex {
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Acquires the lock, blocking the current thread until it is free.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.inner.lock().expect("mutex poisoned: a worker panicked")
+    }
+
+    /// Consumes the mutex and returns the protected value.
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .expect("mutex poisoned: a worker panicked")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Mutex;
+
+    #[test]
+    fn lock_and_into_inner_round_trip() {
+        let m = Mutex::new(1);
+        *m.lock() += 41;
+        assert_eq!(m.into_inner(), 42);
+    }
+
+    #[test]
+    fn guards_exclude_each_other_across_threads() {
+        let m = std::sync::Arc::new(Mutex::new(0u64));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let m = m.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        *m.lock() += 1;
+                    }
+                });
+            }
+        });
+        assert_eq!(*m.lock(), 4000);
+    }
+}

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/all_figures-2efa6353af43b1e2.d: crates/experiments/src/bin/all_figures.rs
+
+/root/repo/target/debug/deps/all_figures-2efa6353af43b1e2: crates/experiments/src/bin/all_figures.rs
+
+crates/experiments/src/bin/all_figures.rs:

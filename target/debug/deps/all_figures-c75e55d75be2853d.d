@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/all_figures-c75e55d75be2853d.d: crates/experiments/src/bin/all_figures.rs
+
+/root/repo/target/debug/deps/all_figures-c75e55d75be2853d: crates/experiments/src/bin/all_figures.rs
+
+crates/experiments/src/bin/all_figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos-a8fb4b3133fe8f50.d: crates/sim/tests/chaos.rs
+
+/root/repo/target/debug/deps/chaos-a8fb4b3133fe8f50: crates/sim/tests/chaos.rs
+
+crates/sim/tests/chaos.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-72419e9d34c5bc01.d: tests/cli.rs
+
+/root/repo/target/debug/deps/cli-72419e9d34c5bc01: tests/cli.rs
+
+tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_fhs=/root/repo/target/debug/fhs

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crossbeam-11a58aed3d5aeef1.d: crates/compat/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/crossbeam-11a58aed3d5aeef1: crates/compat/crossbeam/src/lib.rs
+
+crates/compat/crossbeam/src/lib.rs:

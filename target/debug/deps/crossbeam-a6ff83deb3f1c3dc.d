@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/crossbeam-a6ff83deb3f1c3dc.d: crates/compat/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-a6ff83deb3f1c3dc.rlib: crates/compat/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-a6ff83deb3f1c3dc.rmeta: crates/compat/crossbeam/src/lib.rs
+
+crates/compat/crossbeam/src/lib.rs:

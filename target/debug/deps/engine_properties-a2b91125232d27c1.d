@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine_properties-a2b91125232d27c1.d: crates/sim/tests/engine_properties.rs
+
+/root/repo/target/debug/deps/engine_properties-a2b91125232d27c1: crates/sim/tests/engine_properties.rs
+
+crates/sim/tests/engine_properties.rs:

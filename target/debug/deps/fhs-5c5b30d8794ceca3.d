@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fhs-5c5b30d8794ceca3.d: src/bin/fhs.rs
+
+/root/repo/target/debug/deps/fhs-5c5b30d8794ceca3: src/bin/fhs.rs
+
+src/bin/fhs.rs:

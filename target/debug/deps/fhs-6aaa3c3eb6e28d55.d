@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fhs-6aaa3c3eb6e28d55.d: src/lib.rs
+
+/root/repo/target/debug/deps/fhs-6aaa3c3eb6e28d55: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/fhs-7fc0e324e07de9ea.d: src/lib.rs
+
+/root/repo/target/debug/deps/libfhs-7fc0e324e07de9ea.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libfhs-7fc0e324e07de9ea.rmeta: src/lib.rs
+
+src/lib.rs:

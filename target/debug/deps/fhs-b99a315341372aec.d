@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fhs-b99a315341372aec.d: src/bin/fhs.rs
+
+/root/repo/target/debug/deps/fhs-b99a315341372aec: src/bin/fhs.rs
+
+src/bin/fhs.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fhs_bench-6a6f1d677d5de9f8.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/fhs_bench-6a6f1d677d5de9f8: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

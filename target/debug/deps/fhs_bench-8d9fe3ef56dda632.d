@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/fhs_bench-8d9fe3ef56dda632.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libfhs_bench-8d9fe3ef56dda632.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libfhs_bench-8d9fe3ef56dda632.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/fhs_experiments-a70afa7966f5324f.d: crates/experiments/src/lib.rs crates/experiments/src/args.rs crates/experiments/src/chart.rs crates/experiments/src/figures/mod.rs crates/experiments/src/figures/fig4.rs crates/experiments/src/figures/fig5.rs crates/experiments/src/figures/fig6.rs crates/experiments/src/figures/fig7.rs crates/experiments/src/figures/fig8.rs crates/experiments/src/figures/flex_binding.rs crates/experiments/src/figures/lower_bound.rs crates/experiments/src/runner.rs crates/experiments/src/stats.rs crates/experiments/src/table.rs
+
+/root/repo/target/debug/deps/libfhs_experiments-a70afa7966f5324f.rlib: crates/experiments/src/lib.rs crates/experiments/src/args.rs crates/experiments/src/chart.rs crates/experiments/src/figures/mod.rs crates/experiments/src/figures/fig4.rs crates/experiments/src/figures/fig5.rs crates/experiments/src/figures/fig6.rs crates/experiments/src/figures/fig7.rs crates/experiments/src/figures/fig8.rs crates/experiments/src/figures/flex_binding.rs crates/experiments/src/figures/lower_bound.rs crates/experiments/src/runner.rs crates/experiments/src/stats.rs crates/experiments/src/table.rs
+
+/root/repo/target/debug/deps/libfhs_experiments-a70afa7966f5324f.rmeta: crates/experiments/src/lib.rs crates/experiments/src/args.rs crates/experiments/src/chart.rs crates/experiments/src/figures/mod.rs crates/experiments/src/figures/fig4.rs crates/experiments/src/figures/fig5.rs crates/experiments/src/figures/fig6.rs crates/experiments/src/figures/fig7.rs crates/experiments/src/figures/fig8.rs crates/experiments/src/figures/flex_binding.rs crates/experiments/src/figures/lower_bound.rs crates/experiments/src/runner.rs crates/experiments/src/stats.rs crates/experiments/src/table.rs
+
+crates/experiments/src/lib.rs:
+crates/experiments/src/args.rs:
+crates/experiments/src/chart.rs:
+crates/experiments/src/figures/mod.rs:
+crates/experiments/src/figures/fig4.rs:
+crates/experiments/src/figures/fig5.rs:
+crates/experiments/src/figures/fig6.rs:
+crates/experiments/src/figures/fig7.rs:
+crates/experiments/src/figures/fig8.rs:
+crates/experiments/src/figures/flex_binding.rs:
+crates/experiments/src/figures/lower_bound.rs:
+crates/experiments/src/runner.rs:
+crates/experiments/src/stats.rs:
+crates/experiments/src/table.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fhs_par-18c448bbc0fb884a.d: crates/par/src/lib.rs
+
+/root/repo/target/debug/deps/fhs_par-18c448bbc0fb884a: crates/par/src/lib.rs
+
+crates/par/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/fhs_par-fcc1bab03350608d.d: crates/par/src/lib.rs
+
+/root/repo/target/debug/deps/libfhs_par-fcc1bab03350608d.rlib: crates/par/src/lib.rs
+
+/root/repo/target/debug/deps/libfhs_par-fcc1bab03350608d.rmeta: crates/par/src/lib.rs
+
+crates/par/src/lib.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/fhs_sim-7fecf811de62b19d.d: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/engine.rs crates/sim/src/gantt.rs crates/sim/src/metrics.rs crates/sim/src/policy.rs crates/sim/src/state.rs crates/sim/src/svg.rs crates/sim/src/timeline.rs crates/sim/src/trace.rs
+
+/root/repo/target/debug/deps/fhs_sim-7fecf811de62b19d: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/engine.rs crates/sim/src/gantt.rs crates/sim/src/metrics.rs crates/sim/src/policy.rs crates/sim/src/state.rs crates/sim/src/svg.rs crates/sim/src/timeline.rs crates/sim/src/trace.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/config.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/gantt.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/policy.rs:
+crates/sim/src/state.rs:
+crates/sim/src/svg.rs:
+crates/sim/src/timeline.rs:
+crates/sim/src/trace.rs:

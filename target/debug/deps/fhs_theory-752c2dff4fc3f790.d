@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fhs_theory-752c2dff4fc3f790.d: crates/theory/src/lib.rs crates/theory/src/bounds.rs crates/theory/src/montecarlo.rs
+
+/root/repo/target/debug/deps/libfhs_theory-752c2dff4fc3f790.rlib: crates/theory/src/lib.rs crates/theory/src/bounds.rs crates/theory/src/montecarlo.rs
+
+/root/repo/target/debug/deps/libfhs_theory-752c2dff4fc3f790.rmeta: crates/theory/src/lib.rs crates/theory/src/bounds.rs crates/theory/src/montecarlo.rs
+
+crates/theory/src/lib.rs:
+crates/theory/src/bounds.rs:
+crates/theory/src/montecarlo.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/fhs_theory-c7f5c6b2f8b497f2.d: crates/theory/src/lib.rs crates/theory/src/bounds.rs crates/theory/src/montecarlo.rs
+
+/root/repo/target/debug/deps/fhs_theory-c7f5c6b2f8b497f2: crates/theory/src/lib.rs crates/theory/src/bounds.rs crates/theory/src/montecarlo.rs
+
+crates/theory/src/lib.rs:
+crates/theory/src/bounds.rs:
+crates/theory/src/montecarlo.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/fhs_workloads-0ab1dfaf63e3e789.d: crates/workloads/src/lib.rs crates/workloads/src/adversarial.rs crates/workloads/src/ep.rs crates/workloads/src/flexgen.rs crates/workloads/src/ir.rs crates/workloads/src/resources.rs crates/workloads/src/scope.rs crates/workloads/src/spec.rs crates/workloads/src/tree.rs
+
+/root/repo/target/debug/deps/libfhs_workloads-0ab1dfaf63e3e789.rlib: crates/workloads/src/lib.rs crates/workloads/src/adversarial.rs crates/workloads/src/ep.rs crates/workloads/src/flexgen.rs crates/workloads/src/ir.rs crates/workloads/src/resources.rs crates/workloads/src/scope.rs crates/workloads/src/spec.rs crates/workloads/src/tree.rs
+
+/root/repo/target/debug/deps/libfhs_workloads-0ab1dfaf63e3e789.rmeta: crates/workloads/src/lib.rs crates/workloads/src/adversarial.rs crates/workloads/src/ep.rs crates/workloads/src/flexgen.rs crates/workloads/src/ir.rs crates/workloads/src/resources.rs crates/workloads/src/scope.rs crates/workloads/src/spec.rs crates/workloads/src/tree.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/adversarial.rs:
+crates/workloads/src/ep.rs:
+crates/workloads/src/flexgen.rs:
+crates/workloads/src/ir.rs:
+crates/workloads/src/resources.rs:
+crates/workloads/src/scope.rs:
+crates/workloads/src/spec.rs:
+crates/workloads/src/tree.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/fhs_workloads-c1f61c4ad230f53d.d: crates/workloads/src/lib.rs crates/workloads/src/adversarial.rs crates/workloads/src/ep.rs crates/workloads/src/flexgen.rs crates/workloads/src/ir.rs crates/workloads/src/resources.rs crates/workloads/src/scope.rs crates/workloads/src/spec.rs crates/workloads/src/tree.rs
+
+/root/repo/target/debug/deps/fhs_workloads-c1f61c4ad230f53d: crates/workloads/src/lib.rs crates/workloads/src/adversarial.rs crates/workloads/src/ep.rs crates/workloads/src/flexgen.rs crates/workloads/src/ir.rs crates/workloads/src/resources.rs crates/workloads/src/scope.rs crates/workloads/src/spec.rs crates/workloads/src/tree.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/adversarial.rs:
+crates/workloads/src/ep.rs:
+crates/workloads/src/flexgen.rs:
+crates/workloads/src/ir.rs:
+crates/workloads/src/resources.rs:
+crates/workloads/src/scope.rs:
+crates/workloads/src/spec.rs:
+crates/workloads/src/tree.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-77728e51877c26ed.d: crates/experiments/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-77728e51877c26ed: crates/experiments/src/bin/fig4.rs
+
+crates/experiments/src/bin/fig4.rs:

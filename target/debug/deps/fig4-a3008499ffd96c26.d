@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-a3008499ffd96c26.d: crates/experiments/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-a3008499ffd96c26: crates/experiments/src/bin/fig4.rs
+
+crates/experiments/src/bin/fig4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-8f08397c42e8bb66.d: crates/experiments/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-8f08397c42e8bb66: crates/experiments/src/bin/fig5.rs
+
+crates/experiments/src/bin/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-be1f1bc0204de087.d: crates/experiments/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-be1f1bc0204de087: crates/experiments/src/bin/fig5.rs
+
+crates/experiments/src/bin/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-1a2f3438ca5d0938.d: crates/experiments/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-1a2f3438ca5d0938: crates/experiments/src/bin/fig6.rs
+
+crates/experiments/src/bin/fig6.rs:

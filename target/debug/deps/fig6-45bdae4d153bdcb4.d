@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-45bdae4d153bdcb4.d: crates/experiments/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-45bdae4d153bdcb4: crates/experiments/src/bin/fig6.rs
+
+crates/experiments/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-154bf04d4d227884.d: crates/experiments/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-154bf04d4d227884: crates/experiments/src/bin/fig7.rs
+
+crates/experiments/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-71319c008ccfdb2e.d: crates/experiments/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-71319c008ccfdb2e: crates/experiments/src/bin/fig7.rs
+
+crates/experiments/src/bin/fig7.rs:

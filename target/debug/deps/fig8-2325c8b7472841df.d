@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-2325c8b7472841df.d: crates/experiments/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-2325c8b7472841df: crates/experiments/src/bin/fig8.rs
+
+crates/experiments/src/bin/fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-d79b074e112d60d7.d: crates/experiments/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-d79b074e112d60d7: crates/experiments/src/bin/fig8.rs
+
+crates/experiments/src/bin/fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/flex_binding-97b9ea0f0c9058e2.d: crates/experiments/src/bin/flex_binding.rs
+
+/root/repo/target/debug/deps/flex_binding-97b9ea0f0c9058e2: crates/experiments/src/bin/flex_binding.rs
+
+crates/experiments/src/bin/flex_binding.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/flex_binding-bdb97e47e489fab5.d: crates/experiments/src/bin/flex_binding.rs
+
+/root/repo/target/debug/deps/flex_binding-bdb97e47e489fab5: crates/experiments/src/bin/flex_binding.rs
+
+crates/experiments/src/bin/flex_binding.rs:

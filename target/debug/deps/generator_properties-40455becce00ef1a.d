@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/generator_properties-40455becce00ef1a.d: crates/workloads/tests/generator_properties.rs
+
+/root/repo/target/debug/deps/generator_properties-40455becce00ef1a: crates/workloads/tests/generator_properties.rs
+
+crates/workloads/tests/generator_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/golden_determinism-0ad2ff269cee3f49.d: crates/experiments/tests/golden_determinism.rs
+
+/root/repo/target/debug/deps/golden_determinism-0ad2ff269cee3f49: crates/experiments/tests/golden_determinism.rs
+
+crates/experiments/tests/golden_determinism.rs:

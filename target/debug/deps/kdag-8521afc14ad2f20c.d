@@ -1,0 +1,23 @@
+/root/repo/target/debug/deps/kdag-8521afc14ad2f20c.d: crates/kdag/src/lib.rs crates/kdag/src/builder.rs crates/kdag/src/graph.rs crates/kdag/src/types.rs crates/kdag/src/compose.rs crates/kdag/src/descendants.rs crates/kdag/src/distance.rs crates/kdag/src/dot.rs crates/kdag/src/duedate.rs crates/kdag/src/examples.rs crates/kdag/src/flex.rs crates/kdag/src/metrics.rs crates/kdag/src/profile.rs crates/kdag/src/random.rs crates/kdag/src/reduction.rs crates/kdag/src/text.rs crates/kdag/src/topo.rs
+
+/root/repo/target/debug/deps/libkdag-8521afc14ad2f20c.rlib: crates/kdag/src/lib.rs crates/kdag/src/builder.rs crates/kdag/src/graph.rs crates/kdag/src/types.rs crates/kdag/src/compose.rs crates/kdag/src/descendants.rs crates/kdag/src/distance.rs crates/kdag/src/dot.rs crates/kdag/src/duedate.rs crates/kdag/src/examples.rs crates/kdag/src/flex.rs crates/kdag/src/metrics.rs crates/kdag/src/profile.rs crates/kdag/src/random.rs crates/kdag/src/reduction.rs crates/kdag/src/text.rs crates/kdag/src/topo.rs
+
+/root/repo/target/debug/deps/libkdag-8521afc14ad2f20c.rmeta: crates/kdag/src/lib.rs crates/kdag/src/builder.rs crates/kdag/src/graph.rs crates/kdag/src/types.rs crates/kdag/src/compose.rs crates/kdag/src/descendants.rs crates/kdag/src/distance.rs crates/kdag/src/dot.rs crates/kdag/src/duedate.rs crates/kdag/src/examples.rs crates/kdag/src/flex.rs crates/kdag/src/metrics.rs crates/kdag/src/profile.rs crates/kdag/src/random.rs crates/kdag/src/reduction.rs crates/kdag/src/text.rs crates/kdag/src/topo.rs
+
+crates/kdag/src/lib.rs:
+crates/kdag/src/builder.rs:
+crates/kdag/src/graph.rs:
+crates/kdag/src/types.rs:
+crates/kdag/src/compose.rs:
+crates/kdag/src/descendants.rs:
+crates/kdag/src/distance.rs:
+crates/kdag/src/dot.rs:
+crates/kdag/src/duedate.rs:
+crates/kdag/src/examples.rs:
+crates/kdag/src/flex.rs:
+crates/kdag/src/metrics.rs:
+crates/kdag/src/profile.rs:
+crates/kdag/src/random.rs:
+crates/kdag/src/reduction.rs:
+crates/kdag/src/text.rs:
+crates/kdag/src/topo.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lower_bound-8979f72d5e7dbea5.d: crates/experiments/src/bin/lower_bound.rs
+
+/root/repo/target/debug/deps/lower_bound-8979f72d5e7dbea5: crates/experiments/src/bin/lower_bound.rs
+
+crates/experiments/src/bin/lower_bound.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lower_bound-e37e9da511ffdea2.d: crates/experiments/src/bin/lower_bound.rs
+
+/root/repo/target/debug/deps/lower_bound-e37e9da511ffdea2: crates/experiments/src/bin/lower_bound.rs
+
+crates/experiments/src/bin/lower_bound.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mechanism-0e0cedb5c58a265e.d: tests/mechanism.rs
+
+/root/repo/target/debug/deps/mechanism-0e0cedb5c58a265e: tests/mechanism.rs
+
+tests/mechanism.rs:

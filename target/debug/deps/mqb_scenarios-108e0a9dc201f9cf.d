@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mqb_scenarios-108e0a9dc201f9cf.d: crates/core/tests/mqb_scenarios.rs
+
+/root/repo/target/debug/deps/mqb_scenarios-108e0a9dc201f9cf: crates/core/tests/mqb_scenarios.rs
+
+crates/core/tests/mqb_scenarios.rs:

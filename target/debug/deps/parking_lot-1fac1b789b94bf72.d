@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/parking_lot-1fac1b789b94bf72.d: crates/compat/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-1fac1b789b94bf72.rlib: crates/compat/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-1fac1b789b94bf72.rmeta: crates/compat/parking_lot/src/lib.rs
+
+crates/compat/parking_lot/src/lib.rs:

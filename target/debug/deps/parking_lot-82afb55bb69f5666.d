@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parking_lot-82afb55bb69f5666.d: crates/compat/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/parking_lot-82afb55bb69f5666: crates/compat/parking_lot/src/lib.rs
+
+crates/compat/parking_lot/src/lib.rs:

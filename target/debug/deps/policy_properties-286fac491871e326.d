@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/policy_properties-286fac491871e326.d: crates/core/tests/policy_properties.rs
+
+/root/repo/target/debug/deps/policy_properties-286fac491871e326: crates/core/tests/policy_properties.rs
+
+crates/core/tests/policy_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-17a3d0fdc8bf6cb0.d: crates/kdag/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-17a3d0fdc8bf6cb0: crates/kdag/tests/properties.rs
+
+crates/kdag/tests/properties.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-2d2805ca9e595c72.d: crates/compat/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-2d2805ca9e595c72.rlib: crates/compat/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-2d2805ca9e595c72.rmeta: crates/compat/proptest/src/lib.rs
+
+crates/compat/proptest/src/lib.rs:

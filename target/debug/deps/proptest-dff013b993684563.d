@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-dff013b993684563.d: crates/compat/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-dff013b993684563: crates/compat/proptest/src/lib.rs
+
+crates/compat/proptest/src/lib.rs:

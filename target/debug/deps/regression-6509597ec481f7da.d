@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/regression-6509597ec481f7da.d: tests/regression.rs
+
+/root/repo/target/debug/deps/regression-6509597ec481f7da: tests/regression.rs
+
+tests/regression.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sweep-067e602595555821.d: crates/experiments/src/bin/sweep.rs
+
+/root/repo/target/debug/deps/sweep-067e602595555821: crates/experiments/src/bin/sweep.rs
+
+crates/experiments/src/bin/sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sweep-a920b20333c129d1.d: crates/experiments/src/bin/sweep.rs
+
+/root/repo/target/debug/deps/sweep-a920b20333c129d1: crates/experiments/src/bin/sweep.rs
+
+crates/experiments/src/bin/sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/adversarial_lower_bound-4e61a905a7fab054.d: examples/adversarial_lower_bound.rs
+
+/root/repo/target/debug/examples/adversarial_lower_bound-4e61a905a7fab054: examples/adversarial_lower_bound.rs
+
+examples/adversarial_lower_bound.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/batch_jobs-08f1923b3918b014.d: examples/batch_jobs.rs
+
+/root/repo/target/debug/examples/batch_jobs-08f1923b3918b014: examples/batch_jobs.rs
+
+examples/batch_jobs.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cosmos_pipeline-800b198ad70f89ae.d: examples/cosmos_pipeline.rs
+
+/root/repo/target/debug/examples/cosmos_pipeline-800b198ad70f89ae: examples/cosmos_pipeline.rs
+
+examples/cosmos_pipeline.rs:

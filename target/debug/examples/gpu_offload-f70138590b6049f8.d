@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/gpu_offload-f70138590b6049f8.d: examples/gpu_offload.rs
+
+/root/repo/target/debug/examples/gpu_offload-f70138590b6049f8: examples/gpu_offload.rs
+
+examples/gpu_offload.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/jit_flexibility-07b230284fce0f7a.d: examples/jit_flexibility.rs
+
+/root/repo/target/debug/examples/jit_flexibility-07b230284fce0f7a: examples/jit_flexibility.rs
+
+examples/jit_flexibility.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/paper_tour-9447eafaf96266ea.d: examples/paper_tour.rs
+
+/root/repo/target/debug/examples/paper_tour-9447eafaf96266ea: examples/paper_tour.rs
+
+examples/paper_tour.rs:

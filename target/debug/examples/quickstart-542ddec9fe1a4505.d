@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-542ddec9fe1a4505.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-542ddec9fe1a4505: examples/quickstart.rs
+
+examples/quickstart.rs:

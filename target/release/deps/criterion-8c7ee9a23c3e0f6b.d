@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-8c7ee9a23c3e0f6b.d: crates/compat/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-8c7ee9a23c3e0f6b.rlib: crates/compat/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-8c7ee9a23c3e0f6b.rmeta: crates/compat/criterion/src/lib.rs
+
+crates/compat/criterion/src/lib.rs:

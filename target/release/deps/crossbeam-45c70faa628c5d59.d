@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/crossbeam-45c70faa628c5d59.d: crates/compat/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-45c70faa628c5d59.rlib: crates/compat/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-45c70faa628c5d59.rmeta: crates/compat/crossbeam/src/lib.rs
+
+crates/compat/crossbeam/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/fhs-12e3fea75470aa12.d: src/lib.rs
+
+/root/repo/target/release/deps/libfhs-12e3fea75470aa12.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libfhs-12e3fea75470aa12.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fhs-60712670ce3aaa7e.d: src/bin/fhs.rs
+
+/root/repo/target/release/deps/fhs-60712670ce3aaa7e: src/bin/fhs.rs
+
+src/bin/fhs.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/fhs_bench-36834ff778b49dc4.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libfhs_bench-36834ff778b49dc4.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libfhs_bench-36834ff778b49dc4.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

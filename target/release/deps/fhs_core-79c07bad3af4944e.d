@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/fhs_core-79c07bad3af4944e.d: crates/core/src/lib.rs crates/core/src/ranked.rs crates/core/src/dtype.rs crates/core/src/edd.rs crates/core/src/flex.rs crates/core/src/kgreedy.rs crates/core/src/lspan.rs crates/core/src/maxdp.rs crates/core/src/mqb.rs crates/core/src/registry.rs crates/core/src/shiftbt.rs
+
+/root/repo/target/release/deps/libfhs_core-79c07bad3af4944e.rlib: crates/core/src/lib.rs crates/core/src/ranked.rs crates/core/src/dtype.rs crates/core/src/edd.rs crates/core/src/flex.rs crates/core/src/kgreedy.rs crates/core/src/lspan.rs crates/core/src/maxdp.rs crates/core/src/mqb.rs crates/core/src/registry.rs crates/core/src/shiftbt.rs
+
+/root/repo/target/release/deps/libfhs_core-79c07bad3af4944e.rmeta: crates/core/src/lib.rs crates/core/src/ranked.rs crates/core/src/dtype.rs crates/core/src/edd.rs crates/core/src/flex.rs crates/core/src/kgreedy.rs crates/core/src/lspan.rs crates/core/src/maxdp.rs crates/core/src/mqb.rs crates/core/src/registry.rs crates/core/src/shiftbt.rs
+
+crates/core/src/lib.rs:
+crates/core/src/ranked.rs:
+crates/core/src/dtype.rs:
+crates/core/src/edd.rs:
+crates/core/src/flex.rs:
+crates/core/src/kgreedy.rs:
+crates/core/src/lspan.rs:
+crates/core/src/maxdp.rs:
+crates/core/src/mqb.rs:
+crates/core/src/registry.rs:
+crates/core/src/shiftbt.rs:

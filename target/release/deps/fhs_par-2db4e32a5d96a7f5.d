@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/fhs_par-2db4e32a5d96a7f5.d: crates/par/src/lib.rs
+
+/root/repo/target/release/deps/libfhs_par-2db4e32a5d96a7f5.rlib: crates/par/src/lib.rs
+
+/root/repo/target/release/deps/libfhs_par-2db4e32a5d96a7f5.rmeta: crates/par/src/lib.rs
+
+crates/par/src/lib.rs:

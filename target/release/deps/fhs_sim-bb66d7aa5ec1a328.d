@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/fhs_sim-bb66d7aa5ec1a328.d: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/engine.rs crates/sim/src/gantt.rs crates/sim/src/metrics.rs crates/sim/src/policy.rs crates/sim/src/state.rs crates/sim/src/svg.rs crates/sim/src/timeline.rs crates/sim/src/trace.rs
+
+/root/repo/target/release/deps/libfhs_sim-bb66d7aa5ec1a328.rlib: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/engine.rs crates/sim/src/gantt.rs crates/sim/src/metrics.rs crates/sim/src/policy.rs crates/sim/src/state.rs crates/sim/src/svg.rs crates/sim/src/timeline.rs crates/sim/src/trace.rs
+
+/root/repo/target/release/deps/libfhs_sim-bb66d7aa5ec1a328.rmeta: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/engine.rs crates/sim/src/gantt.rs crates/sim/src/metrics.rs crates/sim/src/policy.rs crates/sim/src/state.rs crates/sim/src/svg.rs crates/sim/src/timeline.rs crates/sim/src/trace.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/config.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/gantt.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/policy.rs:
+crates/sim/src/state.rs:
+crates/sim/src/svg.rs:
+crates/sim/src/timeline.rs:
+crates/sim/src/trace.rs:

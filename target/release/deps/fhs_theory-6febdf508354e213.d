@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fhs_theory-6febdf508354e213.d: crates/theory/src/lib.rs crates/theory/src/bounds.rs crates/theory/src/montecarlo.rs
+
+/root/repo/target/release/deps/libfhs_theory-6febdf508354e213.rlib: crates/theory/src/lib.rs crates/theory/src/bounds.rs crates/theory/src/montecarlo.rs
+
+/root/repo/target/release/deps/libfhs_theory-6febdf508354e213.rmeta: crates/theory/src/lib.rs crates/theory/src/bounds.rs crates/theory/src/montecarlo.rs
+
+crates/theory/src/lib.rs:
+crates/theory/src/bounds.rs:
+crates/theory/src/montecarlo.rs:

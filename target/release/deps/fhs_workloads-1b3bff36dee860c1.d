@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/fhs_workloads-1b3bff36dee860c1.d: crates/workloads/src/lib.rs crates/workloads/src/adversarial.rs crates/workloads/src/ep.rs crates/workloads/src/flexgen.rs crates/workloads/src/ir.rs crates/workloads/src/resources.rs crates/workloads/src/scope.rs crates/workloads/src/spec.rs crates/workloads/src/tree.rs
+
+/root/repo/target/release/deps/libfhs_workloads-1b3bff36dee860c1.rlib: crates/workloads/src/lib.rs crates/workloads/src/adversarial.rs crates/workloads/src/ep.rs crates/workloads/src/flexgen.rs crates/workloads/src/ir.rs crates/workloads/src/resources.rs crates/workloads/src/scope.rs crates/workloads/src/spec.rs crates/workloads/src/tree.rs
+
+/root/repo/target/release/deps/libfhs_workloads-1b3bff36dee860c1.rmeta: crates/workloads/src/lib.rs crates/workloads/src/adversarial.rs crates/workloads/src/ep.rs crates/workloads/src/flexgen.rs crates/workloads/src/ir.rs crates/workloads/src/resources.rs crates/workloads/src/scope.rs crates/workloads/src/spec.rs crates/workloads/src/tree.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/adversarial.rs:
+crates/workloads/src/ep.rs:
+crates/workloads/src/flexgen.rs:
+crates/workloads/src/ir.rs:
+crates/workloads/src/resources.rs:
+crates/workloads/src/scope.rs:
+crates/workloads/src/spec.rs:
+crates/workloads/src/tree.rs:

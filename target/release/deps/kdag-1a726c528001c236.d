@@ -1,0 +1,23 @@
+/root/repo/target/release/deps/kdag-1a726c528001c236.d: crates/kdag/src/lib.rs crates/kdag/src/builder.rs crates/kdag/src/graph.rs crates/kdag/src/types.rs crates/kdag/src/compose.rs crates/kdag/src/descendants.rs crates/kdag/src/distance.rs crates/kdag/src/dot.rs crates/kdag/src/duedate.rs crates/kdag/src/examples.rs crates/kdag/src/flex.rs crates/kdag/src/metrics.rs crates/kdag/src/profile.rs crates/kdag/src/random.rs crates/kdag/src/reduction.rs crates/kdag/src/text.rs crates/kdag/src/topo.rs
+
+/root/repo/target/release/deps/libkdag-1a726c528001c236.rlib: crates/kdag/src/lib.rs crates/kdag/src/builder.rs crates/kdag/src/graph.rs crates/kdag/src/types.rs crates/kdag/src/compose.rs crates/kdag/src/descendants.rs crates/kdag/src/distance.rs crates/kdag/src/dot.rs crates/kdag/src/duedate.rs crates/kdag/src/examples.rs crates/kdag/src/flex.rs crates/kdag/src/metrics.rs crates/kdag/src/profile.rs crates/kdag/src/random.rs crates/kdag/src/reduction.rs crates/kdag/src/text.rs crates/kdag/src/topo.rs
+
+/root/repo/target/release/deps/libkdag-1a726c528001c236.rmeta: crates/kdag/src/lib.rs crates/kdag/src/builder.rs crates/kdag/src/graph.rs crates/kdag/src/types.rs crates/kdag/src/compose.rs crates/kdag/src/descendants.rs crates/kdag/src/distance.rs crates/kdag/src/dot.rs crates/kdag/src/duedate.rs crates/kdag/src/examples.rs crates/kdag/src/flex.rs crates/kdag/src/metrics.rs crates/kdag/src/profile.rs crates/kdag/src/random.rs crates/kdag/src/reduction.rs crates/kdag/src/text.rs crates/kdag/src/topo.rs
+
+crates/kdag/src/lib.rs:
+crates/kdag/src/builder.rs:
+crates/kdag/src/graph.rs:
+crates/kdag/src/types.rs:
+crates/kdag/src/compose.rs:
+crates/kdag/src/descendants.rs:
+crates/kdag/src/distance.rs:
+crates/kdag/src/dot.rs:
+crates/kdag/src/duedate.rs:
+crates/kdag/src/examples.rs:
+crates/kdag/src/flex.rs:
+crates/kdag/src/metrics.rs:
+crates/kdag/src/profile.rs:
+crates/kdag/src/random.rs:
+crates/kdag/src/reduction.rs:
+crates/kdag/src/text.rs:
+crates/kdag/src/topo.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/parking_lot-5d832d2e9827a723.d: crates/compat/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-5d832d2e9827a723.rlib: crates/compat/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-5d832d2e9827a723.rmeta: crates/compat/parking_lot/src/lib.rs
+
+crates/compat/parking_lot/src/lib.rs:

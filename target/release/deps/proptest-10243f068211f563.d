@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-10243f068211f563.d: crates/compat/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-10243f068211f563.rlib: crates/compat/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-10243f068211f563.rmeta: crates/compat/proptest/src/lib.rs
+
+crates/compat/proptest/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-9717b894da9c51eb.d: crates/compat/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-9717b894da9c51eb.rlib: crates/compat/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-9717b894da9c51eb.rmeta: crates/compat/rand/src/lib.rs
+
+crates/compat/rand/src/lib.rs:

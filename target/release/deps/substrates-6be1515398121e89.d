@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/substrates-6be1515398121e89.d: crates/bench/benches/substrates.rs
+
+/root/repo/target/release/deps/substrates-6be1515398121e89: crates/bench/benches/substrates.rs
+
+crates/bench/benches/substrates.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sweep-bd1873882d45d4d9.d: crates/experiments/src/bin/sweep.rs
+
+/root/repo/target/release/deps/sweep-bd1873882d45d4d9: crates/experiments/src/bin/sweep.rs
+
+crates/experiments/src/bin/sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/__golden_gen-3810225bd3208800.d: examples/__golden_gen.rs
+
+/root/repo/target/release/examples/__golden_gen-3810225bd3208800: examples/__golden_gen.rs
+
+examples/__golden_gen.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/__repin-41c3ca993127dd41.d: examples/__repin.rs
+
+/root/repo/target/release/examples/__repin-41c3ca993127dd41: examples/__repin.rs
+
+examples/__repin.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-2b1adfc64906bc62.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-2b1adfc64906bc62: examples/quickstart.rs
+
+examples/quickstart.rs:
