@@ -1,0 +1,158 @@
+//! Engine micro-benchmark: the indexed epoch engine (`fhs_sim::engine`)
+//! against the pre-refactor linear-scan engines preserved in
+//! `fhs_sim::reference`, on workloads wide enough that per-transition queue
+//! scans dominate (thousands of ready candidates per type).
+//!
+//! The policy deliberately picks the candidates at the *back* of each
+//! queue: the scan-based reference state then walks essentially the whole
+//! queue on every `remaining`/`progress`/`complete`, which is the
+//! O(queue²) regime motivating the indexed ready-set. FIFO is the
+//! best case for the old engine (its scans stop at position 0) and is
+//! benched alongside as the honest lower bound of the win.
+//!
+//! Besides the usual criterion run, `--json <path>` measures the headline
+//! comparison (5000+ task flat job, preemptive) and writes a small JSON
+//! baseline — `BENCH_engine.json` at the repo root is generated this way:
+//!
+//! ```console
+//! # paths are relative to crates/bench (the bench binary's CWD)
+//! cargo bench -p fhs-bench --bench engine -- --json ../../BENCH_engine.json
+//! ```
+
+use criterion::{black_box, criterion_group, Criterion};
+use fhs_sim::policy::FifoPolicy;
+use fhs_sim::{engine, reference, Assignments, EpochView, MachineConfig, Mode, Policy, RunOptions};
+use kdag::{KDag, KDagBuilder};
+use std::time::Instant;
+
+/// Tasks in the headline workload (issue floor: ≥ 5000).
+const N_TASKS: usize = 6000;
+const K: usize = 2;
+const PROCS_PER_TYPE: usize = 8;
+
+/// Takes the last `slots[α]` candidates of every queue — adversarial for
+/// linear-scan state (every transition scans past the whole queue).
+#[derive(Default)]
+struct BackOfQueue;
+
+impl Policy for BackOfQueue {
+    fn name(&self) -> &str {
+        "BackOfQueue"
+    }
+
+    fn init(&mut self, _job: &KDag, _config: &MachineConfig, _seed: u64) {}
+
+    fn assign(&mut self, view: &EpochView<'_>, out: &mut Assignments) {
+        for alpha in 0..view.config.num_types() {
+            let slots = view.slots[alpha];
+            if slots == 0 {
+                continue;
+            }
+            let queue = &view.queues[alpha];
+            let skip = queue.len().saturating_sub(slots);
+            for rt in queue.iter().skip(skip) {
+                out.push(alpha, rt.id);
+            }
+        }
+    }
+}
+
+/// A flat (dependency-free) job: every task is ready at t=0, so the queues
+/// start at their widest — the regime the indexed ready-set targets.
+fn flat_job(n: usize, k: usize) -> KDag {
+    let mut b = KDagBuilder::new(k);
+    for i in 0..n {
+        // Deterministic small works; a mix of 1..=3 keeps some tasks
+        // receiving non-completing progress updates under preemption.
+        b.add_task(i % k, 1 + (i as u64 * 7919) % 3);
+    }
+    b.build().expect("flat jobs are trivially acyclic")
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let job = flat_job(N_TASKS, K);
+    let cfg = MachineConfig::uniform(K, PROCS_PER_TYPE);
+    let opts = RunOptions::default();
+
+    let mut g = c.benchmark_group("engine/flat6000");
+    g.sample_size(10);
+    for mode in [Mode::NonPreemptive, Mode::Preemptive] {
+        let tag = match mode {
+            Mode::NonPreemptive => "np",
+            Mode::Preemptive => "p",
+        };
+        g.bench_function(format!("indexed/back/{tag}"), |b| {
+            b.iter(|| engine::run(&job, &cfg, &mut BackOfQueue, mode, &opts).makespan)
+        });
+        g.bench_function(format!("reference/back/{tag}"), |b| {
+            b.iter(|| reference::run(&job, &cfg, &mut BackOfQueue, mode, &opts).makespan)
+        });
+        g.bench_function(format!("indexed/fifo/{tag}"), |b| {
+            b.iter(|| engine::run(&job, &cfg, &mut FifoPolicy, mode, &opts).makespan)
+        });
+        g.bench_function(format!("reference/fifo/{tag}"), |b| {
+            b.iter(|| reference::run(&job, &cfg, &mut FifoPolicy, mode, &opts).makespan)
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_engines);
+
+/// Median wall time of `samples` runs of `f`, in nanoseconds.
+fn median_nanos(samples: usize, mut f: impl FnMut()) -> u128 {
+    let mut times: Vec<u128> = (0..samples)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_nanos()
+        })
+        .collect();
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
+/// Measures the headline comparison and writes the JSON baseline.
+fn write_baseline(path: &str) {
+    let job = flat_job(N_TASKS, K);
+    let cfg = MachineConfig::uniform(K, PROCS_PER_TYPE);
+    let opts = RunOptions::default();
+    let samples = 7;
+
+    // Equal work first: the two engines must agree before timing them.
+    let a = engine::run(&job, &cfg, &mut BackOfQueue, Mode::Preemptive, &opts);
+    let b = reference::run(&job, &cfg, &mut BackOfQueue, Mode::Preemptive, &opts);
+    assert_eq!(a.makespan, b.makespan, "engines diverged; baseline void");
+
+    let indexed = median_nanos(samples, || {
+        black_box(engine::run(&job, &cfg, &mut BackOfQueue, Mode::Preemptive, &opts).makespan);
+    });
+    let refr = median_nanos(samples, || {
+        black_box(reference::run(&job, &cfg, &mut BackOfQueue, Mode::Preemptive, &opts).makespan);
+    });
+    let speedup = refr as f64 / indexed as f64;
+
+    let json = format!(
+        "{{\n  \"bench\": \"engine/flat{N_TASKS}\",\n  \"workload\": {{\n    \
+         \"tasks\": {N_TASKS},\n    \"k\": {K},\n    \"procs_per_type\": {PROCS_PER_TYPE},\n    \
+         \"mode\": \"preemptive\",\n    \"policy\": \"BackOfQueue\"\n  }},\n  \
+         \"samples\": {samples},\n  \"indexed_median_ns\": {indexed},\n  \
+         \"reference_median_ns\": {refr},\n  \"speedup\": {speedup:.2}\n}}\n"
+    );
+    std::fs::write(path, &json).expect("write baseline");
+    println!("wrote {path}: indexed {indexed} ns, reference {refr} ns, speedup {speedup:.2}x");
+    assert!(
+        speedup >= 2.0,
+        "acceptance criterion: indexed engine must be ≥2× faster (got {speedup:.2}×)"
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(w) = args.windows(2).find(|w| w[0] == "--json") {
+        write_baseline(&w[1]);
+        return;
+    }
+    let mut c = Criterion::from_args();
+    benches(&mut c);
+}

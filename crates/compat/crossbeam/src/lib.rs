@@ -110,11 +110,7 @@ pub mod channel {
 
     impl<T> Clone for Sender<T> {
         fn clone(&self) -> Self {
-            self.shared
-                .state
-                .lock()
-                .expect("channel poisoned")
-                .senders += 1;
+            self.shared.state.lock().expect("channel poisoned").senders += 1;
             Sender {
                 shared: Arc::clone(&self.shared),
             }
@@ -159,7 +155,7 @@ pub mod channel {
         }
 
         /// A blocking iterator over received messages; ends at
-        /// disconnection (see [`Receiver::recv`]).
+        /// disconnection (see `Receiver::recv`).
         pub fn iter(&self) -> Iter<'_, T> {
             Iter { rx: self }
         }

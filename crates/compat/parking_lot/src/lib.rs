@@ -27,7 +27,9 @@ impl<T> Mutex<T> {
 
     /// Acquires the lock, blocking the current thread until it is free.
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        self.inner.lock().expect("mutex poisoned: a worker panicked")
+        self.inner
+            .lock()
+            .expect("mutex poisoned: a worker panicked")
     }
 
     /// Consumes the mutex and returns the protected value.

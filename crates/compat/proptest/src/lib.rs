@@ -193,12 +193,12 @@ macro_rules! impl_tuple_strategy {
     };
 }
 
-impl_tuple_strategy!(A/0);
-impl_tuple_strategy!(A/0, B/1);
-impl_tuple_strategy!(A/0, B/1, C/2);
-impl_tuple_strategy!(A/0, B/1, C/2, D/3);
-impl_tuple_strategy!(A/0, B/1, C/2, D/3, E/4);
-impl_tuple_strategy!(A/0, B/1, C/2, D/3, E/4, F/5);
+impl_tuple_strategy!(A / 0);
+impl_tuple_strategy!(A / 0, B / 1);
+impl_tuple_strategy!(A / 0, B / 1, C / 2);
+impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3);
+impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4);
+impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5);
 
 /// Choice among alternative same-typed strategies (see [`prop_oneof!`]).
 pub struct Union<T> {
@@ -262,7 +262,7 @@ pub mod collection {
         }
     }
 
-    /// Strategy returned by [`vec`].
+    /// Strategy returned by [`vec()`].
     pub struct VecStrategy<S> {
         elem: S,
         size: SizeRange,

@@ -29,6 +29,7 @@ pub use fhs_sim::policy::FifoPolicy as FifoGreedy;
 pub struct KGreedy {
     rng: StdRng,
     scratch: Vec<u32>,
+    tasks: Vec<fhs_sim::ReadyTask>,
 }
 
 impl Default for KGreedy {
@@ -36,6 +37,7 @@ impl Default for KGreedy {
         KGreedy {
             rng: StdRng::seed_from_u64(0),
             scratch: Vec::new(),
+            tasks: Vec::new(),
         }
     }
 }
@@ -57,19 +59,21 @@ impl Policy for KGreedy {
                 continue;
             }
             if queue.len() <= slots {
-                for rt in queue {
+                for rt in queue.iter() {
                     out.push(alpha, rt.id);
                 }
                 continue;
             }
-            // Partial Fisher–Yates: choose `slots` distinct queue indices
+            // Random index selection: snapshot the live queue once, then a
+            // partial Fisher–Yates chooses `slots` distinct indices
             // uniformly at random.
+            queue.collect_into(&mut self.tasks);
             self.scratch.clear();
-            self.scratch.extend(0..queue.len() as u32);
+            self.scratch.extend(0..self.tasks.len() as u32);
             for i in 0..slots {
                 let j = self.rng.gen_range(i..self.scratch.len());
                 self.scratch.swap(i, j);
-                out.push(alpha, queue[self.scratch[i] as usize].id);
+                out.push(alpha, self.tasks[self.scratch[i] as usize].id);
             }
         }
     }

@@ -159,6 +159,7 @@ pub struct Mqb {
     cand: Vec<f64>,
     best: Vec<f64>,
     taken: Vec<bool>,
+    snap: Vec<ReadyTask>,
 }
 
 impl Default for Mqb {
@@ -186,6 +187,7 @@ impl Mqb {
             cand: Vec::new(),
             best: Vec::new(),
             taken: Vec::new(),
+            snap: Vec::new(),
         }
     }
 
@@ -332,11 +334,13 @@ impl Policy for Mqb {
             if slots == 0 || queue.is_empty() {
                 continue;
             }
-            if queue.len() <= slots {
+            // Repeated random access below: snapshot the live queue once.
+            queue.collect_into(&mut self.snap);
+            if self.snap.len() <= slots {
                 // Run them all; still project their effect for the types
                 // not yet processed in this epoch.
-                for qi in 0..queue.len() {
-                    let rt = view.queues[alpha][qi];
+                for qi in 0..self.snap.len() {
+                    let rt = self.snap[qi];
                     out.push(alpha, rt.id);
                     self.apply_projection(alpha, &rt);
                 }
@@ -344,19 +348,19 @@ impl Policy for Mqb {
             }
 
             self.taken.clear();
-            self.taken.resize(queue.len(), false);
+            self.taken.resize(self.snap.len(), false);
             for _ in 0..slots {
                 let mut best_qi: Option<usize> = None;
-                for qi in 0..queue.len() {
+                for qi in 0..self.snap.len() {
                     if self.taken[qi] {
                         continue;
                     }
-                    let rt = view.queues[alpha][qi];
+                    let rt = self.snap[qi];
                     self.candidate_balance(alpha, &rt, procs);
                     let better = match best_qi {
                         None => true,
                         Some(bqi) => {
-                            let brt = &view.queues[alpha][bqi];
+                            let brt = self.snap[bqi];
                             match cmp_balance(&self.cand, &self.best) {
                                 std::cmp::Ordering::Greater => true,
                                 std::cmp::Ordering::Less => false,
@@ -381,7 +385,7 @@ impl Policy for Mqb {
                 }
                 let bqi = best_qi.expect("queue longer than slots");
                 self.taken[bqi] = true;
-                let rt = view.queues[alpha][bqi];
+                let rt = self.snap[bqi];
                 out.push(alpha, rt.id);
                 self.apply_projection(alpha, &rt);
             }

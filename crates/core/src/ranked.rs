@@ -32,7 +32,7 @@ impl Selector {
             }
             if queue.len() <= slots {
                 // "if there are at most P_α ready tasks, execute them all"
-                for rt in queue {
+                for rt in queue.iter() {
                     out.push(alpha, rt.id);
                 }
                 continue;
@@ -58,7 +58,7 @@ impl Selector {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fhs_sim::MachineConfig;
+    use fhs_sim::{MachineConfig, ReadyQueue};
     use kdag::{KDagBuilder, TaskId};
 
     fn rt(i: usize, seq: u64, rem: u64) -> ReadyTask {
@@ -77,7 +77,12 @@ mod tests {
         }
         let job = b.build().unwrap();
         let cfg = MachineConfig::uniform(1, 2);
-        let queues = vec![vec![rt(0, 0, 1), rt(1, 1, 1), rt(2, 2, 1), rt(3, 3, 1)]];
+        let queues = vec![ReadyQueue::from_tasks(vec![
+            rt(0, 0, 1),
+            rt(1, 1, 1),
+            rt(2, 2, 1),
+            rt(3, 3, 1),
+        ])];
         let view = EpochView {
             time: 0,
             job: &job,
@@ -105,7 +110,7 @@ mod tests {
         b.add_task(0, 1);
         let job = b.build().unwrap();
         let cfg = MachineConfig::uniform(1, 3);
-        let queues = vec![vec![rt(0, 0, 1), rt(1, 1, 1)]];
+        let queues = vec![ReadyQueue::from_tasks(vec![rt(0, 0, 1), rt(1, 1, 1)])];
         let view = EpochView {
             time: 0,
             job: &job,

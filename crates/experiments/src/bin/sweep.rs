@@ -9,7 +9,8 @@
 
 use fhs_core::{Algorithm, ALL_ALGORITHMS};
 use fhs_experiments::figures::{panel_csv_table, Panel};
-use fhs_experiments::runner::{run_cell, Cell};
+use fhs_experiments::runner::{run_cell, run_cell_instrumented, Cell};
+use fhs_experiments::stats::Summary;
 use fhs_sim::Mode;
 use fhs_workloads::{resources::SystemSize, Family, Typing, WorkloadSpec};
 
@@ -24,12 +25,15 @@ struct SweepArgs {
     instances: usize,
     seed: u64,
     csv: bool,
+    instrument: bool,
 }
 
 const USAGE: &str = "usage: sweep [--family ep|tree|ir] [--typing layered|random] \
 [--size small|medium] [--k K] [--skewed] [--preemptive] \
-[--algo NAME]... [--instances N] [--seed S] [--csv]\n\
-algorithm names: KGreedy LSpan DType MaxDP ShiftBT MQB MQB+All+Exp … (default: all six)";
+[--algo NAME]... [--instances N] [--seed S] [--csv] [--instrument]\n\
+algorithm names: KGreedy LSpan DType MaxDP ShiftBT MQB MQB+All+Exp … (default: all six)\n\
+--instrument appends per-algorithm engine counters (epochs, transitions, \
+assign/engine wall time) after the table";
 
 fn parse() -> Result<SweepArgs, String> {
     let mut out = SweepArgs {
@@ -43,6 +47,7 @@ fn parse() -> Result<SweepArgs, String> {
         instances: 500,
         seed: 0x5EED,
         csv: false,
+        instrument: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -90,6 +95,7 @@ fn parse() -> Result<SweepArgs, String> {
                     .map_err(|e| format!("--seed: {e}"))?
             }
             "--csv" => out.csv = true,
+            "--instrument" => out.instrument = true,
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown flag {other}\n{USAGE}")),
         }
@@ -118,6 +124,9 @@ fn main() {
     if args.skewed {
         spec = spec.skewed();
     }
+    // Per-algorithm aggregated engine counters; only filled (and printed)
+    // under --instrument so the default table output is unchanged.
+    let mut counters = Vec::new();
     let panel = Panel {
         title: format!(
             "{} — {:?}, {} instances, seed {}",
@@ -131,10 +140,16 @@ fn main() {
             .iter()
             .map(|&algo| {
                 let cell = Cell::new(spec, algo, args.mode);
-                (
-                    algo.label().to_string(),
-                    run_cell(&cell, args.instances, args.seed, None),
-                )
+                let summary = if args.instrument {
+                    let (per_instance, total) =
+                        run_cell_instrumented(&cell, args.instances, args.seed, None);
+                    counters.push((algo.label(), total));
+                    let ratios: Vec<f64> = per_instance.iter().map(|&(r, _)| r).collect();
+                    Summary::from_samples(&ratios)
+                } else {
+                    run_cell(&cell, args.instances, args.seed, None)
+                };
+                (algo.label().to_string(), summary)
             })
             .collect(),
     };
@@ -144,5 +159,14 @@ fn main() {
         print!("{}", t.to_csv());
     } else {
         print!("{}", panel.render());
+    }
+    if args.instrument {
+        println!(
+            "engine counters (summed over {} instances):",
+            args.instances
+        );
+        for (label, stats) in counters {
+            println!("  {label:<16} {stats}");
+        }
     }
 }

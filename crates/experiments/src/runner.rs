@@ -2,7 +2,7 @@
 //! combination over many seeded instances, in parallel.
 
 use fhs_core::{make_policy, Algorithm};
-use fhs_sim::{metrics, Mode, RunOptions};
+use fhs_sim::{metrics, Mode, RunOptions, RunStats};
 use fhs_workloads::WorkloadSpec;
 
 use crate::stats::Summary;
@@ -59,18 +59,41 @@ pub fn run_cell_ratios(
     base_seed: u64,
     workers: Option<usize>,
 ) -> Vec<f64> {
-    let eval = |i: u64| -> f64 {
+    run_cell_instrumented(cell, instances, base_seed, workers)
+        .0
+        .into_iter()
+        .map(|(ratio, _)| ratio)
+        .collect()
+}
+
+/// As [`run_cell_ratios`], but additionally returns each instance's engine
+/// counters plus their aggregate ([`RunStats::merge`] over all instances:
+/// counts and wall times sum, peak queue depth takes the maximum).
+pub fn run_cell_instrumented(
+    cell: &Cell,
+    instances: usize,
+    base_seed: u64,
+    workers: Option<usize>,
+) -> (Vec<(f64, RunStats)>, RunStats) {
+    let eval = |i: u64| -> (f64, RunStats) {
         let seed = instance_seed(base_seed, i);
         let (job, cfg) = cell.spec.sample(seed);
         let mut policy = make_policy(cell.algo);
         let mut opts = RunOptions::seeded(seed);
         opts.quantum = cell.quantum;
-        metrics::evaluate_with(&job, &cfg, policy.as_mut(), cell.mode, &opts).ratio
+        let (result, stats) =
+            metrics::evaluate_instrumented(&job, &cfg, policy.as_mut(), cell.mode, &opts);
+        (result.ratio, stats)
     };
-    match workers {
+    let per_instance = match workers {
         Some(w) => fhs_par::parallel_map_with(w, 0..instances as u64, eval),
         None => fhs_par::parallel_map(0..instances as u64, eval),
+    };
+    let mut total = RunStats::default();
+    for (_, stats) in &per_instance {
+        total.merge(stats);
     }
+    (per_instance, total)
 }
 
 #[cfg(test)]
@@ -115,6 +138,25 @@ mod tests {
         let s = run_cell(&c, 15, 3, Some(2));
         assert_eq!(s.n, 15);
         assert!((s.mean - raw.iter().sum::<f64>() / 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn instrumented_ratios_match_plain_and_counters_aggregate() {
+        let c = small_cell(Algorithm::DType);
+        let plain = run_cell_ratios(&c, 8, 4, Some(2));
+        let (per_instance, total) = run_cell_instrumented(&c, 8, 4, Some(2));
+        let ratios: Vec<f64> = per_instance.iter().map(|&(r, _)| r).collect();
+        assert_eq!(plain, ratios, "instrumentation must not perturb results");
+        let mut merged = RunStats::default();
+        for (_, s) in &per_instance {
+            assert!(s.epochs > 0);
+            merged.merge(s);
+        }
+        assert_eq!(merged, total);
+        assert_eq!(
+            total.transitions.releases, total.transitions.completions,
+            "every released task completes"
+        );
     }
 
     #[test]

@@ -27,15 +27,40 @@ fn fnv1a(bytes: &[u8]) -> u64 {
 /// (algorithm, mode, makespan, FNV-1a of the canonical trace CSV) on the
 /// small layered IR instance sampled with `instance_seed(0x5EED, 0)`.
 const GOLDEN_RUNS: &[(Algorithm, Mode, u64, u64)] = &[
-    (Algorithm::KGreedy, Mode::NonPreemptive, 12, 0xb8ef8b85b1976826),
+    (
+        Algorithm::KGreedy,
+        Mode::NonPreemptive,
+        12,
+        0xb8ef8b85b1976826,
+    ),
     (Algorithm::KGreedy, Mode::Preemptive, 14, 0xc0cb3ff4681954ae),
-    (Algorithm::LSpan, Mode::NonPreemptive, 12, 0xec525ddf9ed366c5),
+    (
+        Algorithm::LSpan,
+        Mode::NonPreemptive,
+        12,
+        0xec525ddf9ed366c5,
+    ),
     (Algorithm::LSpan, Mode::Preemptive, 12, 0xf8b25b10ec7d9e40),
-    (Algorithm::DType, Mode::NonPreemptive, 14, 0x2c08d7d8e5dac4c5),
+    (
+        Algorithm::DType,
+        Mode::NonPreemptive,
+        14,
+        0x2c08d7d8e5dac4c5,
+    ),
     (Algorithm::DType, Mode::Preemptive, 14, 0x20da03aa886f12af),
-    (Algorithm::MaxDP, Mode::NonPreemptive, 10, 0xe7815357881dbca1),
+    (
+        Algorithm::MaxDP,
+        Mode::NonPreemptive,
+        10,
+        0xe7815357881dbca1,
+    ),
     (Algorithm::MaxDP, Mode::Preemptive, 10, 0x8b4ab1d20a2327a1),
-    (Algorithm::ShiftBT, Mode::NonPreemptive, 12, 0xec525ddf9ed366c5),
+    (
+        Algorithm::ShiftBT,
+        Mode::NonPreemptive,
+        12,
+        0xec525ddf9ed366c5,
+    ),
     (Algorithm::ShiftBT, Mode::Preemptive, 12, 0x5b7e3b483aeb6b41),
     (Algorithm::Mqb, Mode::NonPreemptive, 11, 0x1ac2c16c8d14e932),
     (Algorithm::Mqb, Mode::Preemptive, 11, 0xcca5a3fa5d05ed91),

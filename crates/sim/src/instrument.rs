@@ -1,0 +1,135 @@
+//! Per-run engine instrumentation.
+//!
+//! Every engine run records a [`RunStats`]: how many decision epochs were
+//! executed, how much wall time the policy's `assign` calls took, how many
+//! state transitions of each kind the run performed, and the peak ready-queue
+//! depth. The counters are cheap (a handful of integer increments per epoch
+//! plus two monotonic-clock reads) and are always collected; the experiment
+//! runner surfaces them behind a `--instrument` flag.
+
+use std::fmt;
+
+/// State-transition counters maintained by [`crate::state::JobState`].
+///
+/// These count *transitions*, not tasks: under preemptive execution a task
+/// receives one `progress` update per epoch it is chosen in, so
+/// `progress_updates` usually exceeds the task count.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TransitionCounts {
+    /// Tasks released into a ready queue (roots plus dependency releases).
+    pub releases: u64,
+    /// Non-preemptive starts (`Ready` → `Running`).
+    pub starts: u64,
+    /// Completions (`Running`/`Ready` → `Done`).
+    pub completions: u64,
+    /// Preemptive progress updates (remaining-work decrements).
+    pub progress_updates: u64,
+    /// Largest number of live candidates any single type queue held.
+    pub peak_queue_depth: usize,
+}
+
+/// Counters for one engine run, surfaced on
+/// [`crate::engine::SimOutcome::stats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Decision epochs: the number of times the policy was consulted.
+    pub epochs: u64,
+    /// Total task selections across all epochs (a task re-chosen each
+    /// preemptive epoch counts every time).
+    pub tasks_assigned: u64,
+    /// State-transition counts from the run's [`crate::state::JobState`].
+    pub transitions: TransitionCounts,
+    /// Wall time spent inside `Policy::assign`, in nanoseconds.
+    pub assign_nanos: u64,
+    /// Wall time of the whole engine run (including `Policy::init` and the
+    /// assign time above), in nanoseconds.
+    pub engine_nanos: u64,
+}
+
+impl RunStats {
+    /// Merges another run's counters into this one (wall times add).
+    /// `peak_queue_depth` takes the maximum; everything else sums.
+    pub fn merge(&mut self, other: &RunStats) {
+        self.epochs += other.epochs;
+        self.tasks_assigned += other.tasks_assigned;
+        self.transitions.releases += other.transitions.releases;
+        self.transitions.starts += other.transitions.starts;
+        self.transitions.completions += other.transitions.completions;
+        self.transitions.progress_updates += other.transitions.progress_updates;
+        self.transitions.peak_queue_depth = self
+            .transitions
+            .peak_queue_depth
+            .max(other.transitions.peak_queue_depth);
+        self.assign_nanos += other.assign_nanos;
+        self.engine_nanos += other.engine_nanos;
+    }
+}
+
+impl fmt::Display for RunStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "epochs {} | assigned {} | released {} | started {} | completed {} \
+             | progressed {} | peak queue {} | assign {:.3} ms | engine {:.3} ms",
+            self.epochs,
+            self.tasks_assigned,
+            self.transitions.releases,
+            self.transitions.starts,
+            self.transitions.completions,
+            self.transitions.progress_updates,
+            self.transitions.peak_queue_depth,
+            self.assign_nanos as f64 / 1e6,
+            self.engine_nanos as f64 / 1e6,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_sums_counts_and_maxes_peak_depth() {
+        let mut a = RunStats {
+            epochs: 2,
+            tasks_assigned: 5,
+            transitions: TransitionCounts {
+                releases: 3,
+                starts: 3,
+                completions: 3,
+                progress_updates: 0,
+                peak_queue_depth: 7,
+            },
+            assign_nanos: 100,
+            engine_nanos: 500,
+        };
+        let b = RunStats {
+            epochs: 1,
+            tasks_assigned: 2,
+            transitions: TransitionCounts {
+                releases: 1,
+                starts: 0,
+                completions: 1,
+                progress_updates: 4,
+                peak_queue_depth: 4,
+            },
+            assign_nanos: 50,
+            engine_nanos: 200,
+        };
+        a.merge(&b);
+        assert_eq!(a.epochs, 3);
+        assert_eq!(a.tasks_assigned, 7);
+        assert_eq!(a.transitions.releases, 4);
+        assert_eq!(a.transitions.progress_updates, 4);
+        assert_eq!(a.transitions.peak_queue_depth, 7);
+        assert_eq!(a.assign_nanos, 150);
+        assert_eq!(a.engine_nanos, 700);
+    }
+
+    #[test]
+    fn display_is_single_line() {
+        let s = RunStats::default().to_string();
+        assert!(!s.contains('\n'));
+        assert!(s.contains("epochs 0"));
+    }
+}

@@ -6,10 +6,12 @@
 //! processors of type `α`, and becomes *ready* once all its parents have
 //! completed.
 //!
-//! Two execution engines are provided:
+//! A single unified epoch/event loop ([`engine::run`]) serves both
+//! execution modes:
 //!
-//! * **Non-preemptive** ([`engine::run`] with [`Mode::NonPreemptive`]):
-//!   tasks are placed when a processor is idle and run to completion.
+//! * **Non-preemptive** ([`Mode::NonPreemptive`]): tasks are placed when a
+//!   processor is idle and run to completion; the clock jumps between
+//!   completion events.
 //! * **Preemptive** ([`Mode::Preemptive`]): conceptually the scheduler
 //!   re-decides the full processor assignment at every unit quantum; a task
 //!   may be paused and later resumed on a different processor. By default
@@ -20,6 +22,15 @@
 //!   cadence for those that do (LSpan, MQB). Pass
 //!   [`RunOptions::with_quantum`]`(1)` (or use [`engine::run_per_step`])
 //!   for the paper's literal per-quantum scheduler.
+//!
+//! The run state keeps its candidates in indexed, arrival-ordered
+//! [`ready_queue::ReadyQueue`]s: a dense task→slot position map plus
+//! tombstoned removal makes every state transition O(1) amortized while
+//! policies still observe exact FIFO (seq) order. The pre-indexed
+//! linear-scan engines survive unchanged in [`mod@reference`] as a
+//! property-test oracle and benchmark baseline, and every run collects an
+//! [`instrument::RunStats`] (epochs, policy wall time, transition counts,
+//! peak queue depth) on [`SimOutcome`].
 //!
 //! Scheduling behaviour is supplied through the [`Policy`] trait; the six
 //! algorithms of the paper live in the `fhs-core` crate. The engines
@@ -52,8 +63,11 @@ mod config;
 
 pub mod engine;
 pub mod gantt;
+pub mod instrument;
 pub mod metrics;
 pub mod policy;
+pub mod ready_queue;
+pub mod reference;
 pub mod state;
 pub mod svg;
 pub mod timeline;
@@ -61,7 +75,9 @@ pub mod trace;
 
 pub use config::MachineConfig;
 pub use engine::{Mode, RunOptions, SimOutcome};
+pub use instrument::{RunStats, TransitionCounts};
 pub use policy::{Assignments, EpochView, Policy, ReadyTask};
+pub use ready_queue::ReadyQueue;
 
 /// Simulator clock value, in discrete time units.
 pub type Time = u64;

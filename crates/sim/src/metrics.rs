@@ -4,6 +4,7 @@ use kdag::KDag;
 
 use crate::config::MachineConfig;
 use crate::engine::{run, Mode, RunOptions};
+use crate::instrument::RunStats;
 use crate::policy::Policy;
 use crate::Time;
 
@@ -39,9 +40,21 @@ pub fn evaluate_with(
     mode: Mode,
     opts: &RunOptions,
 ) -> EvalResult {
+    evaluate_instrumented(job, config, policy, mode, opts).0
+}
+
+/// As [`evaluate_with`], but also returns the run's engine counters for
+/// callers that aggregate instrumentation across instances.
+pub fn evaluate_instrumented(
+    job: &KDag,
+    config: &MachineConfig,
+    policy: &mut dyn Policy,
+    mode: Mode,
+    opts: &RunOptions,
+) -> (EvalResult, RunStats) {
     let out = run(job, config, policy, mode, opts);
     let lb = kdag::metrics::lower_bound(job, config.procs_per_type());
-    EvalResult {
+    let result = EvalResult {
         makespan: out.makespan,
         lower_bound: lb,
         ratio: if lb == 0 {
@@ -49,7 +62,8 @@ pub fn evaluate_with(
         } else {
             out.makespan as f64 / lb as f64
         },
-    }
+    };
+    (result, out.stats)
 }
 
 #[cfg(test)]

@@ -16,6 +16,7 @@
 use kdag::{KDag, TaskId, Work};
 
 use crate::config::MachineConfig;
+use crate::ready_queue::ReadyQueue;
 use crate::Time;
 
 /// A candidate task visible to the policy at a decision epoch.
@@ -46,7 +47,11 @@ pub struct EpochView<'a> {
     /// Preemptive epochs list ready **and currently-running** tasks — the
     /// policy re-decides the whole allocation and un-chosen running tasks
     /// are preempted.
-    pub queues: &'a [Vec<ReadyTask>],
+    ///
+    /// Read through [`ReadyQueue::iter`] /
+    /// [`ReadyQueue::first`]; policies that select by queue index should
+    /// snapshot once per epoch via [`ReadyQueue::collect_into`].
+    pub queues: &'a [ReadyQueue],
     /// Total remaining work per queue — the `l_α` of MQB's x-utilization.
     pub queue_work: &'a [Work],
     /// Upper bound on how many tasks may be chosen per type: free
@@ -73,13 +78,15 @@ pub struct Assignments {
 }
 
 impl Assignments {
-    /// Clears and resizes for `k` types.
+    /// Clears and resizes for `k` types, reusing the retained buffers.
     pub fn reset(&mut self, k: usize) {
-        self.per_type.resize_with(k, Vec::new);
-        self.per_type.truncate(k);
         for v in &mut self.per_type {
             v.clear();
         }
+        // `resize_with` both grows (fresh empty lanes) and shrinks; the
+        // lanes kept across calls were cleared above, so no stale task can
+        // survive a shrink-then-grow cycle.
+        self.per_type.resize_with(k, Vec::new);
     }
 
     /// Schedules `task` onto a type-`alpha` processor this epoch.
@@ -179,13 +186,32 @@ mod tests {
     }
 
     #[test]
+    fn assignments_reset_to_smaller_k_drops_tail_lanes() {
+        // Regression: shrinking `k` must leave exactly `k` empty lanes and
+        // no stale task may resurface when growing back.
+        let mut a = Assignments::default();
+        a.reset(3);
+        a.push(2, TaskId::from_index(7));
+        a.push(0, TaskId::from_index(1));
+        a.reset(2);
+        assert_eq!(a.total(), 0);
+        assert_eq!(a.chosen(0), &[]);
+        assert_eq!(a.chosen(1), &[]);
+        a.push(1, TaskId::from_index(4));
+        assert_eq!(a.total(), 1);
+        a.reset(3);
+        assert_eq!(a.total(), 0);
+        assert_eq!(a.chosen(2), &[], "stale lane survived shrink-then-grow");
+    }
+
+    #[test]
     fn fifo_takes_prefix_per_type() {
         let mut b = KDagBuilder::new(2);
         let ids: Vec<_> = (0..4).map(|i| b.add_task(i % 2, 1)).collect();
         let job = b.build().unwrap();
         let cfg = MachineConfig::new(vec![1, 2]);
         let queues = vec![
-            vec![
+            ReadyQueue::from_tasks(vec![
                 ReadyTask {
                     id: ids[0],
                     seq: 0,
@@ -196,8 +222,8 @@ mod tests {
                     seq: 2,
                     remaining: 1,
                 },
-            ],
-            vec![
+            ]),
+            ReadyQueue::from_tasks(vec![
                 ReadyTask {
                     id: ids[1],
                     seq: 1,
@@ -208,7 +234,7 @@ mod tests {
                     seq: 3,
                     remaining: 1,
                 },
-            ],
+            ]),
         ];
         let view = EpochView {
             time: 0,
@@ -238,7 +264,7 @@ mod tests {
             time: 0,
             job: &job,
             config: &cfg,
-            queues: &[vec![], vec![]],
+            queues: &[ReadyQueue::new(), ReadyQueue::new()],
             queue_work: &[10, 10],
             slots: &[2, 4],
             preemptive: false,

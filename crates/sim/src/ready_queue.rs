@@ -1,0 +1,254 @@
+//! Indexed, arrival-ordered candidate queues.
+//!
+//! A [`ReadyQueue`] stores one type's ready candidates in arrival (`seq`)
+//! order. Removal does not shift elements: slots are *tombstoned* and
+//! reclaimed by an amortized compaction pass, so — together with the dense
+//! task→slot position map kept by [`crate::state::JobState`] — the state
+//! transitions `start`/`complete`/`progress`/`remaining` are O(1) amortized
+//! instead of a linear scan per call. Iteration skips tombstones and
+//! therefore presents exactly the arrival-ordered live sequence a plain
+//! `Vec` with order-preserving removal would: FIFO and seq-sensitive
+//! policies observe bit-for-bit identical queues.
+//!
+//! Compaction runs when the tombstone count reaches
+//! `max(live, MIN_COMPACT_SLACK)`, which bounds the backing storage to
+//! `2·live + MIN_COMPACT_SLACK` entries — iteration stays O(live) and each
+//! entry is moved O(1) amortized times over its queue lifetime.
+
+use kdag::TaskId;
+
+use crate::policy::ReadyTask;
+
+/// Tombstone slack below which compaction is never triggered; keeps tiny
+/// queues from compacting on every removal.
+const MIN_COMPACT_SLACK: usize = 8;
+
+/// One type's candidate queue: arrival-ordered storage with tombstoned
+/// removal and amortized compaction.
+///
+/// Policies read it through [`len`](ReadyQueue::len),
+/// [`iter`](ReadyQueue::iter), [`first`](ReadyQueue::first) and
+/// [`collect_into`](ReadyQueue::collect_into); mutation is reserved to the
+/// simulator state (`crate`-internal).
+#[derive(Clone, Debug, Default)]
+pub struct ReadyQueue {
+    entries: Vec<ReadyTask>,
+    live: Vec<bool>,
+    live_count: usize,
+}
+
+impl ReadyQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        ReadyQueue::default()
+    }
+
+    /// Builds a queue holding `tasks` in the given (arrival) order.
+    ///
+    /// Intended for tests and benchmarks that construct an
+    /// [`crate::policy::EpochView`] by hand.
+    pub fn from_tasks(tasks: Vec<ReadyTask>) -> Self {
+        let n = tasks.len();
+        ReadyQueue {
+            entries: tasks,
+            live: vec![true; n],
+            live_count: n,
+        }
+    }
+
+    /// Number of live candidates.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.live_count
+    }
+
+    /// `true` when no candidate is queued.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.live_count == 0
+    }
+
+    /// Iterates the live candidates in arrival order, skipping tombstones.
+    #[inline]
+    pub fn iter(&self) -> impl Iterator<Item = &ReadyTask> + '_ {
+        self.entries
+            .iter()
+            .zip(&self.live)
+            .filter_map(|(rt, &alive)| alive.then_some(rt))
+    }
+
+    /// The earliest-arrived live candidate, if any.
+    #[inline]
+    pub fn first(&self) -> Option<&ReadyTask> {
+        self.iter().next()
+    }
+
+    /// Clears `buf` and fills it with the live candidates in arrival order.
+    ///
+    /// Policies that need random access to the queue (index-based selection)
+    /// snapshot it through this once per epoch instead of paying a tombstone
+    /// skip per access.
+    pub fn collect_into(&self, buf: &mut Vec<ReadyTask>) {
+        buf.clear();
+        buf.extend(self.iter().copied());
+    }
+
+    /// Appends a candidate, returning its slot for the position map.
+    pub(crate) fn push(&mut self, rt: ReadyTask) -> usize {
+        self.entries.push(rt);
+        self.live.push(true);
+        self.live_count += 1;
+        self.entries.len() - 1
+    }
+
+    /// The candidate at `slot` (must be live).
+    #[inline]
+    pub(crate) fn slot(&self, slot: usize) -> &ReadyTask {
+        debug_assert!(self.live[slot], "slot {slot} is tombstoned");
+        &self.entries[slot]
+    }
+
+    /// Mutable access to the candidate at `slot` (must be live).
+    #[inline]
+    pub(crate) fn slot_mut(&mut self, slot: usize) -> &mut ReadyTask {
+        debug_assert!(self.live[slot], "slot {slot} is tombstoned");
+        &mut self.entries[slot]
+    }
+
+    /// Tombstones `slot` and returns its candidate. O(1); storage is
+    /// reclaimed later by [`compact`](Self::compact).
+    pub(crate) fn remove_slot(&mut self, slot: usize) -> ReadyTask {
+        debug_assert!(self.live[slot], "slot {slot} already tombstoned");
+        self.live[slot] = false;
+        self.live_count -= 1;
+        self.entries[slot]
+    }
+
+    /// Number of tombstoned slots awaiting compaction.
+    #[inline]
+    pub(crate) fn dead(&self) -> usize {
+        self.entries.len() - self.live_count
+    }
+
+    /// `true` once enough tombstones accumulated to amortize a compaction.
+    #[inline]
+    pub(crate) fn needs_compaction(&self) -> bool {
+        self.dead() >= self.live_count.max(MIN_COMPACT_SLACK)
+    }
+
+    /// Drops all tombstones, preserving arrival order. Calls
+    /// `on_move(task, new_slot)` for every surviving candidate so the owner
+    /// can fix its position map.
+    pub(crate) fn compact(&mut self, mut on_move: impl FnMut(TaskId, usize)) {
+        let mut w = 0usize;
+        for r in 0..self.entries.len() {
+            if self.live[r] {
+                self.entries[w] = self.entries[r];
+                on_move(self.entries[w].id, w);
+                w += 1;
+            }
+        }
+        self.entries.truncate(w);
+        self.live.truncate(w);
+        self.live.fill(true);
+    }
+
+    /// Linear-scan removal with element shifting — the pre-indexed
+    /// behaviour, kept for the [`crate::reference`] engine (its state holds
+    /// no position map).
+    pub(crate) fn scan_remove(&mut self, id: TaskId) -> Option<ReadyTask> {
+        let at = self
+            .entries
+            .iter()
+            .zip(&self.live)
+            .position(|(rt, &alive)| alive && rt.id == id)?;
+        self.live.remove(at);
+        self.live_count -= 1;
+        Some(self.entries.remove(at))
+    }
+
+    /// Linear-scan lookup (reference engine).
+    pub(crate) fn scan_find(&self, id: TaskId) -> Option<&ReadyTask> {
+        self.iter().find(|rt| rt.id == id)
+    }
+
+    /// Linear-scan mutable lookup (reference engine).
+    pub(crate) fn scan_find_mut(&mut self, id: TaskId) -> Option<&mut ReadyTask> {
+        self.entries
+            .iter_mut()
+            .zip(&self.live)
+            .find_map(|(rt, &alive)| (alive && rt.id == id).then_some(rt))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kdag::Work;
+
+    fn rt(i: usize, seq: u64, rem: Work) -> ReadyTask {
+        ReadyTask {
+            id: TaskId::from_index(i),
+            seq,
+            remaining: rem,
+        }
+    }
+
+    #[test]
+    fn iteration_skips_tombstones_in_arrival_order() {
+        let mut q = ReadyQueue::from_tasks(vec![rt(0, 0, 1), rt(1, 1, 1), rt(2, 2, 1)]);
+        let removed = q.remove_slot(1);
+        assert_eq!(removed.id, TaskId::from_index(1));
+        assert_eq!(q.len(), 2);
+        let ids: Vec<usize> = q.iter().map(|r| r.id.index()).collect();
+        assert_eq!(ids, vec![0, 2]);
+        assert_eq!(q.first().unwrap().id.index(), 0);
+    }
+
+    #[test]
+    fn compaction_preserves_order_and_reports_new_slots() {
+        let mut q = ReadyQueue::from_tasks((0..6).map(|i| rt(i, i as u64, 1)).collect());
+        q.remove_slot(0);
+        q.remove_slot(2);
+        q.remove_slot(4);
+        let mut moves = Vec::new();
+        q.compact(|id, slot| moves.push((id.index(), slot)));
+        assert_eq!(moves, vec![(1, 0), (3, 1), (5, 2)]);
+        assert_eq!(q.dead(), 0);
+        let ids: Vec<usize> = q.iter().map(|r| r.id.index()).collect();
+        assert_eq!(ids, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn compaction_threshold_requires_minimum_slack() {
+        let mut q = ReadyQueue::from_tasks((0..4).map(|i| rt(i, i as u64, 1)).collect());
+        q.remove_slot(0);
+        q.remove_slot(1);
+        q.remove_slot(2);
+        // 3 dead, 1 live: under MIN_COMPACT_SLACK, no compaction yet.
+        assert!(!q.needs_compaction());
+    }
+
+    #[test]
+    fn scan_remove_matches_vec_remove_semantics() {
+        let mut q = ReadyQueue::from_tasks(vec![rt(0, 0, 1), rt(1, 1, 2), rt(2, 2, 3)]);
+        assert!(q.scan_remove(TaskId::from_index(9)).is_none());
+        let got = q.scan_remove(TaskId::from_index(1)).unwrap();
+        assert_eq!(got.remaining, 2);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.dead(), 0, "scan removal shifts; no tombstones");
+        assert_eq!(q.scan_find(TaskId::from_index(2)).unwrap().remaining, 3);
+        q.scan_find_mut(TaskId::from_index(2)).unwrap().remaining = 7;
+        assert_eq!(q.scan_find(TaskId::from_index(2)).unwrap().remaining, 7);
+    }
+
+    #[test]
+    fn collect_into_reuses_buffer() {
+        let mut q = ReadyQueue::from_tasks(vec![rt(0, 0, 1), rt(1, 1, 1)]);
+        q.remove_slot(0);
+        let mut buf = vec![rt(9, 9, 9)];
+        q.collect_into(&mut buf);
+        assert_eq!(buf.len(), 1);
+        assert_eq!(buf[0].id.index(), 1);
+    }
+}

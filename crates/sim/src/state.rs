@@ -2,7 +2,9 @@
 
 use kdag::{KDag, TaskId, Work};
 
+use crate::instrument::TransitionCounts;
 use crate::policy::ReadyTask;
+use crate::ready_queue::ReadyQueue;
 
 /// Lifecycle of a task during simulation.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -23,15 +25,23 @@ pub enum TaskStatus {
 ///
 /// The per-type queues are kept in arrival order (monotonic `seq`), so FIFO
 /// policies can dispatch by prefix and every policy sees a deterministic
-/// ordering.
+/// ordering. A dense task→slot position map (`pos`) indexes every `Ready`
+/// task's queue entry, making [`start`](JobState::start),
+/// [`complete`](JobState::complete), [`progress`](JobState::progress) and
+/// [`remaining`](JobState::remaining) O(1) amortized — removal tombstones
+/// the slot and an amortized compaction pass (see [`ReadyQueue`]) reclaims
+/// storage without disturbing arrival order.
 #[derive(Debug)]
 pub struct JobState {
     status: Vec<TaskStatus>,
     indeg: Vec<u32>,
-    queues: Vec<Vec<ReadyTask>>,
+    queues: Vec<ReadyQueue>,
     queue_work: Vec<Work>,
+    /// Slot of each task in its type's queue; valid only while `Ready`.
+    pos: Vec<u32>,
     next_seq: u64,
     done: usize,
+    counts: TransitionCounts,
 }
 
 impl JobState {
@@ -44,10 +54,12 @@ impl JobState {
             indeg: (0..n)
                 .map(|i| job.num_parents(TaskId::from_index(i)) as u32)
                 .collect(),
-            queues: vec![Vec::new(); job.num_types()],
+            queues: vec![ReadyQueue::new(); job.num_types()],
             queue_work: vec![0; job.num_types()],
+            pos: vec![0; n],
             next_seq: 0,
             done: 0,
+            counts: TransitionCounts::default(),
         };
         for v in job.roots() {
             s.release(job, v);
@@ -75,7 +87,7 @@ impl JobState {
 
     /// The per-type candidate queues, arrival-ordered.
     #[inline]
-    pub fn queues(&self) -> &[Vec<ReadyTask>] {
+    pub fn queues(&self) -> &[ReadyQueue] {
         &self.queues
     }
 
@@ -85,19 +97,45 @@ impl JobState {
         &self.queue_work
     }
 
+    /// State-transition counters accumulated so far (see
+    /// [`TransitionCounts`]).
+    #[inline]
+    pub fn transition_counts(&self) -> TransitionCounts {
+        self.counts
+    }
+
     /// Releases `v` into its queue with the next arrival sequence number.
     fn release(&mut self, job: &KDag, v: TaskId) {
         debug_assert_eq!(self.status[v.index()], TaskStatus::Blocked);
         self.status[v.index()] = TaskStatus::Ready;
         let alpha = job.rtype(v);
         let w = job.work(v);
-        self.queues[alpha].push(ReadyTask {
+        let slot = self.queues[alpha].push(ReadyTask {
             id: v,
             seq: self.next_seq,
             remaining: w,
         });
+        self.pos[v.index()] = slot as u32;
         self.queue_work[alpha] += w;
         self.next_seq += 1;
+        self.counts.releases += 1;
+        let depth = self.queues[alpha].len();
+        if depth > self.counts.peak_queue_depth {
+            self.counts.peak_queue_depth = depth;
+        }
+    }
+
+    /// Tombstones `v`'s queue entry via the position map and compacts the
+    /// queue if enough dead slots accumulated.
+    fn unqueue(&mut self, job: &KDag, v: TaskId) -> ReadyTask {
+        let alpha = job.rtype(v);
+        let rt = self.queues[alpha].remove_slot(self.pos[v.index()] as usize);
+        self.queue_work[alpha] -= rt.remaining;
+        if self.queues[alpha].needs_compaction() {
+            let pos = &mut self.pos;
+            self.queues[alpha].compact(|id, slot| pos[id.index()] = slot as u32);
+        }
+        rt
     }
 
     /// Non-preemptive start: moves `v` from `Ready` to `Running`, removing
@@ -113,13 +151,8 @@ impl JobState {
             "policy selected task {v} which is not ready"
         );
         self.status[v.index()] = TaskStatus::Running;
-        let alpha = job.rtype(v);
-        let pos = self.queues[alpha]
-            .iter()
-            .position(|rt| rt.id == v)
-            .expect("ready task must be queued");
-        let rt = self.queues[alpha].remove(pos);
-        self.queue_work[alpha] -= rt.remaining;
+        let rt = self.unqueue(job, v);
+        self.counts.starts += 1;
         rt.remaining
     }
 
@@ -133,16 +166,11 @@ impl JobState {
         );
         if st == TaskStatus::Ready {
             // Preemptive completion: still queued; drop the entry.
-            let alpha = job.rtype(v);
-            let pos = self.queues[alpha]
-                .iter()
-                .position(|rt| rt.id == v)
-                .expect("ready task must be queued");
-            let rt = self.queues[alpha].remove(pos);
-            self.queue_work[alpha] -= rt.remaining;
+            self.unqueue(job, v);
         }
         self.status[v.index()] = TaskStatus::Done;
         self.done += 1;
+        self.counts.completions += 1;
         for &c in job.children(v) {
             self.indeg[c.index()] -= 1;
             if self.indeg[c.index()] == 0 {
@@ -163,23 +191,26 @@ impl JobState {
             "progressing task {v} which is not a candidate"
         );
         let alpha = job.rtype(v);
-        let rt = self.queues[alpha]
-            .iter_mut()
-            .find(|rt| rt.id == v)
-            .expect("ready task must be queued");
+        let rt = self.queues[alpha].slot_mut(self.pos[v.index()] as usize);
         assert!(rt.remaining >= dt, "task {v} overran its remaining work");
         rt.remaining -= dt;
+        let rem = rt.remaining;
         self.queue_work[alpha] -= dt;
-        rt.remaining
+        self.counts.progress_updates += 1;
+        rem
     }
 
     /// Remaining work of a queued candidate (preemptive engines).
     pub fn remaining(&self, job: &KDag, v: TaskId) -> Option<Work> {
+        if self.status[v.index()] != TaskStatus::Ready {
+            return None;
+        }
         let alpha = job.rtype(v);
-        self.queues[alpha]
-            .iter()
-            .find(|rt| rt.id == v)
-            .map(|rt| rt.remaining)
+        Some(
+            self.queues[alpha]
+                .slot(self.pos[v.index()] as usize)
+                .remaining,
+        )
     }
 }
 
@@ -270,6 +301,52 @@ mod tests {
         s.complete(&job, a);
         s.start(&job, c);
         s.complete(&job, c);
-        assert_eq!(s.queues()[0][0].seq, 2);
+        assert_eq!(s.queues()[0].first().unwrap().seq, 2);
+    }
+
+    #[test]
+    fn scattered_removals_survive_compaction() {
+        // 40 independent tasks; start every third one in scattered order,
+        // forcing tombstones past the compaction threshold, then verify the
+        // survivors iterate in arrival order and remain operable through
+        // the (relocated) position map.
+        let mut b = KDagBuilder::new(1);
+        let ids: Vec<TaskId> = (0..40).map(|_| b.add_task(0, 5)).collect();
+        let job = b.build().unwrap();
+        let mut s = JobState::new(&job);
+        let mut started = Vec::new();
+        for (i, &v) in ids.iter().enumerate() {
+            if i % 3 == 0 {
+                s.start(&job, v);
+                started.push(v);
+            }
+        }
+        let expect: Vec<usize> = (0..40).filter(|i| i % 3 != 0).collect();
+        let got: Vec<usize> = s.queues()[0].iter().map(|rt| rt.id.index()).collect();
+        assert_eq!(got, expect);
+        // Survivors still progress and complete via their slots.
+        assert_eq!(s.progress(&job, ids[1], 2), 3);
+        assert_eq!(s.remaining(&job, ids[1]), Some(3));
+        s.complete(&job, ids[1]);
+        assert_eq!(s.status(ids[1]), TaskStatus::Done);
+        let total: Work = s.queues()[0].iter().map(|rt| rt.remaining).sum();
+        assert_eq!(total, s.queue_work()[0]);
+    }
+
+    #[test]
+    fn transition_counts_track_lifecycle() {
+        let (job, ids) = chain();
+        let mut s = JobState::new(&job);
+        assert_eq!(s.transition_counts().releases, 1); // the root
+        assert_eq!(s.transition_counts().peak_queue_depth, 1);
+        s.start(&job, ids[0]);
+        s.complete(&job, ids[0]);
+        s.progress(&job, ids[1], 3);
+        s.complete(&job, ids[1]);
+        let c = s.transition_counts();
+        assert_eq!(c.releases, 3);
+        assert_eq!(c.starts, 1);
+        assert_eq!(c.completions, 2);
+        assert_eq!(c.progress_updates, 1);
     }
 }

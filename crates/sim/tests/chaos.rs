@@ -15,6 +15,7 @@ use rand::{Rng, SeedableRng};
 /// empty when work exists) of candidates each epoch.
 struct ChaosPolicy {
     rng: StdRng,
+    scratch: Vec<fhs_sim::ReadyTask>,
 }
 
 impl Policy for ChaosPolicy {
@@ -30,11 +31,13 @@ impl Policy for ChaosPolicy {
         let mut chose_any = false;
         let mut fallback: Option<(usize, TaskId)> = None;
         for alpha in 0..view.config.num_types() {
-            let queue = &view.queues[alpha];
             let slots = view.slots[alpha];
-            if slots == 0 || queue.is_empty() {
+            if slots == 0 || view.queues[alpha].is_empty() {
                 continue;
             }
+            // index-based selection: snapshot the live queue once
+            view.queues[alpha].collect_into(&mut self.scratch);
+            let queue = &self.scratch;
             if fallback.is_none() {
                 fallback = Some((alpha, queue[0].id));
             }
@@ -97,7 +100,7 @@ proptest! {
     ) {
         let cfg = MachineConfig::new(procs);
         for mode in [Mode::NonPreemptive, Mode::Preemptive] {
-            let mut policy = ChaosPolicy { rng: StdRng::seed_from_u64(0) };
+            let mut policy = ChaosPolicy { rng: StdRng::seed_from_u64(0), scratch: Vec::new() };
             let mut opts = RunOptions::seeded(seed).with_trace();
             opts.quantum = quantum;
             let out = engine::run(&dag, &cfg, &mut policy, mode, &opts);
@@ -118,7 +121,7 @@ proptest! {
     ) {
         let cfg = MachineConfig::uniform(2, 2);
         let lb = kdag::metrics::lower_bound(&dag, cfg.procs_per_type());
-        let mut policy = ChaosPolicy { rng: StdRng::seed_from_u64(0) };
+        let mut policy = ChaosPolicy { rng: StdRng::seed_from_u64(0), scratch: Vec::new() };
         let out = engine::run(&dag, &cfg, &mut policy, Mode::Preemptive, &RunOptions::seeded(seed));
         prop_assert!(out.makespan >= lb);
     }

@@ -183,6 +183,7 @@ mod tests {
         #[derive(Default)]
         struct DescFirst {
             d: Vec<f64>,
+            snap: Vec<fhs_sim::ReadyTask>,
         }
 
         impl Policy for DescFirst {
@@ -194,13 +195,12 @@ mod tests {
             }
             fn assign(&mut self, view: &EpochView<'_>, out: &mut Assignments) {
                 for alpha in 0..view.config.num_types() {
-                    let mut idx: Vec<usize> = (0..view.queues[alpha].len()).collect();
-                    idx.sort_by(|&a, &b| {
-                        self.d[view.queues[alpha][b].id.index()]
-                            .total_cmp(&self.d[view.queues[alpha][a].id.index()])
-                    });
-                    for &i in idx.iter().take(view.slots[alpha]) {
-                        out.push(alpha, view.queues[alpha][i].id);
+                    view.queues[alpha].collect_into(&mut self.snap);
+                    let d = &self.d;
+                    self.snap
+                        .sort_by(|a, b| d[b.id.index()].total_cmp(&d[a.id.index()]));
+                    for rt in self.snap.iter().take(view.slots[alpha]) {
+                        out.push(alpha, rt.id);
                     }
                 }
             }
