@@ -1,0 +1,158 @@
+//! Sweep macro-benchmark: the instance-major artifact-cached sweep
+//! (`run_sweep`) against the legacy cell-major baseline (`run_cell_ratios`
+//! once per `(algorithm, mode)` cell), on the full six-algorithm ×
+//! two-mode grid.
+//!
+//! Cell-major evaluation re-samples and re-analyzes every instance for
+//! every cell, so its generation + precompute cost is
+//! `O(cells × instances)`; the sweep samples each seeded instance once,
+//! computes its `kdag::precompute::Artifacts` once, and shares both across
+//! all cells — `O(instances)`. On ≥1000-task IR jobs (hundreds of
+//! thousands of edges), sampling and analysis dominate, which is the win
+//! this bench pins.
+//!
+//! Besides the usual criterion run, `--json <path>` measures the headline
+//! comparison (Large layered IR, ≥1000 tasks per instance, all 12 cells)
+//! and writes a small JSON baseline — `BENCH_sweep.json` at the repo root
+//! is generated this way:
+//!
+//! ```console
+//! # paths are relative to crates/bench (the bench binary's CWD)
+//! cargo bench -p fhs-bench --bench sweep -- --json ../../BENCH_sweep.json
+//! ```
+
+use criterion::{black_box, criterion_group, Criterion};
+use fhs_core::ALL_ALGORITHMS;
+use fhs_experiments::runner::{instance_seed, run_cell_ratios, run_sweep, Cell, SweepCell};
+use fhs_sim::Mode;
+use fhs_workloads::{resources::SystemSize, Family, Typing, WorkloadSpec};
+use std::time::Instant;
+
+const K: usize = 4;
+const BASE_SEED: u64 = 0xBE7C;
+
+/// The full figure-4-style grid: six algorithms × both modes.
+fn grid() -> Vec<SweepCell> {
+    let mut cells = Vec::new();
+    for mode in [Mode::NonPreemptive, Mode::Preemptive] {
+        for algo in ALL_ALGORITHMS {
+            cells.push(SweepCell::new(algo, mode));
+        }
+    }
+    cells
+}
+
+/// Cell-major baseline: one independent `run_cell_ratios` pass per cell,
+/// exactly what a per-figure loop over algorithms does.
+fn run_cell_major(spec: &WorkloadSpec, cells: &[SweepCell], instances: usize) -> Vec<Vec<f64>> {
+    cells
+        .iter()
+        .map(|sc| {
+            let mut cell = Cell::new(*spec, sc.algo, sc.mode);
+            cell.quantum = sc.quantum;
+            run_cell_ratios(&cell, instances, BASE_SEED, None)
+        })
+        .collect()
+}
+
+fn run_instance_major(spec: &WorkloadSpec, cells: &[SweepCell], instances: usize) -> Vec<Vec<f64>> {
+    run_sweep(spec, cells, instances, BASE_SEED, None)
+        .into_iter()
+        .map(|col| col.ratios)
+        .collect()
+}
+
+fn bench_sweep(c: &mut Criterion) {
+    // Medium keeps the default criterion run affordable; the --json
+    // baseline uses Large (≥1000-task) instances.
+    let spec = WorkloadSpec::new(Family::Ir, Typing::Layered, SystemSize::Medium, K);
+    let cells = grid();
+    let instances = 8;
+
+    let mut g = c.benchmark_group("sweep/medium-ir-12cells");
+    g.sample_size(10);
+    g.bench_function("cell-major", |b| {
+        b.iter(|| black_box(run_cell_major(&spec, &cells, instances)))
+    });
+    g.bench_function("instance-major", |b| {
+        b.iter(|| black_box(run_instance_major(&spec, &cells, instances)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_sweep);
+
+/// Median wall time of `samples` runs of `f`, in nanoseconds.
+fn median_nanos(samples: usize, mut f: impl FnMut()) -> u128 {
+    let mut times: Vec<u128> = (0..samples)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_nanos()
+        })
+        .collect();
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
+/// Measures the headline comparison and writes the JSON baseline.
+fn write_baseline(path: &str) {
+    let spec = WorkloadSpec::new(Family::Ir, Typing::Layered, SystemSize::Large, K);
+    let cells = grid();
+    let instances = 4;
+    let samples = 3;
+
+    // The workload must actually be in the ≥1000-task regime the
+    // acceptance criterion names.
+    let mut min_tasks = usize::MAX;
+    for i in 0..instances as u64 {
+        let (job, _) = spec.sample(instance_seed(BASE_SEED, i));
+        min_tasks = min_tasks.min(job.num_tasks());
+    }
+    assert!(
+        min_tasks >= 1000,
+        "headline instances too small: {min_tasks} tasks"
+    );
+
+    // Equal work first: the two paths must agree bit-for-bit before
+    // timing them.
+    let warm = run_instance_major(&spec, &cells, instances);
+    let cold = run_cell_major(&spec, &cells, instances);
+    assert_eq!(warm, cold, "sweep paths diverged; baseline void");
+
+    let cached = median_nanos(samples, || {
+        black_box(run_instance_major(&spec, &cells, instances));
+    });
+    let uncached = median_nanos(samples, || {
+        black_box(run_cell_major(&spec, &cells, instances));
+    });
+    let speedup = uncached as f64 / cached as f64;
+
+    let json = format!(
+        "{{\n  \"bench\": \"sweep/large-ir-12cells\",\n  \"workload\": {{\n    \
+         \"spec\": \"{}\",\n    \"k\": {K},\n    \"cells\": {},\n    \
+         \"instances\": {instances},\n    \"min_tasks\": {min_tasks}\n  }},\n  \
+         \"samples\": {samples},\n  \"instance_major_median_ns\": {cached},\n  \
+         \"cell_major_median_ns\": {uncached},\n  \"speedup\": {speedup:.2}\n}}\n",
+        spec.label(),
+        cells.len(),
+    );
+    std::fs::write(path, &json).expect("write baseline");
+    println!(
+        "wrote {path}: instance-major {cached} ns, cell-major {uncached} ns, speedup {speedup:.2}x"
+    );
+    assert!(
+        speedup >= 2.0,
+        "acceptance criterion: artifact-cached sweep must be ≥2× faster (got {speedup:.2}×)"
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(w) = args.windows(2).find(|w| w[0] == "--json") {
+        write_baseline(&w[1]);
+        return;
+    }
+    let mut c = Criterion::from_args();
+    benches(&mut c);
+}

@@ -7,7 +7,10 @@
 //! pools and promotes interleaving. Tasks with no different-type
 //! descendant sort last.
 
+use std::sync::Arc;
+
 use fhs_sim::{Assignments, EpochView, MachineConfig, Policy};
+use kdag::precompute::Artifacts;
 use kdag::{distance, KDag};
 
 use crate::ranked::Selector;
@@ -27,6 +30,20 @@ impl Policy for DType {
     fn init(&mut self, job: &KDag, _config: &MachineConfig, _seed: u64) {
         self.dist = distance::different_child_distances(job)
             .into_iter()
+            .map(|d| d.map_or(f64::INFINITY, f64::from))
+            .collect();
+    }
+
+    fn init_with_artifacts(
+        &mut self,
+        _job: &KDag,
+        _config: &MachineConfig,
+        _seed: u64,
+        artifacts: &Arc<Artifacts>,
+    ) {
+        self.dist = artifacts
+            .different_child()
+            .iter()
             .map(|d| d.map_or(f64::INFINITY, f64::from))
             .collect();
     }

@@ -8,7 +8,10 @@
 //! dispatch rule (the `schedulers` bench and the `sweep` binary accept it
 //! by name).
 
+use std::sync::Arc;
+
 use fhs_sim::{Assignments, EpochView, MachineConfig, Policy};
+use kdag::precompute::Artifacts;
 use kdag::{duedate, KDag};
 
 use crate::ranked::Selector;
@@ -30,6 +33,16 @@ impl Policy for Edd {
             .into_iter()
             .map(|d| d as f64)
             .collect();
+    }
+
+    fn init_with_artifacts(
+        &mut self,
+        _job: &KDag,
+        _config: &MachineConfig,
+        _seed: u64,
+        artifacts: &Arc<Artifacts>,
+    ) {
+        self.due = artifacts.due_dates().iter().map(|&d| d as f64).collect();
     }
 
     fn assign(&mut self, view: &EpochView<'_>, out: &mut Assignments) {

@@ -7,7 +7,10 @@
 //! children — is largest. The paper notes simple counter-examples show the
 //! out-tree optimality does **not** survive the lift to K types.
 
+use std::sync::Arc;
+
 use fhs_sim::{Assignments, EpochView, MachineConfig, Policy};
+use kdag::precompute::Artifacts;
 use kdag::{metrics, KDag, Work};
 
 use crate::ranked::Selector;
@@ -22,13 +25,10 @@ pub struct LSpan {
     selector: Selector,
 }
 
-impl Policy for LSpan {
-    fn name(&self) -> &str {
-        "LSpan"
-    }
-
-    fn init(&mut self, job: &KDag, _config: &MachineConfig, _seed: u64) {
-        let spans = metrics::remaining_spans(job);
+impl LSpan {
+    /// Derives the per-task max-child-span table from the (pre)computed
+    /// remaining spans — the shared tail of both init paths.
+    fn set_child_spans(&mut self, job: &KDag, spans: &[Work]) {
         self.child_span = job
             .tasks()
             .map(|v| {
@@ -39,6 +39,27 @@ impl Policy for LSpan {
                     .unwrap_or(0)
             })
             .collect();
+    }
+}
+
+impl Policy for LSpan {
+    fn name(&self) -> &str {
+        "LSpan"
+    }
+
+    fn init(&mut self, job: &KDag, _config: &MachineConfig, _seed: u64) {
+        let spans = metrics::remaining_spans(job);
+        self.set_child_spans(job, &spans);
+    }
+
+    fn init_with_artifacts(
+        &mut self,
+        job: &KDag,
+        _config: &MachineConfig,
+        _seed: u64,
+        artifacts: &Arc<Artifacts>,
+    ) {
+        self.set_child_spans(job, artifacts.spans());
     }
 
     fn assign(&mut self, view: &EpochView<'_>, out: &mut Assignments) {

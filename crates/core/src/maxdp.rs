@@ -9,7 +9,10 @@
 //! parallel ones, where what matters is the *type mix* of the descendants,
 //! not their amount.
 
+use std::sync::Arc;
+
 use fhs_sim::{Assignments, EpochView, MachineConfig, Policy};
+use kdag::precompute::Artifacts;
 use kdag::{descendants, KDag};
 
 use crate::ranked::Selector;
@@ -28,6 +31,16 @@ impl Policy for MaxDP {
 
     fn init(&mut self, job: &KDag, _config: &MachineConfig, _seed: u64) {
         self.desc = descendants::type_blind_descendants(job);
+    }
+
+    fn init_with_artifacts(
+        &mut self,
+        _job: &KDag,
+        _config: &MachineConfig,
+        _seed: u64,
+        artifacts: &Arc<Artifacts>,
+    ) {
+        self.desc = artifacts.type_blind().to_vec();
     }
 
     fn assign(&mut self, view: &EpochView<'_>, out: &mut Assignments) {

@@ -27,7 +27,10 @@
 //! [`InfoModel`]: one-step vs full lookahead, and precise vs
 //! exponentially-distributed vs noisy descendant estimates.
 
+use std::sync::Arc;
+
 use fhs_sim::{Assignments, EpochView, MachineConfig, Policy, ReadyTask};
+use kdag::precompute::Artifacts;
 use kdag::{descendants::DescendantValues, KDag, TaskId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -156,10 +159,17 @@ pub struct Mqb {
     d_total: Vec<f64>,
     // Scratch buffers, reused across epochs.
     working: Vec<f64>,
-    cand: Vec<f64>,
-    best: Vec<f64>,
     taken: Vec<bool>,
     snap: Vec<ReadyTask>,
+    /// Per-candidate projected x-utilization rows (`candidate × K`),
+    /// cached across the picks of one α-round and repaired incrementally.
+    rows: Vec<f64>,
+    /// Sorted copy of each row in `rows` — the balance vectors compared by
+    /// [`cmp_balance`].
+    sorted: Vec<f64>,
+    /// Bit patterns of `working` before the latest projection; entries
+    /// whose bits are unchanged need no row update.
+    prev_bits: Vec<u64>,
 }
 
 impl Default for Mqb {
@@ -184,10 +194,11 @@ impl Mqb {
             d: Vec::new(),
             d_total: Vec::new(),
             working: Vec::new(),
-            cand: Vec::new(),
-            best: Vec::new(),
             taken: Vec::new(),
             snap: Vec::new(),
+            rows: Vec::new(),
+            sorted: Vec::new(),
+            prev_bits: Vec::new(),
         }
     }
 
@@ -214,23 +225,89 @@ impl Mqb {
         }
     }
 
-    /// Writes the sorted x-utilization vector of `working ± candidate`
-    /// into `self.cand` (just the minimum under the `MinOnly` ablation).
-    fn candidate_balance(&mut self, alpha: usize, rt: &ReadyTask, procs: &[usize]) {
-        self.cand.clear();
+    /// The candidate's projected x-utilization of queue `beta`: the working
+    /// value, plus the candidate's descendant promise, minus its own work
+    /// leaving its queue, over the processor count. The floating-point
+    /// operation order here is load-bearing — the incremental row repair in
+    /// [`Policy::assign`] recomputes single entries with this exact
+    /// sequence, so cached and fresh values are bit-identical.
+    #[inline]
+    fn projected_value(&self, alpha: usize, rt: &ReadyTask, procs: &[usize], beta: usize) -> f64 {
         let row_start = rt.id.index() * self.k;
-        for (beta, (&w, &p)) in self.working.iter().zip(procs).enumerate() {
-            let mut l = w + self.d[row_start + beta];
-            if beta == alpha && self.tuning.subtract_own_work {
-                l -= rt.remaining as f64;
-            }
-            self.cand.push(l / p as f64);
+        let mut l = self.working[beta] + self.d[row_start + beta];
+        if beta == alpha && self.tuning.subtract_own_work {
+            l -= rt.remaining as f64;
         }
-        self.cand.sort_unstable_by(f64::total_cmp);
-        if self.tuning.balance == BalanceMetric::MinOnly {
-            self.cand.truncate(1);
+        l / procs[beta] as f64
+    }
+
+    /// Shared tail of both init paths: takes the (raw) descendant matrix,
+    /// applies the information-model perturbation, and derives the per-task
+    /// totals. The perturbation consumes the seeded RNG in exactly the same
+    /// sequence regardless of where `d` came from, so artifact-backed and
+    /// cold initializations are bit-identical.
+    fn finish_init(&mut self, job: &KDag, seed: u64, d: Vec<f64>) {
+        self.k = job.num_types();
+        self.d = d;
+
+        match self.info.accuracy {
+            Accuracy::Precise => {}
+            Accuracy::Exponential => {
+                let mut rng = StdRng::seed_from_u64(seed);
+                for v in &mut self.d {
+                    if *v > 0.0 {
+                        // Inverse-CDF exponential with mean *v.
+                        let u: f64 = rng.gen_range(0.0..1.0);
+                        *v = -*v * (1.0 - u).ln();
+                    }
+                }
+            }
+            Accuracy::Noisy => {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let mean_work = if job.num_tasks() == 0 {
+                    0.0
+                } else {
+                    job.total_work() as f64 / job.num_tasks() as f64
+                };
+                for v in &mut self.d {
+                    let mult: f64 = rng.gen_range(0.5..1.5);
+                    let add: f64 = if mean_work > 0.0 {
+                        rng.gen_range(0.0..mean_work)
+                    } else {
+                        0.0
+                    };
+                    *v = *v * mult + add;
+                }
+            }
+        }
+
+        self.d_total = (0..job.num_tasks())
+            .map(|i| self.d[i * self.k..(i + 1) * self.k].iter().sum())
+            .collect();
+    }
+}
+
+/// Repairs a sorted (by [`f64::total_cmp`]) slice after exactly one element
+/// changed from `old` to `new`: slides the element to its new position
+/// instead of re-sorting. `old` must be present in `s` (bitwise).
+fn repair_sorted(s: &mut [f64], old: f64, new: f64) {
+    use std::cmp::Ordering::{Greater, Less};
+    // total_cmp is equal iff the bit patterns are equal, so the first
+    // not-less element is (a duplicate of) `old`.
+    let mut i = s.partition_point(|x| x.total_cmp(&old) == Less);
+    debug_assert!(i < s.len() && s[i].to_bits() == old.to_bits());
+    if new.total_cmp(&old) == Greater {
+        while i + 1 < s.len() && s[i + 1].total_cmp(&new) == Less {
+            s[i] = s[i + 1];
+            i += 1;
+        }
+    } else {
+        while i > 0 && s[i - 1].total_cmp(&new) == Greater {
+            s[i] = s[i - 1];
+            i -= 1;
         }
     }
+    s[i] = new;
 }
 
 /// Lexicographic comparison of sorted balance vectors; `Greater` means
@@ -273,49 +350,29 @@ impl Policy for Mqb {
     }
 
     fn init(&mut self, job: &KDag, _config: &MachineConfig, seed: u64) {
-        self.k = job.num_types();
-        self.d = match self.info.lookahead {
-            Lookahead::All => {
-                let mut dv = DescendantValues::compute(job);
-                std::mem::take(&mut dv.values_mut().to_vec())
-            }
+        let d = match self.info.lookahead {
+            Lookahead::All => DescendantValues::compute(job).values().to_vec(),
             Lookahead::OneStep => one_step_descendants(job),
         };
+        self.finish_init(job, seed, d);
+    }
 
-        match self.info.accuracy {
-            Accuracy::Precise => {}
-            Accuracy::Exponential => {
-                let mut rng = StdRng::seed_from_u64(seed);
-                for v in &mut self.d {
-                    if *v > 0.0 {
-                        // Inverse-CDF exponential with mean *v.
-                        let u: f64 = rng.gen_range(0.0..1.0);
-                        *v = -*v * (1.0 - u).ln();
-                    }
-                }
-            }
-            Accuracy::Noisy => {
-                let mut rng = StdRng::seed_from_u64(seed);
-                let mean_work = if job.num_tasks() == 0 {
-                    0.0
-                } else {
-                    job.total_work() as f64 / job.num_tasks() as f64
-                };
-                for v in &mut self.d {
-                    let mult: f64 = rng.gen_range(0.5..1.5);
-                    let add: f64 = if mean_work > 0.0 {
-                        rng.gen_range(0.0..mean_work)
-                    } else {
-                        0.0
-                    };
-                    *v = *v * mult + add;
-                }
-            }
-        }
-
-        self.d_total = (0..job.num_tasks())
-            .map(|i| self.d[i * self.k..(i + 1) * self.k].iter().sum())
-            .collect();
+    fn init_with_artifacts(
+        &mut self,
+        job: &KDag,
+        _config: &MachineConfig,
+        seed: u64,
+        artifacts: &Arc<Artifacts>,
+    ) {
+        let d = match self.info.lookahead {
+            // The artifact values are bit-identical to a cold
+            // `DescendantValues::compute` (same sweep, same order).
+            Lookahead::All => artifacts.descendants().values().to_vec(),
+            // One-step lookahead is not part of the bundle (it's a plain
+            // O(|V|+|E|) pass with no topo sort) — compute it as `init` does.
+            Lookahead::OneStep => one_step_descendants(job),
+        };
+        self.finish_init(job, seed, d);
     }
 
     fn assign(&mut self, view: &EpochView<'_>, out: &mut Assignments) {
@@ -347,21 +404,48 @@ impl Policy for Mqb {
                 continue;
             }
 
+            let m = self.snap.len();
             self.taken.clear();
-            self.taken.resize(self.snap.len(), false);
+            self.taken.resize(m, false);
+
+            // Fast path: compute every candidate's projected row and its
+            // sorted balance vector once, then repair only the entries
+            // whose `working[β]` actually changed bits after each pick —
+            // instead of rebuilding and re-sorting all rows per pick.
+            self.rows.clear();
+            for qi in 0..m {
+                let rt = self.snap[qi];
+                for beta in 0..k {
+                    let val = self.projected_value(alpha, &rt, procs, beta);
+                    self.rows.push(val);
+                }
+            }
+            self.sorted.clear();
+            self.sorted.extend_from_slice(&self.rows);
+            for qi in 0..m {
+                self.sorted[qi * k..(qi + 1) * k].sort_unstable_by(f64::total_cmp);
+            }
+            // Under the MinOnly ablation only the most-starved entry of
+            // each (sorted) vector is compared.
+            let cmp_len = match self.tuning.balance {
+                BalanceMetric::SortedLexicographic => k,
+                BalanceMetric::MinOnly => 1,
+            };
+
             for _ in 0..slots {
                 let mut best_qi: Option<usize> = None;
-                for qi in 0..self.snap.len() {
+                for qi in 0..m {
                     if self.taken[qi] {
                         continue;
                     }
                     let rt = self.snap[qi];
-                    self.candidate_balance(alpha, &rt, procs);
                     let better = match best_qi {
                         None => true,
                         Some(bqi) => {
                             let brt = self.snap[bqi];
-                            match cmp_balance(&self.cand, &self.best) {
+                            let cand = &self.sorted[qi * k..qi * k + cmp_len];
+                            let best = &self.sorted[bqi * k..bqi * k + cmp_len];
+                            match cmp_balance(cand, best) {
                                 std::cmp::Ordering::Greater => true,
                                 std::cmp::Ordering::Less => false,
                                 std::cmp::Ordering::Equal => {
@@ -380,14 +464,53 @@ impl Policy for Mqb {
                     };
                     if better {
                         best_qi = Some(qi);
-                        std::mem::swap(&mut self.best, &mut self.cand);
                     }
                 }
                 let bqi = best_qi.expect("queue longer than slots");
                 self.taken[bqi] = true;
                 let rt = self.snap[bqi];
                 out.push(alpha, rt.id);
+
+                self.prev_bits.clear();
+                self.prev_bits
+                    .extend(self.working.iter().map(|w| w.to_bits()));
                 self.apply_projection(alpha, &rt);
+
+                // Repair the untaken candidates' cached rows: recompute
+                // only entries whose working value changed bits, with the
+                // exact op order of `projected_value` — unchanged inputs
+                // reproduce unchanged outputs bit for bit, so skipping
+                // them is behavior-preserving.
+                for qi in 0..m {
+                    if self.taken[qi] {
+                        continue;
+                    }
+                    let crt = self.snap[qi];
+                    let base = qi * k;
+                    let mut n_changed = 0usize;
+                    let mut single_old = 0.0f64;
+                    let mut single_new = 0.0f64;
+                    for beta in 0..k {
+                        if self.working[beta].to_bits() == self.prev_bits[beta] {
+                            continue;
+                        }
+                        let val = self.projected_value(alpha, &crt, procs, beta);
+                        if val.to_bits() != self.rows[base + beta].to_bits() {
+                            n_changed += 1;
+                            single_old = self.rows[base + beta];
+                            single_new = val;
+                            self.rows[base + beta] = val;
+                        }
+                    }
+                    if n_changed == 1 {
+                        // Typically the pick only moved the candidate's own
+                        // type: slide one element instead of re-sorting.
+                        repair_sorted(&mut self.sorted[base..base + k], single_old, single_new);
+                    } else if n_changed > 1 {
+                        self.sorted[base..base + k].copy_from_slice(&self.rows[base..base + k]);
+                        self.sorted[base..base + k].sort_unstable_by(f64::total_cmp);
+                    }
+                }
             }
         }
     }

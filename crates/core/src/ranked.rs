@@ -43,11 +43,20 @@ impl Selector {
                     .iter()
                     .map(|rt| (key(alpha, rt), rt.seq, rt.id.index() as u32)),
             );
-            // A full sort keeps behaviour obvious; queues are small
-            // relative to instance counts and K ≤ 8 in all experiments.
-            self.scratch.sort_unstable_by(|a, b| {
+            let cmp = |a: &(f64, u64, u32), b: &(f64, u64, u32)| {
                 a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2))
-            });
+            };
+            // (key, seq, id) is a strict total order (seq is unique), so a
+            // partial selection of the smallest `slots` entries followed by
+            // sorting just that prefix emits exactly the same sequence as a
+            // full sort — in O(n + slots log slots) instead of O(n log n),
+            // which matters when queues dwarf the processor pools.
+            if queue.len() > 2 * slots {
+                self.scratch.select_nth_unstable_by(slots - 1, cmp);
+                self.scratch[..slots].sort_unstable_by(cmp);
+            } else {
+                self.scratch.sort_unstable_by(cmp);
+            }
             for &(_, _, idx) in self.scratch.iter().take(slots) {
                 out.push(alpha, kdag::TaskId::from_index(idx as usize));
             }

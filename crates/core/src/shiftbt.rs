@@ -22,8 +22,10 @@
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 
 use fhs_sim::{Assignments, EpochView, MachineConfig, Policy};
+use kdag::precompute::Artifacts;
 use kdag::{duedate, KDag, TaskId};
 
 use crate::ranked::Selector;
@@ -38,14 +40,12 @@ pub struct ShiftBT {
     pub bottleneck_order: Vec<usize>,
 }
 
-impl Policy for ShiftBT {
-    fn name(&self) -> &str {
-        "ShiftBT"
-    }
-
-    fn init(&mut self, job: &KDag, config: &MachineConfig, _seed: u64) {
+impl ShiftBT {
+    /// The bottleneck-sequencing loop shared by both init paths. Only the
+    /// due-date table is precomputable; the iterated one-type relaxations
+    /// depend on the machine configuration and stay here.
+    fn sequence_bottlenecks(&mut self, job: &KDag, config: &MachineConfig, due: &[u64]) {
         let k = job.num_types();
-        let due = duedate::due_dates(job);
         let mut fixed: Vec<Option<Vec<u64>>> = vec![None; k];
         self.bottleneck_order.clear();
 
@@ -53,7 +53,7 @@ impl Policy for ShiftBT {
         while !remaining.is_empty() {
             let mut best: Option<(i64, usize, Vec<TaskId>)> = None;
             for &alpha in &remaining {
-                let (lateness, seq) = relax(job, config, &fixed, alpha, &due);
+                let (lateness, seq) = relax(job, config, &fixed, alpha, due);
                 let better = match &best {
                     None => true,
                     Some((bl, ba, _)) => lateness > *bl || (lateness == *bl && alpha < *ba),
@@ -78,6 +78,27 @@ impl Policy for ShiftBT {
             self.rank[v.index()] =
                 fixed[alpha].as_ref().expect("all types fixed")[v.index()] as f64;
         }
+    }
+}
+
+impl Policy for ShiftBT {
+    fn name(&self) -> &str {
+        "ShiftBT"
+    }
+
+    fn init(&mut self, job: &KDag, config: &MachineConfig, _seed: u64) {
+        let due = duedate::due_dates(job);
+        self.sequence_bottlenecks(job, config, &due);
+    }
+
+    fn init_with_artifacts(
+        &mut self,
+        job: &KDag,
+        config: &MachineConfig,
+        _seed: u64,
+        artifacts: &Arc<Artifacts>,
+    ) {
+        self.sequence_bottlenecks(job, config, artifacts.due_dates());
     }
 
     fn assign(&mut self, view: &EpochView<'_>, out: &mut Assignments) {

@@ -9,7 +9,7 @@
 
 use fhs_core::{Algorithm, ALL_ALGORITHMS};
 use fhs_experiments::figures::{panel_csv_table, Panel};
-use fhs_experiments::runner::{run_cell, run_cell_instrumented, Cell};
+use fhs_experiments::runner::{run_cell, run_cell_instrumented, run_sweep, Cell, SweepCell};
 use fhs_experiments::stats::Summary;
 use fhs_sim::Mode;
 use fhs_workloads::{resources::SystemSize, Family, Typing, WorkloadSpec};
@@ -26,14 +26,18 @@ struct SweepArgs {
     seed: u64,
     csv: bool,
     instrument: bool,
+    no_artifact_cache: bool,
 }
 
 const USAGE: &str = "usage: sweep [--family ep|tree|ir] [--typing layered|random] \
-[--size small|medium] [--k K] [--skewed] [--preemptive] \
-[--algo NAME]... [--instances N] [--seed S] [--csv] [--instrument]\n\
+[--size small|medium|large] [--k K] [--skewed] [--preemptive] \
+[--algo NAME]... [--instances N] [--seed S] [--csv] [--instrument] \
+[--no-artifact-cache]\n\
 algorithm names: KGreedy LSpan DType MaxDP ShiftBT MQB MQB+All+Exp … (default: all six)\n\
 --instrument appends per-algorithm engine counters (epochs, transitions, \
-assign/engine wall time) after the table";
+assign/engine wall time) after the table\n\
+--no-artifact-cache re-samples and re-analyzes every instance per algorithm \
+(the legacy cell-major path); results are bit-identical either way";
 
 fn parse() -> Result<SweepArgs, String> {
     let mut out = SweepArgs {
@@ -48,6 +52,7 @@ fn parse() -> Result<SweepArgs, String> {
         seed: 0x5EED,
         csv: false,
         instrument: false,
+        no_artifact_cache: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -72,6 +77,7 @@ fn parse() -> Result<SweepArgs, String> {
                 out.size = match value("--size")?.to_lowercase().as_str() {
                     "small" => SystemSize::Small,
                     "medium" => SystemSize::Medium,
+                    "large" => SystemSize::Large,
                     other => return Err(format!("unknown size {other}")),
                 }
             }
@@ -96,6 +102,7 @@ fn parse() -> Result<SweepArgs, String> {
             }
             "--csv" => out.csv = true,
             "--instrument" => out.instrument = true,
+            "--no-artifact-cache" => out.no_artifact_cache = true,
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown flag {other}\n{USAGE}")),
         }
@@ -127,16 +134,10 @@ fn main() {
     // Per-algorithm aggregated engine counters; only filled (and printed)
     // under --instrument so the default table output is unchanged.
     let mut counters = Vec::new();
-    let panel = Panel {
-        title: format!(
-            "{} — {:?}, {} instances, seed {}",
-            spec.label(),
-            args.mode,
-            args.instances,
-            args.seed
-        ),
-        rows: args
-            .algos
+    let rows: Vec<(String, Summary)> = if args.no_artifact_cache {
+        // Legacy cell-major escape hatch: every algorithm re-samples and
+        // re-analyzes its own copy of each instance.
+        args.algos
             .iter()
             .map(|&algo| {
                 let cell = Cell::new(spec, algo, args.mode);
@@ -151,7 +152,36 @@ fn main() {
                 };
                 (algo.label().to_string(), summary)
             })
-            .collect(),
+            .collect()
+    } else {
+        // Instance-major default: each instance is sampled and analyzed
+        // once, shared by every algorithm. Bit-identical to the path above.
+        let cells: Vec<SweepCell> = args
+            .algos
+            .iter()
+            .map(|&algo| SweepCell::new(algo, args.mode))
+            .collect();
+        let results = run_sweep(&spec, &cells, args.instances, args.seed, None);
+        args.algos
+            .iter()
+            .zip(results)
+            .map(|(&algo, col)| {
+                if args.instrument {
+                    counters.push((algo.label(), col.stats));
+                }
+                (algo.label().to_string(), col.summary())
+            })
+            .collect()
+    };
+    let panel = Panel {
+        title: format!(
+            "{} — {:?}, {} instances, seed {}",
+            spec.label(),
+            args.mode,
+            args.instances,
+            args.seed
+        ),
+        rows,
     };
     if args.csv {
         let mut t = panel_csv_table();

@@ -16,7 +16,7 @@ use fhs_workloads::{resources::SystemSize, Family, Typing, WorkloadSpec};
 
 use crate::args::CommonArgs;
 use crate::figures::{panel_csv_table, Panel};
-use crate::runner::{run_cell, Cell};
+use crate::runner::{run_sweep, SweepCell};
 
 /// Default instances per cell for the binary (paper: 5000).
 pub const DEFAULT_INSTANCES: usize = 500;
@@ -36,21 +36,28 @@ pub fn panel_specs() -> [WorkloadSpec; 6] {
     ]
 }
 
-/// Computes all six panels.
+/// Computes all six panels. Each panel's six algorithm bars share one
+/// instance stream (instance-major sweep), so every instance is sampled
+/// and analyzed once instead of six times.
 pub fn compute(args: &CommonArgs) -> Vec<Panel> {
+    let cells: Vec<SweepCell> = ALL_ALGORITHMS
+        .into_iter()
+        .map(|algo| SweepCell::new(algo, Mode::NonPreemptive))
+        .collect();
     panel_specs()
         .into_iter()
         .map(|spec| Panel {
             title: spec.label(),
             rows: ALL_ALGORITHMS
                 .into_iter()
-                .map(|algo| {
-                    let cell = Cell::new(spec, algo, Mode::NonPreemptive);
-                    (
-                        algo.label().to_string(),
-                        run_cell(&cell, args.instances, args.seed, args.workers),
-                    )
-                })
+                .zip(run_sweep(
+                    &spec,
+                    &cells,
+                    args.instances,
+                    args.seed,
+                    args.workers,
+                ))
+                .map(|(algo, col)| (algo.label().to_string(), col.summary()))
                 .collect(),
         })
         .collect()

@@ -26,5 +26,5 @@ pub mod runner;
 pub mod stats;
 pub mod table;
 
-pub use runner::{run_cell, Cell};
+pub use runner::{run_cell, run_sweep, Cell, SweepCell, SweepCellResult};
 pub use stats::Summary;

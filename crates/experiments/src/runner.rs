@@ -1,9 +1,27 @@
-//! The experiment cell runner: evaluate one (workload, algorithm, mode)
-//! combination over many seeded instances, in parallel.
+//! The experiment runners.
+//!
+//! Two evaluation shapes are provided:
+//!
+//! * **Cell-major** ([`run_cell`] and friends): one `(workload, algorithm,
+//!   mode)` cell over many seeded instances. Each instance is sampled and
+//!   analyzed from scratch — the cold path, also the baseline the sweep
+//!   bench compares against.
+//! * **Instance-major** ([`run_sweep`]): many `(algorithm, mode)` cells
+//!   over a *shared* instance stream. Because cells compare on common
+//!   random numbers (instance `i` of every cell is the same job), the
+//!   sweep samples each instance once, builds its
+//!   [`kdag::precompute::Artifacts`] once, and fans instances across
+//!   `fhs-par` workers, each evaluating every cell against the shared
+//!   `Arc<Artifacts>`. Generation + analysis cost drops from
+//!   `O(cells × instances)` to `O(instances)`, and results are bit-for-bit
+//!   identical to the cell-major path (property-tested).
+
+use std::sync::Arc;
 
 use fhs_core::{make_policy, Algorithm};
 use fhs_sim::{metrics, Mode, RunOptions, RunStats};
 use fhs_workloads::WorkloadSpec;
+use kdag::precompute::Artifacts;
 
 use crate::stats::Summary;
 
@@ -96,6 +114,120 @@ pub fn run_cell_instrumented(
     (per_instance, total)
 }
 
+/// One `(algorithm, mode, cadence)` column of an instance-major sweep; the
+/// workload is shared across all columns (that's the point).
+#[derive(Clone, Copy, Debug)]
+pub struct SweepCell {
+    /// Algorithm under test.
+    pub algo: Algorithm,
+    /// Execution mode.
+    pub mode: Mode,
+    /// Preemptive re-decision quantum (as [`Cell::quantum`]).
+    pub quantum: Option<u64>,
+}
+
+impl SweepCell {
+    /// A sweep column with the default (completion-epoch) cadence.
+    pub fn new(algo: Algorithm, mode: Mode) -> Self {
+        SweepCell {
+            algo,
+            mode,
+            quantum: None,
+        }
+    }
+}
+
+/// Per-column results of [`run_sweep`]: the raw per-instance ratios (in
+/// instance order, so columns pair up) and the aggregated engine counters.
+#[derive(Clone, Debug)]
+pub struct SweepCellResult {
+    /// Completion-time ratios, one per instance, in instance order.
+    pub ratios: Vec<f64>,
+    /// [`RunStats::merge`] over the column's instances.
+    pub stats: RunStats,
+}
+
+impl SweepCellResult {
+    /// Summarizes the column's ratios.
+    pub fn summary(&self) -> Summary {
+        Summary::from_samples(&self.ratios)
+    }
+}
+
+/// Evaluates every `(algorithm, mode)` column of `cells` over a shared
+/// stream of `instances` seeded instances of `spec` — the instance-major
+/// fast path.
+///
+/// Each instance is sampled **once** and its [`Artifacts`] are computed
+/// **once**; every column then initializes its policy from the shared
+/// bundle (`Policy::init_with_artifacts`). Instances fan across `workers`
+/// threads (`None` = all cores). For any column, the ratios are
+/// bit-identical to `run_cell_ratios` on the equivalent [`Cell`] — sharing
+/// is sound because cells compare on common random numbers, and artifact
+/// initialization is bit-identical to cold initialization by contract.
+pub fn run_sweep(
+    spec: &WorkloadSpec,
+    cells: &[SweepCell],
+    instances: usize,
+    base_seed: u64,
+    workers: Option<usize>,
+) -> Vec<SweepCellResult> {
+    // Artifacts are only consumed by offline policies; a sweep of purely
+    // online columns (e.g. KGreedy alone) skips the precompute entirely.
+    let any_offline = cells.iter().any(|c| c.algo.is_offline());
+    let eval = |i: u64| -> Vec<(f64, RunStats)> {
+        let seed = instance_seed(base_seed, i);
+        let (job, cfg) = spec.sample(seed);
+        let artifacts = any_offline.then(|| Arc::new(Artifacts::compute(&job)));
+        cells
+            .iter()
+            .map(|cell| {
+                let mut policy = make_policy(cell.algo);
+                let mut opts = RunOptions::seeded(seed);
+                opts.quantum = cell.quantum;
+                let (result, stats) = match &artifacts {
+                    Some(a) => metrics::evaluate_instrumented_with_artifacts(
+                        &job,
+                        &cfg,
+                        policy.as_mut(),
+                        cell.mode,
+                        &opts,
+                        a,
+                    ),
+                    None => metrics::evaluate_instrumented(
+                        &job,
+                        &cfg,
+                        policy.as_mut(),
+                        cell.mode,
+                        &opts,
+                    ),
+                };
+                (result.ratio, stats)
+            })
+            .collect()
+    };
+    let per_instance = match workers {
+        Some(w) => fhs_par::parallel_map_with(w, 0..instances as u64, eval),
+        None => fhs_par::parallel_map(0..instances as u64, eval),
+    };
+
+    // Transpose instance-major results into per-column ratios + counters.
+    let mut out: Vec<SweepCellResult> = cells
+        .iter()
+        .map(|_| SweepCellResult {
+            ratios: Vec::with_capacity(instances),
+            stats: RunStats::default(),
+        })
+        .collect();
+    for row in &per_instance {
+        for (col, (ratio, stats)) in out.iter_mut().zip(row) {
+            col.ratios.push(*ratio);
+            col.stats.merge(stats);
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -157,6 +289,82 @@ mod tests {
             total.transitions.releases, total.transitions.completions,
             "every released task completes"
         );
+    }
+
+    #[test]
+    fn sweep_matches_cell_major_bitwise() {
+        // The instance-major fast path must reproduce the cell-major
+        // baseline exactly, per column, including the quantum cadence.
+        let spec = WorkloadSpec::new(Family::Ir, Typing::Layered, SystemSize::Small, 3);
+        let mut cells = vec![
+            SweepCell::new(Algorithm::KGreedy, Mode::NonPreemptive),
+            SweepCell::new(Algorithm::Mqb, Mode::Preemptive),
+            SweepCell::new(Algorithm::LSpan, Mode::NonPreemptive),
+            SweepCell::new(Algorithm::ShiftBT, Mode::Preemptive),
+        ];
+        cells.push(SweepCell {
+            algo: Algorithm::Mqb,
+            mode: Mode::Preemptive,
+            quantum: Some(1),
+        });
+        let sweep = run_sweep(&spec, &cells, 10, 7, Some(3));
+        assert_eq!(sweep.len(), cells.len());
+        for (sc, col) in cells.iter().zip(&sweep) {
+            let mut cell = Cell::new(spec, sc.algo, sc.mode);
+            cell.quantum = sc.quantum;
+            let (per_instance, total) = run_cell_instrumented(&cell, 10, 7, Some(2));
+            let cold: Vec<f64> = per_instance.iter().map(|&(r, _)| r).collect();
+            assert_eq!(col.ratios, cold, "{:?} diverged from cell-major", sc.algo);
+            // Wall-clock nanos are never reproducible; the logical
+            // counters must be.
+            assert_eq!(col.stats.epochs, total.epochs);
+            assert_eq!(col.stats.tasks_assigned, total.tasks_assigned);
+            assert_eq!(col.stats.transitions, total.transitions);
+        }
+    }
+
+    #[test]
+    fn sweep_is_worker_count_independent() {
+        let spec = WorkloadSpec::new(Family::Ep, Typing::Random, SystemSize::Small, 3);
+        let cells = [
+            SweepCell::new(Algorithm::MaxDP, Mode::NonPreemptive),
+            SweepCell::new(Algorithm::DType, Mode::Preemptive),
+        ];
+        let seq = run_sweep(&spec, &cells, 12, 11, Some(1));
+        let par = run_sweep(&spec, &cells, 12, 11, Some(4));
+        for (a, b) in seq.iter().zip(&par) {
+            assert_eq!(a.ratios, b.ratios);
+            assert_eq!(a.stats.epochs, b.stats.epochs);
+            assert_eq!(a.stats.transitions, b.stats.transitions);
+        }
+    }
+
+    #[test]
+    fn online_only_sweep_skips_artifacts_and_still_matches() {
+        // A sweep of purely online columns takes the no-precompute branch;
+        // it must still agree with the cold path.
+        let spec = WorkloadSpec::new(Family::Tree, Typing::Layered, SystemSize::Small, 3);
+        assert!(!Algorithm::KGreedy.is_offline());
+        let cells = [SweepCell::new(Algorithm::KGreedy, Mode::NonPreemptive)];
+        let sweep = run_sweep(&spec, &cells, 8, 21, Some(2));
+        let cold = run_cell_ratios(
+            &Cell::new(spec, Algorithm::KGreedy, Mode::NonPreemptive),
+            8,
+            21,
+            Some(2),
+        );
+        assert_eq!(sweep[0].ratios, cold);
+    }
+
+    #[test]
+    fn sweep_summary_matches_ratios() {
+        let spec = WorkloadSpec::new(Family::Ep, Typing::Layered, SystemSize::Small, 3);
+        let cells = [SweepCell::new(Algorithm::LSpan, Mode::NonPreemptive)];
+        let sweep = run_sweep(&spec, &cells, 15, 3, Some(2));
+        let s = sweep[0].summary();
+        assert_eq!(s.n, 15);
+        let mean = sweep[0].ratios.iter().sum::<f64>() / 15.0;
+        assert!((s.mean - mean).abs() < 1e-12);
     }
 
     #[test]

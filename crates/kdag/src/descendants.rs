@@ -33,11 +33,23 @@ impl DescendantValues {
     /// Computes descendant values for every task of `dag` in one reverse
     /// topological sweep, O(|V|·K + |E|·K).
     pub fn compute(dag: &KDag) -> Self {
+        Self::compute_with_order(dag, &reverse_topological_order(dag))
+    }
+
+    /// As [`DescendantValues::compute`], but over a caller-supplied reverse
+    /// topological order — lets a precompute layer topo-sort once and feed
+    /// every analysis. The accumulation is order-insensitive per task, and
+    /// with the canonical order (see [`crate::topo::reverse_topological_order`])
+    /// the result is bit-identical to [`DescendantValues::compute`].
+    pub fn compute_with_order(dag: &KDag, reverse_topo: &[TaskId]) -> Self {
         let n = dag.num_tasks();
         let k = dag.num_types();
         let mut values = vec![0.0f64; n * k];
-        for v in reverse_topological_order(dag) {
-            let mut acc = vec![0.0f64; k];
+        // One reusable per-type accumulator across the whole sweep instead
+        // of a fresh allocation per task.
+        let mut acc = vec![0.0f64; k];
+        for &v in reverse_topo {
+            acc.fill(0.0);
             for &u in dag.children(v) {
                 let pr = dag.num_parents(u) as f64; // ≥ 1: u has parent v
                 let urow = u.index() * k;
@@ -97,6 +109,12 @@ impl DescendantValues {
             .all(|(a, b)| (a - b).abs() <= tol * b.abs().max(1.0))
     }
 
+    /// The raw row-major `|V| × K` value matrix (task-major, type-minor).
+    /// Lets consumers copy the dense matrix out without re-walking rows.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
     /// Returns a mutable view used by the approximate-information models in
     /// `fhs-core` (MQB+Exp / MQB+Noise perturb a copy of the true values).
     pub fn values_mut(&mut self) -> &mut [f64] {
@@ -111,9 +129,16 @@ impl DescendantValues {
 /// Equal to the per-type row sums of [`DescendantValues`], computed in a
 /// single pass without the K-factor.
 pub fn type_blind_descendants(dag: &KDag) -> Vec<f64> {
+    type_blind_descendants_with_order(dag, &reverse_topological_order(dag))
+}
+
+/// As [`type_blind_descendants`], over a caller-supplied reverse topological
+/// order (the accumulator here is a scalar register, so there is no per-task
+/// buffer to hoist — only the shared topo sort to reuse).
+pub fn type_blind_descendants_with_order(dag: &KDag, reverse_topo: &[TaskId]) -> Vec<f64> {
     let n = dag.num_tasks();
     let mut d = vec![0.0f64; n];
-    for v in reverse_topological_order(dag) {
+    for &v in reverse_topo {
         let mut acc = 0.0;
         for &u in dag.children(v) {
             let pr = dag.num_parents(u) as f64;

@@ -22,8 +22,17 @@ use crate::types::TaskId;
 /// The same-type case may reuse `dist(u)` directly because `u` shares `v`'s
 /// type, so "different from `u`" and "different from `v`" coincide.
 pub fn different_child_distances(dag: &KDag) -> Vec<Option<u32>> {
+    different_child_distances_with_order(dag, &reverse_topological_order(dag))
+}
+
+/// As [`different_child_distances`], over a caller-supplied reverse
+/// topological order — used by `kdag::precompute` to share one topo sort.
+pub fn different_child_distances_with_order(
+    dag: &KDag,
+    reverse_topo: &[TaskId],
+) -> Vec<Option<u32>> {
     let mut dist: Vec<Option<u32>> = vec![None; dag.num_tasks()];
-    for v in reverse_topological_order(dag) {
+    for &v in reverse_topo {
         let mut best: Option<u32> = None;
         for &u in dag.children(v) {
             let cand = if dag.rtype(u) != dag.rtype(v) {

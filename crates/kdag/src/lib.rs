@@ -19,6 +19,8 @@
 //! * **different-child distances** used by the DType heuristic
 //!   ([`distance`]),
 //! * **due dates** used by the ShiftBT heuristic ([`duedate`]),
+//! * a shared per-instance [`precompute::Artifacts`] bundle running all of
+//!   the above over one topological sort, for artifact-cached sweeps,
 //! * Graphviz DOT export ([`dot`]) and the paper's Figure-1 example DAG
 //!   ([`examples`]),
 //! * flexible (JIT-compilable) tasks with multiple placement options
@@ -63,6 +65,7 @@ pub mod duedate;
 pub mod examples;
 pub mod flex;
 pub mod metrics;
+pub mod precompute;
 pub mod profile;
 pub mod random;
 pub mod reduction;
@@ -71,4 +74,5 @@ pub mod topo;
 
 pub use builder::{GraphError, KDagBuilder};
 pub use graph::KDag;
+pub use precompute::Artifacts;
 pub use types::{TaskId, Work};

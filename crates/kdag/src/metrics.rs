@@ -10,8 +10,14 @@ use crate::types::{TaskId, Work};
 /// starts at `v`, the quantity LSpan ranks by and the ingredient of due
 /// dates. O(|V| + |E|).
 pub fn remaining_spans(dag: &KDag) -> Vec<Work> {
+    remaining_spans_with_order(dag, &reverse_topological_order(dag))
+}
+
+/// As [`remaining_spans`], over a caller-supplied reverse topological order
+/// — used by `kdag::precompute` to topo-sort once and feed every analysis.
+pub fn remaining_spans_with_order(dag: &KDag, reverse_topo: &[TaskId]) -> Vec<Work> {
     let mut span = vec![0; dag.num_tasks()];
-    for v in reverse_topological_order(dag) {
+    for &v in reverse_topo {
         let best_child = dag
             .children(v)
             .iter()
@@ -74,6 +80,15 @@ pub fn critical_path(dag: &KDag) -> Vec<TaskId> {
 /// # Panics
 /// If `procs_per_type.len() != dag.num_types()` or any entry is zero.
 pub fn lower_bound(dag: &KDag, procs_per_type: &[usize]) -> Work {
+    lower_bound_with_span(dag, procs_per_type, span(dag))
+}
+
+/// As [`lower_bound`], with the span `T∞(J)` supplied by the caller (e.g.
+/// from [`crate::precompute::Artifacts`]) so it isn't recomputed per run.
+///
+/// # Panics
+/// Same conditions as [`lower_bound`].
+pub fn lower_bound_with_span(dag: &KDag, procs_per_type: &[usize], span: Work) -> Work {
     assert_eq!(
         procs_per_type.len(),
         dag.num_types(),
@@ -90,7 +105,7 @@ pub fn lower_bound(dag: &KDag, procs_per_type: &[usize]) -> Work {
         .map(|(&t1, &p)| t1.div_ceil(p as Work))
         .max()
         .unwrap_or(0);
-    span(dag).max(work_bound)
+    span.max(work_bound)
 }
 
 #[cfg(test)]

@@ -1,0 +1,167 @@
+//! Shared per-instance analysis artifacts.
+//!
+//! Every offline policy in `fhs-core` starts from the same handful of
+//! graph analyses: a topological order, descendant values (MQB), type-blind
+//! descendants (MaxDP), remaining spans (LSpan, and — via due dates — EDD
+//! and ShiftBT), and different-child distances (DType). When a sweep
+//! evaluates many `(algorithm, mode)` cells on *common random numbers*,
+//! instance `i` of every cell is the same sampled job, so each cell used to
+//! redo the identical analyses from scratch.
+//!
+//! [`Artifacts::compute`] bundles them: one topological sort feeds every
+//! downstream sweep via the `_with_order` analysis variants, and the bundle
+//! is shared across cells behind an `Arc` through
+//! `fhs_sim::Policy::init_with_artifacts`. Because each analysis here calls
+//! the exact code the policies' cold `init` paths call — over the same
+//! canonical order [`crate::topo::reverse_topological_order`] produces —
+//! every value in the bundle is **bit-identical** to what a cold
+//! initialization computes, and artifact-cached runs reproduce cold runs
+//! bit for bit (property-tested in `fhs-core`'s `artifact_equivalence`).
+
+use crate::descendants::{type_blind_descendants_with_order, DescendantValues};
+use crate::distance::different_child_distances_with_order;
+use crate::graph::KDag;
+use crate::metrics::remaining_spans_with_order;
+use crate::topo::topological_order;
+use crate::types::{TaskId, Work};
+
+/// The per-instance analysis bundle: everything the six paper policies
+/// precompute in their `init`, derived once from a single topological sort.
+#[derive(Clone, Debug)]
+pub struct Artifacts {
+    topo: Vec<TaskId>,
+    reverse_topo: Vec<TaskId>,
+    descendants: DescendantValues,
+    type_blind: Vec<f64>,
+    spans: Vec<Work>,
+    due_dates: Vec<Work>,
+    different_child: Vec<Option<u32>>,
+}
+
+impl Artifacts {
+    /// Runs every analysis over one shared topological sort. O(|V|·K + |E|·K).
+    pub fn compute(dag: &KDag) -> Self {
+        let topo = topological_order(dag).expect("KDag invariant violated: cycle");
+        let mut reverse_topo = topo.clone();
+        reverse_topo.reverse();
+        let descendants = DescendantValues::compute_with_order(dag, &reverse_topo);
+        let type_blind = type_blind_descendants_with_order(dag, &reverse_topo);
+        let spans = remaining_spans_with_order(dag, &reverse_topo);
+        // due(v) = T∞ − span(v), exactly as `crate::duedate::due_dates`.
+        let total = spans.iter().copied().max().unwrap_or(0);
+        let due_dates = spans.iter().map(|&s| total - s).collect();
+        let different_child = different_child_distances_with_order(dag, &reverse_topo);
+        Artifacts {
+            topo,
+            reverse_topo,
+            descendants,
+            type_blind,
+            spans,
+            due_dates,
+            different_child,
+        }
+    }
+
+    /// Forward topological order (parents before children).
+    pub fn topo(&self) -> &[TaskId] {
+        &self.topo
+    }
+
+    /// Reverse topological order (children before parents).
+    pub fn reverse_topo(&self) -> &[TaskId] {
+        &self.reverse_topo
+    }
+
+    /// Per-type descendant values, as [`DescendantValues::compute`].
+    pub fn descendants(&self) -> &DescendantValues {
+        &self.descendants
+    }
+
+    /// Type-blind descendant values, as
+    /// [`crate::descendants::type_blind_descendants`].
+    pub fn type_blind(&self) -> &[f64] {
+        &self.type_blind
+    }
+
+    /// Per-task remaining spans, as [`crate::metrics::remaining_spans`].
+    pub fn spans(&self) -> &[Work] {
+        &self.spans
+    }
+
+    /// The job span `T∞(J)` — the maximum remaining span.
+    pub fn span(&self) -> Work {
+        self.spans.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Due dates, as [`crate::duedate::due_dates`].
+    pub fn due_dates(&self) -> &[Work] {
+        &self.due_dates
+    }
+
+    /// Different-child distances, as
+    /// [`crate::distance::different_child_distances`].
+    pub fn different_child(&self) -> &[Option<u32>] {
+        &self.different_child
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topo::reverse_topological_order;
+    use crate::{descendants, distance, duedate, metrics, KDagBuilder};
+
+    fn layered_job() -> KDag {
+        // Three layers with cross edges and multi-parent joins over 3 types.
+        let mut b = KDagBuilder::new(3);
+        let roots: Vec<_> = (0..4).map(|i| b.add_task(i % 3, (i as u64) + 1)).collect();
+        let mids: Vec<_> = (0..5)
+            .map(|i| b.add_task((i + 1) % 3, (i as u64 % 4) + 2))
+            .collect();
+        let sinks: Vec<_> = (0..3).map(|i| b.add_task((i + 2) % 3, 3)).collect();
+        for (i, &m) in mids.iter().enumerate() {
+            b.add_edge(roots[i % roots.len()], m).unwrap();
+            b.add_edge(roots[(i + 1) % roots.len()], m).unwrap();
+        }
+        for (i, &s) in sinks.iter().enumerate() {
+            b.add_edge(mids[i], s).unwrap();
+            b.add_edge(mids[(i + 2) % mids.len()], s).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn artifacts_match_standalone_analyses_bitwise() {
+        let g = layered_job();
+        let a = Artifacts::compute(&g);
+        assert_eq!(a.reverse_topo(), &reverse_topological_order(&g)[..]);
+        let dv = descendants::DescendantValues::compute(&g);
+        for (x, y) in a.descendants().values().iter().zip(dv.values()) {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "descendant values must be bit-identical"
+            );
+        }
+        let tb = descendants::type_blind_descendants(&g);
+        for (x, y) in a.type_blind().iter().zip(&tb) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        assert_eq!(a.spans(), &metrics::remaining_spans(&g)[..]);
+        assert_eq!(a.span(), metrics::span(&g));
+        assert_eq!(a.due_dates(), &duedate::due_dates(&g)[..]);
+        assert_eq!(
+            a.different_child(),
+            &distance::different_child_distances(&g)[..]
+        );
+    }
+
+    #[test]
+    fn empty_graph_artifacts_are_empty() {
+        let g = KDagBuilder::new(2).build().unwrap();
+        let a = Artifacts::compute(&g);
+        assert!(a.topo().is_empty());
+        assert_eq!(a.span(), 0);
+        assert!(a.due_dates().is_empty());
+    }
+}

@@ -52,12 +52,18 @@ where
     U: Send,
     F: Fn(T) -> U + Sync,
 {
+    // Single-worker runs stream the input straight through `f` — no
+    // up-front collect, so lazy/expensive iterators are consumed one item
+    // at a time exactly as a plain sequential map would.
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
     let items: Vec<T> = items.into_iter().collect();
     let n = items.len();
     if n == 0 {
         return Vec::new();
     }
-    let workers = workers.max(1).min(n);
+    let workers = workers.min(n);
     if workers == 1 {
         return items.into_iter().map(f).collect();
     }
@@ -112,6 +118,35 @@ mod tests {
     fn single_worker_runs_inline() {
         let out = parallel_map_with(1, 0..10u32, |i| i + 1);
         assert_eq!(out[9], 10);
+    }
+
+    #[test]
+    fn single_worker_streams_without_collecting_first() {
+        // With one worker, each item must be mapped as soon as it is
+        // produced (lazy pipeline) rather than after an up-front collect of
+        // the whole input. The producing iterator counts what it has
+        // yielded; the mapper observes that count — under the streaming
+        // path exactly one item is ever in flight.
+        let produced = AtomicUsize::new(0);
+        let items = (0..32usize).inspect(|_| {
+            produced.fetch_add(1, Ordering::Relaxed);
+        });
+        let out = parallel_map_with(1, items, |i| {
+            let seen = produced.load(Ordering::Relaxed);
+            assert_eq!(
+                seen,
+                i + 1,
+                "item {i} mapped after {seen} were produced: input was collected up front"
+            );
+            i
+        });
+        assert_eq!(out.len(), 32);
+    }
+
+    #[test]
+    fn zero_workers_behaves_like_one() {
+        let out = parallel_map_with(0, 0..10u32, |i| i + 1);
+        assert_eq!(out, (1..=10).collect::<Vec<_>>());
     }
 
     #[test]

@@ -22,8 +22,10 @@
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 use std::time::Instant;
 
+use kdag::precompute::Artifacts;
 use kdag::{KDag, TaskId, Work};
 
 use crate::config::MachineConfig;
@@ -141,6 +143,37 @@ pub fn run(
     );
     let wall = Instant::now();
     policy.init(job, config, opts.seed);
+    let mut out = run_engine(job, config, policy, mode, opts, opts.quantum);
+    out.stats.engine_nanos = wall.elapsed().as_nanos() as u64;
+    out
+}
+
+/// As [`run`], but initializes the policy through
+/// [`Policy::init_with_artifacts`] with a shared precompute bundle for
+/// `job`. With correct `init_with_artifacts` implementations (bit-identical
+/// state to a cold `init`) the outcome is bit-for-bit the same as [`run`];
+/// the win is that `artifacts` can be computed once per sampled instance
+/// and shared across every `(algorithm, mode)` cell of a sweep.
+///
+/// # Panics
+/// Same conditions as [`run`].
+pub fn run_with_artifacts(
+    job: &KDag,
+    config: &MachineConfig,
+    policy: &mut dyn Policy,
+    mode: Mode,
+    opts: &RunOptions,
+    artifacts: &Arc<Artifacts>,
+) -> SimOutcome {
+    assert_eq!(
+        job.num_types(),
+        config.num_types(),
+        "job declared K={} but machine has K={}",
+        job.num_types(),
+        config.num_types()
+    );
+    let wall = Instant::now();
+    policy.init_with_artifacts(job, config, opts.seed, artifacts);
     let mut out = run_engine(job, config, policy, mode, opts, opts.quantum);
     out.stats.engine_nanos = wall.elapsed().as_nanos() as u64;
     out

@@ -1,9 +1,12 @@
 //! Evaluation helpers: the paper's lower bound and completion-time ratio.
 
+use std::sync::Arc;
+
+use kdag::precompute::Artifacts;
 use kdag::KDag;
 
 use crate::config::MachineConfig;
-use crate::engine::{run, Mode, RunOptions};
+use crate::engine::{run, run_with_artifacts, Mode, RunOptions};
 use crate::instrument::RunStats;
 use crate::policy::Policy;
 use crate::Time;
@@ -54,6 +57,33 @@ pub fn evaluate_instrumented(
 ) -> (EvalResult, RunStats) {
     let out = run(job, config, policy, mode, opts);
     let lb = kdag::metrics::lower_bound(job, config.procs_per_type());
+    let result = EvalResult {
+        makespan: out.makespan,
+        lower_bound: lb,
+        ratio: if lb == 0 {
+            1.0
+        } else {
+            out.makespan as f64 / lb as f64
+        },
+    };
+    (result, out.stats)
+}
+
+/// As [`evaluate_instrumented`], but initializes the policy from a shared
+/// [`Artifacts`] bundle (via [`run_with_artifacts`]) and reuses the
+/// bundle's span for the lower bound instead of recomputing it. With a
+/// correct `Policy::init_with_artifacts` implementation the result is
+/// bit-identical to [`evaluate_instrumented`].
+pub fn evaluate_instrumented_with_artifacts(
+    job: &KDag,
+    config: &MachineConfig,
+    policy: &mut dyn Policy,
+    mode: Mode,
+    opts: &RunOptions,
+    artifacts: &Arc<Artifacts>,
+) -> (EvalResult, RunStats) {
+    let out = run_with_artifacts(job, config, policy, mode, opts, artifacts);
+    let lb = kdag::metrics::lower_bound_with_span(job, config.procs_per_type(), artifacts.span());
     let result = EvalResult {
         makespan: out.makespan,
         lower_bound: lb,

@@ -13,6 +13,9 @@
 //! * **Offline** policies precompute whatever they need from the full
 //!   K-DAG in [`Policy::init`].
 
+use std::sync::Arc;
+
+use kdag::precompute::Artifacts;
 use kdag::{KDag, TaskId, Work};
 
 use crate::config::MachineConfig;
@@ -121,6 +124,28 @@ pub trait Policy: Send {
     /// policies may ignore it.
     fn init(&mut self, job: &KDag, config: &MachineConfig, seed: u64);
 
+    /// As [`Policy::init`], with a shared bundle of precomputed graph
+    /// analyses for `job` (see [`kdag::precompute::Artifacts`]). Sweeps
+    /// evaluating many `(algorithm, mode)` cells on common random numbers
+    /// call this so every cell reuses one instance's analyses instead of
+    /// recomputing them per cell.
+    ///
+    /// The contract is strict: initializing from `artifacts` must leave the
+    /// policy in a **bit-identical** state to a cold [`Policy::init`] with
+    /// the same arguments. The default implementation guarantees that
+    /// trivially by ignoring the bundle and delegating to `init`, so
+    /// third-party policies are unaffected.
+    fn init_with_artifacts(
+        &mut self,
+        job: &KDag,
+        config: &MachineConfig,
+        seed: u64,
+        artifacts: &Arc<Artifacts>,
+    ) {
+        let _ = artifacts;
+        self.init(job, config, seed);
+    }
+
     /// Fill `out` with at most `view.slots[α]` tasks from `view.queues[α]`
     /// for each type `α`. Choosing fewer than the slot count is allowed
     /// (but wastes processors); choosing tasks not present in the queue or
@@ -134,6 +159,15 @@ impl<P: Policy + ?Sized> Policy for Box<P> {
     }
     fn init(&mut self, job: &KDag, config: &MachineConfig, seed: u64) {
         (**self).init(job, config, seed)
+    }
+    fn init_with_artifacts(
+        &mut self,
+        job: &KDag,
+        config: &MachineConfig,
+        seed: u64,
+        artifacts: &Arc<Artifacts>,
+    ) {
+        (**self).init_with_artifacts(job, config, seed, artifacts)
     }
     fn assign(&mut self, view: &EpochView<'_>, out: &mut Assignments) {
         (**self).assign(view, out)

@@ -2,6 +2,8 @@
 //!
 //! * **Small** systems: 1–5 processors per type (so 4–20 total at K = 4).
 //! * **Medium** systems: 10–20 per type (40–80 total at K = 4).
+//! * **Large** systems (an extension beyond the paper, for the ≥1000-task
+//!   sweep benchmarks): 30–60 per type.
 //!
 //! The skewed-load experiments (§V-E) shrink type 1's pool to 1/5 of its
 //! sampled size while leaving the others unchanged.
@@ -16,6 +18,8 @@ pub enum SystemSize {
     Small,
     /// 10–20 processors per type.
     Medium,
+    /// 30–60 processors per type (extension; sized for ≥1000-task jobs).
+    Large,
 }
 
 impl SystemSize {
@@ -24,14 +28,16 @@ impl SystemSize {
         match self {
             SystemSize::Small => (1, 5),
             SystemSize::Medium => (10, 20),
+            SystemSize::Large => (30, 60),
         }
     }
 
-    /// The paper's display word ("Small" / "Medium").
+    /// The display word ("Small" / "Medium" / "Large").
     pub fn label(&self) -> &'static str {
         match self {
             SystemSize::Small => "Small",
             SystemSize::Medium => "Medium",
+            SystemSize::Large => "Large",
         }
     }
 }

@@ -106,6 +106,8 @@ impl WorkloadSpec {
         match self.size {
             SystemSize::Small => (8, 24),
             SystemSize::Medium => (20, 60),
+            // ≥ 250 branches × K phases ⇒ ≥ 1000 tasks at K = 4.
+            SystemSize::Large => (250, 500),
         }
     }
 
@@ -113,6 +115,7 @@ impl WorkloadSpec {
         match self.size {
             SystemSize::Small => (30, 150),
             SystemSize::Medium => (300, 1200),
+            SystemSize::Large => (3000, 12000),
         }
     }
 
@@ -120,6 +123,8 @@ impl WorkloadSpec {
         match self.size {
             SystemSize::Small => ((4, 16), (2, 8)),
             SystemSize::Medium => ((20, 60), (10, 30)),
+            // ≥ 2 iterations × (400 + 150) ⇒ ≥ 1100 tasks.
+            SystemSize::Large => ((400, 700), (150, 300)),
         }
     }
 
@@ -207,6 +212,25 @@ mod tests {
                         assert!(kdag::topo::topological_order(&job).is_some());
                     }
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn large_ep_and_ir_instances_have_at_least_1000_tasks() {
+        // The sweep bench relies on Large EP/IR being ≥ 1000 tasks for
+        // every seed (Tree only guarantees ≥ cap/5 and is excluded).
+        for family in [Family::Ep, Family::Ir] {
+            let s = WorkloadSpec::new(family, Typing::Layered, SystemSize::Large, 4);
+            for seed in 0..5 {
+                let (job, cfg) = s.sample(seed);
+                assert!(
+                    job.num_tasks() >= 1000,
+                    "{} seed {seed}: only {} tasks",
+                    s.label(),
+                    job.num_tasks()
+                );
+                assert!(cfg.procs_per_type().iter().all(|&p| (30..=60).contains(&p)));
             }
         }
     }
