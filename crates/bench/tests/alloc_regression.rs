@@ -1,0 +1,166 @@
+//! Allocation-regression proof for the steady-state execution layer: on a
+//! reused [`Workspace`], the engine's epoch loop allocates **zero bytes**.
+//!
+//! A counting [`GlobalAlloc`] wrapper around [`System`] tracks per-thread
+//! allocated bytes; the engine samples it around its epoch loop through
+//! the probe registered with
+//! [`fhs_sim::instrument::register_alloc_probe`] and reports the delta as
+//! `RunStats::epoch_bytes`. The first run on a workspace is allowed (and
+//! expected) to allocate — every buffer is sized then; re-running the same
+//! instance on the warm workspace with a warm policy must stay at exactly
+//! zero, for every scheduler and both modes.
+//!
+//! The byte accounting only counts *allocations* (growth included),
+//! never frees, so the assertion cannot be masked by alloc/free pairs.
+//! Asserted in `--release` only (its own CI step); the default debug
+//! `cargo test` skips it.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+use fhs_core::{make_policy, ALL_ALGORITHMS};
+use fhs_sim::{engine, Mode, RunOptions, Workspace};
+
+thread_local! {
+    static BYTES: Cell<u64> = const { Cell::new(0) };
+}
+
+/// [`System`], plus a per-thread count of bytes requested. Thread-local
+/// counters keep the probe exact under the test harness's and the
+/// `fhs-par` pool's concurrency, with no atomic traffic on the hot path.
+struct CountingAlloc;
+
+// SAFETY: delegates every operation verbatim to `System`; the only
+// addition is bookkeeping, which allocates nothing itself (the
+// thread-local is const-initialized) and uses `try_with` so late
+// allocations during thread teardown never panic.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let _ = BYTES.try_with(|b| b.set(b.get() + layout.size() as u64));
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        let _ = BYTES.try_with(|b| b.set(b.get() + layout.size() as u64));
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let grown = new_size.saturating_sub(layout.size()) as u64;
+        let _ = BYTES.try_with(|b| b.set(b.get() + grown));
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn probe() -> u64 {
+    BYTES.with(|b| b.get())
+}
+
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "allocation accounting is asserted in --release (its own CI step)"
+)]
+fn epoch_loop_allocates_zero_bytes_on_reused_workspaces() {
+    fhs_sim::instrument::register_alloc_probe(probe);
+    let (job, cfg) = fhs_bench::medium_ir();
+    for algo in ALL_ALGORITHMS {
+        for mode in [Mode::NonPreemptive, Mode::Preemptive] {
+            let mut ws = Workspace::new();
+            let mut policy = make_policy(algo);
+            let cold = engine::run_in(
+                &mut ws,
+                &job,
+                &cfg,
+                policy.as_mut(),
+                mode,
+                &RunOptions::seeded(1),
+            );
+            assert_eq!(cold.stats.workspace_cold_inits, 1);
+            assert!(
+                cold.stats.epoch_bytes > 0,
+                "{} {mode:?}: cold epoch loop reported zero bytes — probe dead?",
+                algo.label()
+            );
+            for rerun in 0..3 {
+                let warm = engine::run_in(
+                    &mut ws,
+                    &job,
+                    &cfg,
+                    policy.as_mut(),
+                    mode,
+                    &RunOptions::seeded(1),
+                );
+                assert_eq!(warm.stats.workspace_reuses, 1);
+                assert_eq!(warm.makespan, cold.makespan, "{} {mode:?}", algo.label());
+                assert_eq!(
+                    warm.stats.epoch_bytes,
+                    0,
+                    "{} {mode:?} rerun {rerun}: epoch loop allocated on a warm workspace",
+                    algo.label()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "allocation accounting is asserted in --release (its own CI step)"
+)]
+fn per_quantum_cadence_is_also_allocation_free_when_warm() {
+    fhs_sim::instrument::register_alloc_probe(probe);
+    let (job, cfg) = fhs_bench::small_ep();
+    for algo in ALL_ALGORITHMS {
+        let mut ws = Workspace::new();
+        let mut policy = make_policy(algo);
+        let mut opts = RunOptions::seeded(3);
+        opts.quantum = Some(1);
+        let cold = engine::run_in(
+            &mut ws,
+            &job,
+            &cfg,
+            policy.as_mut(),
+            Mode::Preemptive,
+            &opts,
+        );
+        let warm = engine::run_in(
+            &mut ws,
+            &job,
+            &cfg,
+            policy.as_mut(),
+            Mode::Preemptive,
+            &opts,
+        );
+        assert_eq!(warm.makespan, cold.makespan, "{}", algo.label());
+        assert_eq!(
+            warm.stats.epoch_bytes,
+            0,
+            "{} per-quantum: epoch loop allocated on a warm workspace",
+            algo.label()
+        );
+    }
+}
+
+#[test]
+fn probe_counts_this_threads_allocations() {
+    // Sanity for the harness itself (runs in every profile): allocating
+    // must advance the thread's byte count by at least the requested size.
+    let before = probe();
+    let v: Vec<u8> = Vec::with_capacity(4096);
+    let after = probe();
+    drop(v);
+    assert!(
+        after >= before + 4096,
+        "probe advanced by {} for a 4096-byte allocation",
+        after - before
+    );
+}

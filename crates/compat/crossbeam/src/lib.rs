@@ -59,6 +59,19 @@ pub mod channel {
 
     impl<T> std::error::Error for SendError<T> {}
 
+    /// Error returned by [`Receiver::recv`] when every [`Sender`] has been
+    /// dropped and the queue is drained (matches upstream crossbeam).
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl std::fmt::Display for RecvError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("receiving on an empty and disconnected channel")
+        }
+    }
+
+    impl std::error::Error for RecvError {}
+
     /// Creates a channel holding at most `capacity` in-flight messages.
     /// A capacity of 0 is rounded up to 1 (upstream crossbeam supports
     /// rendezvous channels; this workspace never requests one).
@@ -131,9 +144,15 @@ pub mod channel {
     }
 
     impl<T> Receiver<T> {
+        /// Blocks for the next message; `Err(RecvError)` once every sender
+        /// is dropped and the queue is drained (upstream signature).
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.recv_opt().ok_or(RecvError)
+        }
+
         /// Blocks for the next message; returns `None` once every sender
         /// is dropped and the queue is drained.
-        fn recv(&self) -> Option<T> {
+        fn recv_opt(&self) -> Option<T> {
             let mut state = self.shared.state.lock().expect("channel poisoned");
             loop {
                 if let Some(msg) = state.queue.pop_front() {
@@ -177,7 +196,7 @@ pub mod channel {
     impl<T> Iterator for Iter<'_, T> {
         type Item = T;
         fn next(&mut self) -> Option<T> {
-            self.rx.recv()
+            self.rx.recv_opt()
         }
     }
 }

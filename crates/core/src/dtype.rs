@@ -28,10 +28,12 @@ impl Policy for DType {
     }
 
     fn init(&mut self, job: &KDag, _config: &MachineConfig, _seed: u64) {
-        self.dist = distance::different_child_distances(job)
-            .into_iter()
-            .map(|d| d.map_or(f64::INFINITY, f64::from))
-            .collect();
+        self.dist.clear();
+        self.dist.extend(
+            distance::different_child_distances(job)
+                .into_iter()
+                .map(|d| d.map_or(f64::INFINITY, f64::from)),
+        );
     }
 
     fn init_with_artifacts(
@@ -41,11 +43,13 @@ impl Policy for DType {
         _seed: u64,
         artifacts: &Arc<Artifacts>,
     ) {
-        self.dist = artifacts
-            .different_child()
-            .iter()
-            .map(|d| d.map_or(f64::INFINITY, f64::from))
-            .collect();
+        self.dist.clear();
+        self.dist.extend(
+            artifacts
+                .different_child()
+                .iter()
+                .map(|d| d.map_or(f64::INFINITY, f64::from)),
+        );
     }
 
     fn assign(&mut self, view: &EpochView<'_>, out: &mut Assignments) {

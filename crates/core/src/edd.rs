@@ -29,10 +29,9 @@ impl Policy for Edd {
     }
 
     fn init(&mut self, job: &KDag, _config: &MachineConfig, _seed: u64) {
-        self.due = duedate::due_dates(job)
-            .into_iter()
-            .map(|d| d as f64)
-            .collect();
+        self.due.clear();
+        self.due
+            .extend(duedate::due_dates(job).into_iter().map(|d| d as f64));
     }
 
     fn init_with_artifacts(
@@ -42,7 +41,9 @@ impl Policy for Edd {
         _seed: u64,
         artifacts: &Arc<Artifacts>,
     ) {
-        self.due = artifacts.due_dates().iter().map(|&d| d as f64).collect();
+        self.due.clear();
+        self.due
+            .extend(artifacts.due_dates().iter().map(|&d| d as f64));
     }
 
     fn assign(&mut self, view: &EpochView<'_>, out: &mut Assignments) {

@@ -29,16 +29,14 @@ impl LSpan {
     /// Derives the per-task max-child-span table from the (pre)computed
     /// remaining spans — the shared tail of both init paths.
     fn set_child_spans(&mut self, job: &KDag, spans: &[Work]) {
-        self.child_span = job
-            .tasks()
-            .map(|v| {
-                job.children(v)
-                    .iter()
-                    .map(|&c| spans[c.index()])
-                    .max()
-                    .unwrap_or(0)
-            })
-            .collect();
+        self.child_span.clear();
+        self.child_span.extend(job.tasks().map(|v| {
+            job.children(v)
+                .iter()
+                .map(|&c| spans[c.index()])
+                .max()
+                .unwrap_or(0)
+        }));
     }
 }
 

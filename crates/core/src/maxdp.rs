@@ -40,7 +40,8 @@ impl Policy for MaxDP {
         _seed: u64,
         artifacts: &Arc<Artifacts>,
     ) {
-        self.desc = artifacts.type_blind().to_vec();
+        self.desc.clear();
+        self.desc.extend_from_slice(artifacts.type_blind());
     }
 
     fn assign(&mut self, view: &EpochView<'_>, out: &mut Assignments) {

@@ -36,7 +36,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 /// How much of the K-DAG's future MQB may look at (paper §V-G).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
 pub enum Lookahead {
     /// Full-depth descendant values (`MQB+All`).
     #[default]
@@ -47,7 +47,7 @@ pub enum Lookahead {
 }
 
 /// How accurate MQB's descendant estimates are (paper §V-G).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
 pub enum Accuracy {
     /// Exact values (`MQB+Pre`).
     #[default]
@@ -61,7 +61,7 @@ pub enum Accuracy {
 }
 
 /// Combined information model: lookahead depth × estimate accuracy.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
 pub struct InfoModel {
     /// Lookahead depth.
     pub lookahead: Lookahead,
@@ -157,19 +157,24 @@ pub struct Mqb {
     d: Vec<f64>,
     /// Per-task total descendant value (tie-break key).
     d_total: Vec<f64>,
-    // Scratch buffers, reused across epochs.
+    // Scratch buffers, reused across epochs (and across runs when the
+    // runner keeps policy values warm per worker; see `reset_in`).
     working: Vec<f64>,
     taken: Vec<bool>,
     snap: Vec<ReadyTask>,
-    /// Per-candidate projected x-utilization rows (`candidate × K`),
-    /// cached across the picks of one α-round and repaired incrementally.
-    rows: Vec<f64>,
-    /// Sorted copy of each row in `rows` — the balance vectors compared by
-    /// [`cmp_balance`].
-    sorted: Vec<f64>,
-    /// Bit patterns of `working` before the latest projection; entries
-    /// whose bits are unchanged need no row update.
-    prev_bits: Vec<u64>,
+    /// The candidates' descendant rows gathered contiguously
+    /// (`candidate × K`) once per α-round: the per-pick evaluation streams
+    /// these instead of striding through the full `d` matrix.
+    erows: Vec<f64>,
+    /// Projected x-utilization row of the candidate under evaluation.
+    row: Vec<f64>,
+    /// Projected row of the best candidate so far this pick.
+    best_row: Vec<f64>,
+    /// Ascending-sorted balance vector of the candidate (built only on
+    /// min-ties; see `assign`).
+    cand_sorted: Vec<f64>,
+    /// Ascending-sorted balance vector of the current best (built lazily).
+    best_sorted: Vec<f64>,
 }
 
 impl Default for Mqb {
@@ -196,9 +201,11 @@ impl Mqb {
             working: Vec::new(),
             taken: Vec::new(),
             snap: Vec::new(),
-            rows: Vec::new(),
-            sorted: Vec::new(),
-            prev_bits: Vec::new(),
+            erows: Vec::new(),
+            row: Vec::new(),
+            best_row: Vec::new(),
+            cand_sorted: Vec::new(),
+            best_sorted: Vec::new(),
         }
     }
 
@@ -225,30 +232,20 @@ impl Mqb {
         }
     }
 
-    /// The candidate's projected x-utilization of queue `beta`: the working
-    /// value, plus the candidate's descendant promise, minus its own work
-    /// leaving its queue, over the processor count. The floating-point
-    /// operation order here is load-bearing — the incremental row repair in
-    /// [`Policy::assign`] recomputes single entries with this exact
-    /// sequence, so cached and fresh values are bit-identical.
-    #[inline]
-    fn projected_value(&self, alpha: usize, rt: &ReadyTask, procs: &[usize], beta: usize) -> f64 {
-        let row_start = rt.id.index() * self.k;
-        let mut l = self.working[beta] + self.d[row_start + beta];
-        if beta == alpha && self.tuning.subtract_own_work {
-            l -= rt.remaining as f64;
-        }
-        l / procs[beta] as f64
-    }
-
     /// Shared tail of both init paths: takes the (raw) descendant matrix,
     /// applies the information-model perturbation, and derives the per-task
     /// totals. The perturbation consumes the seeded RNG in exactly the same
     /// sequence regardless of where `d` came from, so artifact-backed and
     /// cold initializations are bit-identical.
-    fn finish_init(&mut self, job: &KDag, seed: u64, d: Vec<f64>) {
+    /// Replaces the descendant matrix in place, retaining the allocation
+    /// of a warm (worker-persistent) policy value.
+    fn set_d_from(&mut self, values: &[f64]) {
+        self.d.clear();
+        self.d.extend_from_slice(values);
+    }
+
+    fn finish_init(&mut self, job: &KDag, seed: u64) {
         self.k = job.num_types();
-        self.d = d;
 
         match self.info.accuracy {
             Accuracy::Precise => {}
@@ -281,33 +278,11 @@ impl Mqb {
             }
         }
 
-        self.d_total = (0..job.num_tasks())
-            .map(|i| self.d[i * self.k..(i + 1) * self.k].iter().sum())
-            .collect();
+        self.d_total.clear();
+        self.d_total.extend(
+            (0..job.num_tasks()).map(|i| self.d[i * self.k..(i + 1) * self.k].iter().sum::<f64>()),
+        );
     }
-}
-
-/// Repairs a sorted (by [`f64::total_cmp`]) slice after exactly one element
-/// changed from `old` to `new`: slides the element to its new position
-/// instead of re-sorting. `old` must be present in `s` (bitwise).
-fn repair_sorted(s: &mut [f64], old: f64, new: f64) {
-    use std::cmp::Ordering::{Greater, Less};
-    // total_cmp is equal iff the bit patterns are equal, so the first
-    // not-less element is (a duplicate of) `old`.
-    let mut i = s.partition_point(|x| x.total_cmp(&old) == Less);
-    debug_assert!(i < s.len() && s[i].to_bits() == old.to_bits());
-    if new.total_cmp(&old) == Greater {
-        while i + 1 < s.len() && s[i + 1].total_cmp(&new) == Less {
-            s[i] = s[i + 1];
-            i += 1;
-        }
-    } else {
-        while i > 0 && s[i - 1].total_cmp(&new) == Greater {
-            s[i] = s[i - 1];
-            i -= 1;
-        }
-    }
-    s[i] = new;
 }
 
 /// Lexicographic comparison of sorted balance vectors; `Greater` means
@@ -350,11 +325,14 @@ impl Policy for Mqb {
     }
 
     fn init(&mut self, job: &KDag, _config: &MachineConfig, seed: u64) {
-        let d = match self.info.lookahead {
-            Lookahead::All => DescendantValues::compute(job).values().to_vec(),
-            Lookahead::OneStep => one_step_descendants(job),
-        };
-        self.finish_init(job, seed, d);
+        match self.info.lookahead {
+            Lookahead::All => {
+                let dv = DescendantValues::compute(job);
+                self.set_d_from(dv.values());
+            }
+            Lookahead::OneStep => self.d = one_step_descendants(job),
+        }
+        self.finish_init(job, seed);
     }
 
     fn init_with_artifacts(
@@ -364,15 +342,15 @@ impl Policy for Mqb {
         seed: u64,
         artifacts: &Arc<Artifacts>,
     ) {
-        let d = match self.info.lookahead {
+        match self.info.lookahead {
             // The artifact values are bit-identical to a cold
             // `DescendantValues::compute` (same sweep, same order).
-            Lookahead::All => artifacts.descendants().values().to_vec(),
+            Lookahead::All => self.set_d_from(artifacts.descendants().values()),
             // One-step lookahead is not part of the bundle (it's a plain
             // O(|V|+|E|) pass with no topo sort) — compute it as `init` does.
-            Lookahead::OneStep => one_step_descendants(job),
-        };
-        self.finish_init(job, seed, d);
+            Lookahead::OneStep => self.d = one_step_descendants(job),
+        }
+        self.finish_init(job, seed);
     }
 
     fn assign(&mut self, view: &EpochView<'_>, out: &mut Assignments) {
@@ -408,111 +386,145 @@ impl Policy for Mqb {
             self.taken.clear();
             self.taken.resize(m, false);
 
-            // Fast path: compute every candidate's projected row and its
-            // sorted balance vector once, then repair only the entries
-            // whose `working[β]` actually changed bits after each pick —
-            // instead of rebuilding and re-sorting all rows per pick.
-            self.rows.clear();
+            // Fused selection fast path. Gather the candidates' descendant
+            // rows contiguously once (a pure copy, so every value is
+            // bit-identical to indexing `d` directly), then evaluate each
+            // pick by streaming over `erows`: a candidate's projected row
+            // is recomputed fresh from the current working vector — the
+            // exact computation the naive algorithm performs — and the
+            // lexicographic comparison short-circuits on the sorted
+            // vectors' *first* element (the minimum), which decides almost
+            // every duel. Full ascending sorts are built only on bitwise
+            // min-ties. This removes the per-pick cache-repair sweep (an
+            // O(m·K log K) re-sort whenever a projection dirties several
+            // working entries, i.e. always for dense descendant rows).
+            self.erows.clear();
             for qi in 0..m {
-                let rt = self.snap[qi];
-                for beta in 0..k {
-                    let val = self.projected_value(alpha, &rt, procs, beta);
-                    self.rows.push(val);
-                }
+                let row_start = self.snap[qi].id.index() * k;
+                self.erows
+                    .extend_from_slice(&self.d[row_start..row_start + k]);
             }
-            self.sorted.clear();
-            self.sorted.extend_from_slice(&self.rows);
-            for qi in 0..m {
-                self.sorted[qi * k..(qi + 1) * k].sort_unstable_by(f64::total_cmp);
-            }
-            // Under the MinOnly ablation only the most-starved entry of
-            // each (sorted) vector is compared.
-            let cmp_len = match self.tuning.balance {
-                BalanceMetric::SortedLexicographic => k,
-                BalanceMetric::MinOnly => 1,
-            };
+            let min_only = matches!(self.tuning.balance, BalanceMetric::MinOnly);
+            let subtract_own = self.tuning.subtract_own_work;
+            self.row.clear();
+            self.row.resize(k, 0.0);
+            self.best_row.clear();
+            self.best_row.resize(k, 0.0);
 
             for _ in 0..slots {
                 let mut best_qi: Option<usize> = None;
+                let mut best_min = 0.0f64;
+                let mut best_sorted_valid = false;
                 for qi in 0..m {
                     if self.taken[qi] {
                         continue;
                     }
                     let rt = self.snap[qi];
+                    // The candidate's projected x-utilization row: working
+                    // value plus its descendant promise, minus its own work
+                    // leaving its queue, over the processor count. The
+                    // floating-point operation order here is load-bearing —
+                    // it reproduces the naive per-pick evaluation bit for
+                    // bit.
+                    let ebase = qi * k;
+                    for (beta, &p) in procs.iter().enumerate() {
+                        let mut l = self.working[beta] + self.erows[ebase + beta];
+                        if beta == alpha && subtract_own {
+                            l -= rt.remaining as f64;
+                        }
+                        self.row[beta] = l / p as f64;
+                    }
+                    let mut mn = self.row[0];
+                    for &x in &self.row[1..] {
+                        if x.total_cmp(&mn).is_lt() {
+                            mn = x;
+                        }
+                    }
+
+                    // `true` once this candidate's full sorted vector has
+                    // been materialized (only happens on min-ties).
+                    let mut cand_sorted_built = false;
                     let better = match best_qi {
                         None => true,
-                        Some(bqi) => {
-                            let brt = self.snap[bqi];
-                            let cand = &self.sorted[qi * k..qi * k + cmp_len];
-                            let best = &self.sorted[bqi * k..bqi * k + cmp_len];
-                            match cmp_balance(cand, best) {
-                                std::cmp::Ordering::Greater => true,
-                                std::cmp::Ordering::Less => false,
-                                std::cmp::Ordering::Equal => {
-                                    // Tie-break: larger total descendant
-                                    // value, then earlier arrival.
-                                    let (dt_c, dt_b) =
-                                        (self.d_total[rt.id.index()], self.d_total[brt.id.index()]);
-                                    match dt_c.total_cmp(&dt_b) {
-                                        std::cmp::Ordering::Greater => true,
-                                        std::cmp::Ordering::Less => false,
-                                        std::cmp::Ordering::Equal => rt.seq < brt.seq,
+                        Some(bqi) => match mn.total_cmp(&best_min) {
+                            std::cmp::Ordering::Less => false,
+                            std::cmp::Ordering::Greater => true,
+                            std::cmp::Ordering::Equal => {
+                                // Sorted-lex vectors agree at position 0
+                                // (total_cmp equality is bitwise). Compare
+                                // the rest — or go straight to the
+                                // tie-break under the MinOnly ablation.
+                                let rest = if min_only {
+                                    std::cmp::Ordering::Equal
+                                } else {
+                                    if !best_sorted_valid {
+                                        self.best_sorted.clear();
+                                        self.best_sorted.extend_from_slice(&self.best_row);
+                                        self.best_sorted.sort_unstable_by(f64::total_cmp);
+                                        best_sorted_valid = true;
+                                    }
+                                    self.cand_sorted.clear();
+                                    self.cand_sorted.extend_from_slice(&self.row);
+                                    self.cand_sorted.sort_unstable_by(f64::total_cmp);
+                                    cand_sorted_built = true;
+                                    cmp_balance(&self.cand_sorted, &self.best_sorted)
+                                };
+                                match rest {
+                                    std::cmp::Ordering::Greater => true,
+                                    std::cmp::Ordering::Less => false,
+                                    std::cmp::Ordering::Equal => {
+                                        // Tie-break: larger total descendant
+                                        // value, then earlier arrival.
+                                        let brt = self.snap[bqi];
+                                        let (dt_c, dt_b) = (
+                                            self.d_total[rt.id.index()],
+                                            self.d_total[brt.id.index()],
+                                        );
+                                        match dt_c.total_cmp(&dt_b) {
+                                            std::cmp::Ordering::Greater => true,
+                                            std::cmp::Ordering::Less => false,
+                                            std::cmp::Ordering::Equal => rt.seq < brt.seq,
+                                        }
                                     }
                                 }
                             }
-                        }
+                        },
                     };
                     if better {
                         best_qi = Some(qi);
+                        best_min = mn;
+                        std::mem::swap(&mut self.best_row, &mut self.row);
+                        if cand_sorted_built {
+                            std::mem::swap(&mut self.best_sorted, &mut self.cand_sorted);
+                            best_sorted_valid = true;
+                        } else {
+                            best_sorted_valid = false;
+                        }
                     }
                 }
                 let bqi = best_qi.expect("queue longer than slots");
                 self.taken[bqi] = true;
                 let rt = self.snap[bqi];
                 out.push(alpha, rt.id);
-
-                self.prev_bits.clear();
-                self.prev_bits
-                    .extend(self.working.iter().map(|w| w.to_bits()));
                 self.apply_projection(alpha, &rt);
-
-                // Repair the untaken candidates' cached rows: recompute
-                // only entries whose working value changed bits, with the
-                // exact op order of `projected_value` — unchanged inputs
-                // reproduce unchanged outputs bit for bit, so skipping
-                // them is behavior-preserving.
-                for qi in 0..m {
-                    if self.taken[qi] {
-                        continue;
-                    }
-                    let crt = self.snap[qi];
-                    let base = qi * k;
-                    let mut n_changed = 0usize;
-                    let mut single_old = 0.0f64;
-                    let mut single_new = 0.0f64;
-                    for beta in 0..k {
-                        if self.working[beta].to_bits() == self.prev_bits[beta] {
-                            continue;
-                        }
-                        let val = self.projected_value(alpha, &crt, procs, beta);
-                        if val.to_bits() != self.rows[base + beta].to_bits() {
-                            n_changed += 1;
-                            single_old = self.rows[base + beta];
-                            single_new = val;
-                            self.rows[base + beta] = val;
-                        }
-                    }
-                    if n_changed == 1 {
-                        // Typically the pick only moved the candidate's own
-                        // type: slide one element instead of re-sorting.
-                        repair_sorted(&mut self.sorted[base..base + k], single_old, single_new);
-                    } else if n_changed > 1 {
-                        self.sorted[base..base + k].copy_from_slice(&self.rows[base..base + k]);
-                        self.sorted[base..base + k].sort_unstable_by(f64::total_cmp);
-                    }
-                }
             }
         }
+    }
+
+    fn reset_in(&mut self, _workspace: &mut fhs_sim::Workspace) {
+        // The selection scratch is sized inside `assign` and `init`
+        // rebuilds `d`/`d_total`, so nothing *must* be cleared — this
+        // override just drops stale candidate data eagerly so a policy
+        // kept warm across runs by the pooled runner never carries
+        // task ids from a previous instance. Capacity is retained.
+        self.working.clear();
+        self.taken.clear();
+        self.snap.clear();
+        self.erows.clear();
+        self.row.clear();
+        self.best_row.clear();
+        self.cand_sorted.clear();
+        self.best_sorted.clear();
     }
 }
 

@@ -7,7 +7,7 @@ use crate::mqb::{InfoModel, Mqb};
 use crate::{DType, Edd, KGreedy, LSpan, MaxDP, ShiftBT};
 
 /// The algorithms evaluated in the paper's §V.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Algorithm {
     /// Online greedy (§III).
     KGreedy,

@@ -72,7 +72,8 @@ impl ShiftBT {
             remaining.retain(|&a| a != alpha);
         }
 
-        self.rank = vec![0.0; job.num_tasks()];
+        self.rank.clear();
+        self.rank.resize(job.num_tasks(), 0.0);
         for v in job.tasks() {
             let alpha = job.rtype(v);
             self.rank[v.index()] =

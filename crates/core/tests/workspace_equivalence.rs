@@ -1,0 +1,171 @@
+//! Workspace reuse must be invisible: running on a **dirty, reused**
+//! [`fhs_sim::Workspace`] — with **warm, reused** policy values — must
+//! reproduce a cold `engine::run` bit for bit, on the strongest observable
+//! (the full trace), for every scheduler, both modes, both cadences.
+//!
+//! This is the contract that lets the steady-state execution layer
+//! (`fhs_experiments::runner`) keep one workspace and one policy set per
+//! pool worker across thousands of differently-shaped instances. The
+//! instances inside each case deliberately vary in task count, machine
+//! size, and seed, so the workspace's shape-reset path (`begin_run`) and
+//! the monotonic duplicate-selection stamps are exercised across
+//! shrink/grow transitions, and each policy's `init`/`reset_in` is proven
+//! to fully re-derive its state.
+
+use std::sync::Arc;
+
+use fhs_core::{make_policy, ALL_ALGORITHMS};
+use fhs_sim::{engine, MachineConfig, Mode, RunOptions, Workspace};
+use kdag::precompute::Artifacts;
+use kdag::{KDag, KDagBuilder, TaskId};
+use proptest::prelude::*;
+
+fn arb_kdag(k: usize, max_tasks: usize, max_work: u64) -> impl Strategy<Value = KDag> {
+    (1..=max_tasks).prop_flat_map(move |n| {
+        let types = proptest::collection::vec(0..k, n);
+        let works = proptest::collection::vec(1..=max_work, n);
+        let parents = proptest::collection::vec(proptest::collection::vec(any::<u32>(), 0..=3), n);
+        (types, works, parents).prop_map(move |(types, works, parents)| {
+            let mut b = KDagBuilder::new(k);
+            let ids: Vec<TaskId> = types
+                .iter()
+                .zip(&works)
+                .map(|(&t, &w)| b.add_task(t, w))
+                .collect();
+            let mut seen = std::collections::HashSet::new();
+            for (i, ps) in parents.iter().enumerate().skip(1) {
+                for &raw in ps {
+                    let p = (raw as usize) % i;
+                    if seen.insert((p, i)) {
+                        b.add_edge(ids[p], ids[i]).unwrap();
+                    }
+                }
+            }
+            b.build().expect("forward-edge graphs are acyclic")
+        })
+    })
+}
+
+fn arb_config(k: usize) -> impl Strategy<Value = MachineConfig> {
+    proptest::collection::vec(1usize..4, k).prop_map(MachineConfig::new)
+}
+
+/// A shuffled stream of 2–4 differently-sized instances: the workspace and
+/// policies are reused across all of them in order.
+fn arb_instances() -> impl Strategy<Value = Vec<(KDag, MachineConfig, u64)>> {
+    proptest::collection::vec((arb_kdag(3, 18, 4), arb_config(3), 0u64..1000), 2..=4)
+}
+
+const CADENCES: [(Mode, Option<u64>); 3] = [
+    (Mode::NonPreemptive, None),
+    (Mode::Preemptive, None),
+    (Mode::Preemptive, Some(1)),
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Every scheduler, both modes, both cadences: `run_in` on a dirty
+    /// workspace with a warm policy equals a cold `run` with a fresh
+    /// policy, per instance, trace for trace.
+    #[test]
+    fn dirty_workspace_and_warm_policy_match_cold_runs(
+        instances in arb_instances(),
+    ) {
+        for algo in ALL_ALGORITHMS {
+            for (mode, quantum) in CADENCES {
+                let mut ws = Workspace::new();
+                let mut warm_policy = make_policy(algo);
+                for (dag, cfg, seed) in &instances {
+                    let mut opts = RunOptions::seeded(*seed).with_trace();
+                    opts.quantum = quantum;
+                    let warm = engine::run_in(
+                        &mut ws, dag, cfg, warm_policy.as_mut(), mode, &opts,
+                    );
+                    let cold = engine::run(
+                        dag, cfg, make_policy(algo).as_mut(), mode, &opts,
+                    );
+                    prop_assert_eq!(
+                        warm.makespan, cold.makespan,
+                        "{} {:?} q={:?}: makespan diverged on reuse",
+                        algo.label(), mode, quantum
+                    );
+                    prop_assert_eq!(&warm.busy_time, &cold.busy_time);
+                    prop_assert_eq!(warm.epochs, cold.epochs);
+                    prop_assert_eq!(
+                        warm.trace.expect("requested").segments(),
+                        cold.trace.expect("requested").segments(),
+                        "{} {:?} q={:?}: trace diverged on reuse",
+                        algo.label(), mode, quantum
+                    );
+                }
+                prop_assert_eq!(ws.runs(), instances.len() as u64);
+            }
+        }
+    }
+
+    /// The steady-state sweep path proper: artifact-backed initialization
+    /// *and* workspace/policy reuse together still replay cold runs.
+    #[test]
+    fn dirty_workspace_with_artifacts_matches_cold_runs(
+        instances in arb_instances(),
+    ) {
+        for algo in ALL_ALGORITHMS {
+            if !algo.is_offline() {
+                continue; // artifacts are only consumed by offline policies
+            }
+            for (mode, quantum) in CADENCES {
+                let mut ws = Workspace::new();
+                let mut warm_policy = make_policy(algo);
+                for (dag, cfg, seed) in &instances {
+                    let artifacts = Arc::new(Artifacts::compute(dag));
+                    let mut opts = RunOptions::seeded(*seed).with_trace();
+                    opts.quantum = quantum;
+                    let warm = engine::run_in_with_artifacts(
+                        &mut ws, dag, cfg, warm_policy.as_mut(), mode, &opts, &artifacts,
+                    );
+                    let cold = engine::run(
+                        dag, cfg, make_policy(algo).as_mut(), mode, &opts,
+                    );
+                    prop_assert_eq!(
+                        warm.makespan, cold.makespan,
+                        "{} {:?} q={:?}: makespan diverged (artifacts + reuse)",
+                        algo.label(), mode, quantum
+                    );
+                    prop_assert_eq!(
+                        warm.trace.expect("requested").segments(),
+                        cold.trace.expect("requested").segments(),
+                        "{} {:?} q={:?}: trace diverged (artifacts + reuse)",
+                        algo.label(), mode, quantum
+                    );
+                }
+            }
+        }
+    }
+
+    /// Reuse counters are reported faithfully: the first run on a
+    /// workspace is cold, every later one is warm — regardless of shape
+    /// changes between runs.
+    #[test]
+    fn reuse_counters_track_workspace_history(
+        instances in arb_instances(),
+        algo_ix in 0usize..6,
+    ) {
+        let algo = ALL_ALGORITHMS[algo_ix];
+        let mut ws = Workspace::new();
+        let mut policy = make_policy(algo);
+        for (run, (dag, cfg, seed)) in instances.iter().enumerate() {
+            let out = engine::run_in(
+                &mut ws, dag, cfg, policy.as_mut(), Mode::NonPreemptive,
+                &RunOptions::seeded(*seed),
+            );
+            if run == 0 {
+                prop_assert_eq!(out.stats.workspace_cold_inits, 1);
+                prop_assert_eq!(out.stats.workspace_reuses, 0);
+            } else {
+                prop_assert_eq!(out.stats.workspace_cold_inits, 0);
+                prop_assert_eq!(out.stats.workspace_reuses, 1);
+            }
+        }
+    }
+}

@@ -27,17 +27,20 @@ struct SweepArgs {
     csv: bool,
     instrument: bool,
     no_artifact_cache: bool,
+    workers: Option<usize>,
 }
 
 const USAGE: &str = "usage: sweep [--family ep|tree|ir] [--typing layered|random] \
 [--size small|medium|large] [--k K] [--skewed] [--preemptive] \
 [--algo NAME]... [--instances N] [--seed S] [--csv] [--instrument] \
-[--no-artifact-cache]\n\
+[--no-artifact-cache] [--workers N]\n\
 algorithm names: KGreedy LSpan DType MaxDP ShiftBT MQB MQB+All+Exp … (default: all six)\n\
 --instrument appends per-algorithm engine counters (epochs, transitions, \
 assign/engine wall time) after the table\n\
 --no-artifact-cache re-samples and re-analyzes every instance per algorithm \
-(the legacy cell-major path); results are bit-identical either way";
+(the legacy cell-major path); results are bit-identical either way\n\
+--workers caps the persistent worker pool (default: all cores); results \
+are bit-identical for any worker count";
 
 fn parse() -> Result<SweepArgs, String> {
     let mut out = SweepArgs {
@@ -53,6 +56,7 @@ fn parse() -> Result<SweepArgs, String> {
         csv: false,
         instrument: false,
         no_artifact_cache: false,
+        workers: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -101,6 +105,13 @@ fn parse() -> Result<SweepArgs, String> {
                     .map_err(|e| format!("--seed: {e}"))?
             }
             "--csv" => out.csv = true,
+            "--workers" => {
+                out.workers = Some(
+                    value("--workers")?
+                        .parse()
+                        .map_err(|e| format!("--workers: {e}"))?,
+                )
+            }
             "--instrument" => out.instrument = true,
             "--no-artifact-cache" => out.no_artifact_cache = true,
             "--help" | "-h" => return Err(USAGE.to_string()),
@@ -143,12 +154,12 @@ fn main() {
                 let cell = Cell::new(spec, algo, args.mode);
                 let summary = if args.instrument {
                     let (per_instance, total) =
-                        run_cell_instrumented(&cell, args.instances, args.seed, None);
+                        run_cell_instrumented(&cell, args.instances, args.seed, args.workers);
                     counters.push((algo.label(), total));
                     let ratios: Vec<f64> = per_instance.iter().map(|&(r, _)| r).collect();
                     Summary::from_samples(&ratios)
                 } else {
-                    run_cell(&cell, args.instances, args.seed, None)
+                    run_cell(&cell, args.instances, args.seed, args.workers)
                 };
                 (algo.label().to_string(), summary)
             })
@@ -161,7 +172,7 @@ fn main() {
             .iter()
             .map(|&algo| SweepCell::new(algo, args.mode))
             .collect();
-        let results = run_sweep(&spec, &cells, args.instances, args.seed, None);
+        let results = run_sweep(&spec, &cells, args.instances, args.seed, args.workers);
         args.algos
             .iter()
             .zip(results)

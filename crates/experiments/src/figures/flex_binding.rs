@@ -9,7 +9,7 @@
 //! binder bought performance no scheduler could reach on the unbound job.
 
 use fhs_core::flex::{bind_balanced, bind_fastest, bind_first, bind_random};
-use fhs_core::{make_policy, Algorithm};
+use fhs_core::Algorithm;
 use fhs_sim::{engine, MachineConfig, Mode, RunOptions};
 use fhs_workloads::flexgen::{flexibilize, FlexParams};
 use fhs_workloads::{resources::SystemSize, Family, Typing, WorkloadSpec};
@@ -19,7 +19,7 @@ use rand::SeedableRng;
 
 use crate::args::CommonArgs;
 use crate::figures::{panel_csv_table, Panel};
-use crate::runner::instance_seed;
+use crate::runner::{instance_seed, with_worker_ctx};
 use crate::stats::Summary;
 
 /// Default instances per cell for the binary.
@@ -56,27 +56,32 @@ pub fn compute(args: &CommonArgs) -> Vec<Panel> {
             let rows = BINDERS
                 .iter()
                 .map(|&binder| {
-                    let eval = |i: u64| -> f64 {
-                        let seed = instance_seed(args.seed, i);
+                    let base_seed = args.seed;
+                    let eval = move |i: u64| -> f64 {
+                        let seed = instance_seed(base_seed, i);
                         let (job, cfg) = spec.sample(seed);
                         // ratio denominator: the ORIGINAL job's bound
                         let lb = kdag::metrics::lower_bound(&job, cfg.procs_per_type()).max(1);
                         let mut rng = StdRng::seed_from_u64(seed ^ 0xF1EF);
                         let flex = flexibilize(&job, &params, &mut rng);
                         let bound = flex.bind(&bind(binder, &flex, &cfg, seed));
-                        let mut mqb = make_policy(Algorithm::Mqb);
-                        let out = engine::run(
-                            &bound,
-                            &cfg,
-                            mqb.as_mut(),
-                            Mode::NonPreemptive,
-                            &RunOptions::seeded(seed),
-                        );
-                        out.makespan as f64 / lb as f64
+                        with_worker_ctx(|ctx| {
+                            let (ws, mqb) = ctx.parts(Algorithm::Mqb);
+                            let out = engine::run_in(
+                                ws,
+                                &bound,
+                                &cfg,
+                                mqb,
+                                Mode::NonPreemptive,
+                                &RunOptions::seeded(seed),
+                            );
+                            out.makespan as f64 / lb as f64
+                        })
                     };
+                    let items: Vec<u64> = (0..args.instances as u64).collect();
                     let ratios = match args.workers {
-                        Some(w) => fhs_par::parallel_map_with(w, 0..args.instances as u64, eval),
-                        None => fhs_par::parallel_map(0..args.instances as u64, eval),
+                        Some(w) => fhs_par::pool().map_with(w, items, eval),
+                        None => fhs_par::pool().map(items, eval),
                     };
                     (format!("{binder}+MQB"), Summary::from_samples(&ratios))
                 })

@@ -13,7 +13,7 @@
 //! above as `m` grows, while MQB (which sees the hidden active tasks
 //! through their huge descendant values) stays near 1.
 
-use fhs_core::{make_policy, Algorithm};
+use fhs_core::Algorithm;
 use fhs_sim::{engine, Mode, RunOptions};
 use fhs_theory::bounds;
 use fhs_workloads::adversarial::{self, AdversarialParams};
@@ -21,7 +21,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::args::CommonArgs;
-use crate::runner::instance_seed;
+use crate::runner::{instance_seed, with_worker_ctx};
 use crate::table::Table;
 
 /// Default instances per cell for the binary (each instance re-samples
@@ -59,23 +59,29 @@ fn mean_ratio(
     workers: Option<usize>,
 ) -> f64 {
     let t_star = params.optimal_makespan() as f64;
-    let eval = |i: u64| -> f64 {
-        let mut rng = StdRng::seed_from_u64(instance_seed(base_seed, i));
-        let job = adversarial::generate(params, &mut rng);
+    let params = params.clone();
+    let eval = move |i: u64| -> f64 {
+        let seed = instance_seed(base_seed, i);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let job = adversarial::generate(&params, &mut rng);
         let cfg = fhs_sim::MachineConfig::new(params.procs.clone());
-        let mut policy = make_policy(algo);
-        let out = engine::run(
-            &job,
-            &cfg,
-            policy.as_mut(),
-            Mode::NonPreemptive,
-            &RunOptions::seeded(instance_seed(base_seed, i)),
-        );
-        out.makespan as f64 / t_star
+        with_worker_ctx(|ctx| {
+            let (ws, policy) = ctx.parts(algo);
+            let out = engine::run_in(
+                ws,
+                &job,
+                &cfg,
+                policy,
+                Mode::NonPreemptive,
+                &RunOptions::seeded(seed),
+            );
+            out.makespan as f64 / t_star
+        })
     };
+    let items: Vec<u64> = (0..instances as u64).collect();
     let ratios = match workers {
-        Some(w) => fhs_par::parallel_map_with(w, 0..instances as u64, eval),
-        None => fhs_par::parallel_map(0..instances as u64, eval),
+        Some(w) => fhs_par::pool().map_with(w, items, eval),
+        None => fhs_par::pool().map(items, eval),
     };
     ratios.iter().sum::<f64>() / ratios.len() as f64
 }

@@ -21,7 +21,6 @@
 //! transition counts, peak queue depth), surfaced on [`SimOutcome::stats`].
 
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -30,9 +29,10 @@ use kdag::{KDag, TaskId, Work};
 
 use crate::config::MachineConfig;
 use crate::instrument::RunStats;
-use crate::policy::{Assignments, EpochView, Policy};
+use crate::policy::{EpochView, Policy};
 use crate::state::JobState;
 use crate::trace::{Segment, Trace};
+use crate::workspace::Workspace;
 use crate::Time;
 
 /// Scheduling mode (paper §IV, last paragraph).
@@ -134,6 +134,29 @@ pub fn run(
     mode: Mode,
     opts: &RunOptions,
 ) -> SimOutcome {
+    run_in(&mut Workspace::new(), job, config, policy, mode, opts)
+}
+
+/// As [`run`], but executes inside a caller-owned [`Workspace`]: every
+/// buffer the engine needs is `clear()`-and-reused instead of reallocated,
+/// so steady-state runs on a warm workspace allocate ~nothing in the epoch
+/// loop. The outcome is **bit-for-bit** the outcome of a cold [`run`] with
+/// the same arguments, regardless of what ran on the workspace before
+/// (property-tested across differently-shaped instances).
+///
+/// [`crate::policy::Policy::reset_in`] is invoked on `policy` before its
+/// `init`, letting the policy clear or re-home per-run scratch.
+///
+/// # Panics
+/// Same conditions as [`run`].
+pub fn run_in(
+    ws: &mut Workspace,
+    job: &KDag,
+    config: &MachineConfig,
+    policy: &mut dyn Policy,
+    mode: Mode,
+    opts: &RunOptions,
+) -> SimOutcome {
     assert_eq!(
         job.num_types(),
         config.num_types(),
@@ -142,8 +165,9 @@ pub fn run(
         config.num_types()
     );
     let wall = Instant::now();
+    policy.reset_in(ws);
     policy.init(job, config, opts.seed);
-    let mut out = run_engine(job, config, policy, mode, opts, opts.quantum);
+    let mut out = run_engine(ws, job, config, policy, mode, opts, opts.quantum);
     out.stats.engine_nanos = wall.elapsed().as_nanos() as u64;
     out
 }
@@ -165,6 +189,33 @@ pub fn run_with_artifacts(
     opts: &RunOptions,
     artifacts: &Arc<Artifacts>,
 ) -> SimOutcome {
+    run_in_with_artifacts(
+        &mut Workspace::new(),
+        job,
+        config,
+        policy,
+        mode,
+        opts,
+        artifacts,
+    )
+}
+
+/// [`run_with_artifacts`] inside a caller-owned [`Workspace`] — the
+/// steady-state sweep path, combining shared per-instance analyses with
+/// zero-allocation engine reuse. Bit-for-bit equal to [`run`].
+///
+/// # Panics
+/// Same conditions as [`run`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_in_with_artifacts(
+    ws: &mut Workspace,
+    job: &KDag,
+    config: &MachineConfig,
+    policy: &mut dyn Policy,
+    mode: Mode,
+    opts: &RunOptions,
+    artifacts: &Arc<Artifacts>,
+) -> SimOutcome {
     assert_eq!(
         job.num_types(),
         config.num_types(),
@@ -173,8 +224,9 @@ pub fn run_with_artifacts(
         config.num_types()
     );
     let wall = Instant::now();
+    policy.reset_in(ws);
     policy.init_with_artifacts(job, config, opts.seed, artifacts);
-    let mut out = run_engine(job, config, policy, mode, opts, opts.quantum);
+    let mut out = run_engine(ws, job, config, policy, mode, opts, opts.quantum);
     out.stats.engine_nanos = wall.elapsed().as_nanos() as u64;
     out
 }
@@ -192,34 +244,26 @@ pub fn run_per_step(
     assert_eq!(job.num_types(), config.num_types());
     let wall = Instant::now();
     policy.init(job, config, opts.seed);
-    let mut out = run_engine(job, config, policy, Mode::Preemptive, opts, Some(1));
+    let mut out = run_engine(
+        &mut Workspace::new(),
+        job,
+        config,
+        policy,
+        Mode::Preemptive,
+        opts,
+        Some(1),
+    );
     out.stats.engine_nanos = wall.elapsed().as_nanos() as u64;
     out
 }
 
-/// Mode-specific dispatch state of the unified loop. Everything else —
-/// epoch counting, the policy consult, selection validation, trace
-/// collection and outcome assembly — is shared.
-enum ModeData {
-    NonPreemptive {
-        /// Occupied processors per type.
-        busy: Vec<usize>,
-        /// Free-processor index stacks (stable proc ids for the trace).
-        free_procs: Vec<Vec<u32>>,
-        /// Processor each running task occupies.
-        proc_of: Vec<u32>,
-        /// Pending completion events, ordered by (time, task).
-        heap: BinaryHeap<Reverse<(Time, TaskId)>>,
-    },
-    Preemptive {
-        /// Last processor each task ran on (trace stability).
-        last_proc: Vec<Option<u32>>,
-        /// Re-decision cadence; `None` = completion epochs only.
-        quantum: Option<Work>,
-    },
-}
-
+/// The unified epoch/event loop, executing inside `ws`. Every per-run
+/// buffer lives in the [`Workspace`] (re-initialized by `begin_run`,
+/// capacity retained); mode-specific dispatch state is the workspace's
+/// non-preemptive (`busy`/`free_procs`/`proc_of`/`heap`) or preemptive
+/// (`last_proc`) field group, selected by the `preemptive` flag.
 fn run_engine(
+    ws: &mut Workspace,
     job: &KDag,
     config: &MachineConfig,
     policy: &mut dyn Policy,
@@ -229,145 +273,124 @@ fn run_engine(
 ) -> SimOutcome {
     let k = config.num_types();
     let preemptive = mode == Mode::Preemptive;
-    let mut state = JobState::new(job);
-    let mut out = Assignments::default();
-    let mut busy_time = vec![0u64; k];
-    let mut segments: Vec<Segment> = Vec::new();
+    let reused = ws.begin_run(job, config, preemptive);
     let mut stats = RunStats::default();
+    if reused {
+        stats.workspace_reuses = 1;
+    } else {
+        stats.workspace_cold_inits = 1;
+    }
     let mut now: Time = 0;
-    let mut slots = vec![0usize; k];
-    // Reusable copy of one type's chosen slice: reading it once per type
-    // ends the borrow of `out` before the state mutations below.
-    let mut chosen_buf: Vec<TaskId> = Vec::new();
-    // Duplicate-selection stamps, one slot per task.
-    let mut stamp = vec![0u64; job.num_tasks()];
-    let mut epoch_id = 0u64;
+    // With a counting allocator registered, meter the whole loop below —
+    // in steady state (warm workspace + warm policy) the delta is ~0.
+    let alloc_at_entry = crate::instrument::alloc_probe();
 
-    let mut md = match mode {
-        Mode::NonPreemptive => ModeData::NonPreemptive {
-            busy: vec![0; k],
-            free_procs: (0..k)
-                .map(|a| (0..config.procs(a) as u32).rev().collect())
-                .collect(),
-            proc_of: vec![0; job.num_tasks()],
-            heap: BinaryHeap::new(),
-        },
-        Mode::Preemptive => ModeData::Preemptive {
-            last_proc: vec![None; job.num_tasks()],
-            quantum,
-        },
-    };
-
-    while !state.all_done(job) {
+    while !ws.state.all_done(job) {
         // --- shared: per-type slot counts; decide whether to consult. A
         // non-preemptive epoch only happens when some type has both a free
         // processor and a candidate; preemptive epochs always re-decide.
-        let consult = match &md {
-            ModeData::NonPreemptive { busy, .. } => {
-                let mut any = false;
-                for alpha in 0..k {
-                    slots[alpha] = config.procs(alpha) - busy[alpha];
-                    if slots[alpha] > 0 && !state.queues()[alpha].is_empty() {
-                        any = true;
-                    }
-                }
-                any
+        let consult = if preemptive {
+            for (alpha, slot) in ws.slots.iter_mut().enumerate() {
+                *slot = config.procs(alpha);
             }
-            ModeData::Preemptive { .. } => {
-                for (alpha, slot) in slots.iter_mut().enumerate() {
-                    *slot = config.procs(alpha);
+            true
+        } else {
+            let mut any = false;
+            for alpha in 0..k {
+                ws.slots[alpha] = config.procs(alpha) - ws.busy[alpha];
+                if ws.slots[alpha] > 0 && !ws.state.queues()[alpha].is_empty() {
+                    any = true;
                 }
-                true
             }
+            any
         };
 
         if consult {
-            // --- shared: decision epoch. ---
-            epoch_id += 1;
+            // --- shared: decision epoch. The epoch counter is monotonic
+            // across every run on this workspace (bumped eagerly, so a
+            // panicking run cannot leave stamps above it), which is what
+            // lets `begin_run` skip clearing the stamp table. ---
+            ws.epoch += 1;
             stats.epochs += 1;
-            out.reset(k);
+            ws.out.reset(k);
             let view = EpochView {
                 time: now,
                 job,
                 config,
-                queues: state.queues(),
-                queue_work: state.queue_work(),
-                slots: &slots,
+                queues: ws.state.queues(),
+                queue_work: ws.state.queue_work(),
+                slots: &ws.slots,
                 preemptive,
             };
             let assign_t = Instant::now();
-            policy.assign(&view, &mut out);
+            policy.assign(&view, &mut ws.out);
             stats.assign_nanos += assign_t.elapsed().as_nanos() as u64;
 
             let mut min_rem: Option<Work> = None;
             for alpha in 0..k {
-                chosen_buf.clear();
-                chosen_buf.extend_from_slice(out.chosen(alpha));
+                // Reusable copy of one type's chosen slice: reading it once
+                // per type ends the borrow of `ws.out` before the state
+                // mutations below.
+                ws.chosen_buf.clear();
+                ws.chosen_buf.extend_from_slice(ws.out.chosen(alpha));
                 // --- shared validation: capacity, type, duplicates. ---
                 assert!(
-                    chosen_buf.len() <= slots[alpha],
+                    ws.chosen_buf.len() <= ws.slots[alpha],
                     "policy over-assigned type {alpha}: {} chosen for {} slots",
-                    chosen_buf.len(),
-                    slots[alpha]
+                    ws.chosen_buf.len(),
+                    ws.slots[alpha]
                 );
-                for &v in &chosen_buf {
+                for &v in &ws.chosen_buf {
                     assert_eq!(
                         job.rtype(v),
                         alpha,
                         "type mismatch for task {v}: type {} chosen for type-{alpha} processors",
                         job.rtype(v)
                     );
-                    assert_ne!(stamp[v.index()], epoch_id, "task {v} chosen twice");
-                    stamp[v.index()] = epoch_id;
+                    assert_ne!(ws.stamp[v.index()], ws.epoch, "task {v} chosen twice");
+                    ws.stamp[v.index()] = ws.epoch;
                 }
-                stats.tasks_assigned += chosen_buf.len() as u64;
+                stats.tasks_assigned += ws.chosen_buf.len() as u64;
 
                 // --- mode dispatch. ---
-                match &mut md {
-                    ModeData::NonPreemptive {
-                        busy,
-                        free_procs,
-                        proc_of,
-                        heap,
-                    } => {
-                        for &v in &chosen_buf {
-                            let rem = state.start(job, v); // panics if not ready
-                            busy[alpha] += 1;
-                            busy_time[alpha] += rem;
-                            let p = free_procs[alpha].pop().expect("slot accounting");
-                            proc_of[v.index()] = p;
-                            heap.push(Reverse((now + rem, v)));
-                            if opts.record_trace {
-                                segments.push(Segment {
-                                    task: v,
-                                    rtype: alpha,
-                                    proc: p,
-                                    start: now,
-                                    end: now + rem,
-                                });
-                            }
-                        }
+                if preemptive {
+                    for &v in &ws.chosen_buf {
+                        let rem = ws
+                            .state
+                            .remaining(job, v)
+                            .unwrap_or_else(|| panic!("task {v} is not a candidate"));
+                        assert!(rem > 0, "task {v} already finished");
+                        min_rem = Some(min_rem.map_or(rem, |m| m.min(rem)));
                     }
-                    ModeData::Preemptive { .. } => {
-                        for &v in &chosen_buf {
-                            let rem = state
-                                .remaining(job, v)
-                                .unwrap_or_else(|| panic!("task {v} is not a candidate"));
-                            assert!(rem > 0, "task {v} already finished");
-                            min_rem = Some(min_rem.map_or(rem, |m| m.min(rem)));
+                } else {
+                    for &v in &ws.chosen_buf {
+                        let rem = ws.state.start(job, v); // panics if not ready
+                        ws.busy[alpha] += 1;
+                        ws.busy_time[alpha] += rem;
+                        let p = ws.free_procs[alpha].pop().expect("slot accounting");
+                        ws.proc_of[v.index()] = p;
+                        ws.heap.push(Reverse((now + rem, v)));
+                        if opts.record_trace {
+                            ws.segments.push(Segment {
+                                task: v,
+                                rtype: alpha,
+                                proc: p,
+                                start: now,
+                                end: now + rem,
+                            });
                         }
                     }
                 }
             }
 
             // --- preemptive advance: progress everything chosen by dt. ---
-            if let ModeData::Preemptive { last_proc, quantum } = &mut md {
+            if preemptive {
                 assert!(
-                    out.total() > 0,
+                    ws.out.total() > 0,
                     "deadlock: policy assigned nothing with {} tasks incomplete",
-                    job.num_tasks() - state.done_count()
+                    job.num_tasks() - ws.state.done_count()
                 );
-                let dt = match *quantum {
+                let dt = match quantum {
                     Some(q) => q.min(min_rem.expect("chosen non-empty")),
                     None => min_rem.expect("chosen non-empty"),
                 };
@@ -377,10 +400,10 @@ fn run_engine(
                 if opts.record_trace {
                     for alpha in 0..k {
                         let mut used = vec![false; config.procs(alpha)];
-                        let chosen: Vec<TaskId> = out.chosen(alpha).to_vec();
+                        let chosen = ws.out.chosen(alpha);
                         let mut needs: Vec<TaskId> = Vec::new();
-                        for &v in &chosen {
-                            match last_proc[v.index()] {
+                        for &v in chosen {
+                            match ws.last_proc[v.index()] {
                                 Some(p) if !used[p as usize] => used[p as usize] = true,
                                 _ => needs.push(v),
                             }
@@ -391,13 +414,13 @@ fn run_engine(
                                 next_free += 1;
                             }
                             used[next_free] = true;
-                            last_proc[v.index()] = Some(next_free as u32);
+                            ws.last_proc[v.index()] = Some(next_free as u32);
                         }
-                        for &v in &chosen {
-                            segments.push(Segment {
+                        for &v in chosen {
+                            ws.segments.push(Segment {
                                 task: v,
                                 rtype: alpha,
-                                proc: last_proc[v.index()].expect("assigned above"),
+                                proc: ws.last_proc[v.index()].expect("assigned above"),
                                 start: now,
                                 end: now + dt,
                             });
@@ -406,14 +429,14 @@ fn run_engine(
                 }
 
                 now += dt;
-                for (alpha, busy) in busy_time.iter_mut().enumerate() {
-                    chosen_buf.clear();
-                    chosen_buf.extend_from_slice(out.chosen(alpha));
-                    *busy += chosen_buf.len() as u64 * dt;
-                    for &v in &chosen_buf {
-                        if state.progress(job, v, dt) == 0 {
-                            state.complete(job, v);
-                            last_proc[v.index()] = None;
+                for alpha in 0..k {
+                    ws.chosen_buf.clear();
+                    ws.chosen_buf.extend_from_slice(ws.out.chosen(alpha));
+                    ws.busy_time[alpha] += ws.chosen_buf.len() as u64 * dt;
+                    for &v in &ws.chosen_buf {
+                        if ws.state.progress(job, v, dt) == 0 {
+                            ws.state.complete(job, v);
+                            ws.last_proc[v.index()] = None;
                         }
                     }
                 }
@@ -423,43 +446,57 @@ fn run_engine(
 
         // --- non-preemptive advance: jump to the next completion event and
         // drain every completion at that time before the next epoch. ---
-        if let ModeData::NonPreemptive {
-            busy,
-            free_procs,
-            proc_of,
-            heap,
-        } = &mut md
-        {
-            let Some(Reverse((t, first))) = heap.pop() else {
+        if !preemptive {
+            let Some(Reverse((t, first))) = ws.heap.pop() else {
                 panic!(
                     "deadlock: no running tasks but {} tasks incomplete",
-                    job.num_tasks() - state.done_count()
+                    job.num_tasks() - ws.state.done_count()
                 );
             };
             now = t;
-            finish(job, &mut state, busy, free_procs, proc_of, first);
-            while let Some(&Reverse((t2, _))) = heap.peek() {
+            finish(
+                job,
+                &mut ws.state,
+                &mut ws.busy,
+                &mut ws.free_procs,
+                &ws.proc_of,
+                first,
+            );
+            while let Some(&Reverse((t2, _))) = ws.heap.peek() {
                 if t2 != now {
                     break;
                 }
-                let Reverse((_, v)) = heap.pop().expect("peeked");
-                finish(job, &mut state, busy, free_procs, proc_of, v);
+                let Reverse((_, v)) = ws.heap.pop().expect("peeked");
+                finish(
+                    job,
+                    &mut ws.state,
+                    &mut ws.busy,
+                    &mut ws.free_procs,
+                    &ws.proc_of,
+                    v,
+                );
             }
         }
     }
 
+    if let Some(at_entry) = alloc_at_entry {
+        stats.epoch_bytes = crate::instrument::alloc_probe()
+            .unwrap_or(at_entry)
+            .saturating_sub(at_entry);
+    }
+
     // --- shared outcome assembly. ---
     if preemptive && opts.record_trace {
-        crate::trace::coalesce(&mut segments);
+        crate::trace::coalesce(&mut ws.segments);
     }
-    stats.transitions = state.transition_counts();
+    stats.transitions = ws.state.transition_counts();
     SimOutcome {
         makespan: now,
         epochs: stats.epochs,
-        busy_time,
+        busy_time: ws.busy_time.clone(),
         trace: opts
             .record_trace
-            .then(|| Trace::new(std::mem::take(&mut segments), now)),
+            .then(|| Trace::new(std::mem::take(&mut ws.segments), now)),
         stats,
     }
 }
@@ -483,7 +520,7 @@ fn finish(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::policy::FifoPolicy;
+    use crate::policy::{Assignments, FifoPolicy};
     use kdag::KDagBuilder;
 
     fn opts_trace() -> RunOptions {
@@ -787,6 +824,52 @@ mod tests {
             Mode::NonPreemptive,
             &RunOptions::default(),
         );
+    }
+
+    #[test]
+    fn reused_workspace_matches_cold_run_bitwise() {
+        // One workspace hosts runs of different shapes, modes and sizes in
+        // sequence; each must reproduce its cold run exactly. (The full
+        // cross-product lives in the workspace_equivalence proptest.)
+        let chain = chain_job();
+        let wide = {
+            let mut b = KDagBuilder::new(1);
+            for w in [5, 1, 3, 2, 4, 1] {
+                b.add_task(0, w);
+            }
+            b.build().unwrap()
+        };
+        let cfg2 = MachineConfig::uniform(2, 2);
+        let cfg1 = MachineConfig::uniform(1, 2);
+        let mut ws = Workspace::new();
+        let runs: [(&KDag, &MachineConfig, Mode); 4] = [
+            (&chain, &cfg2, Mode::NonPreemptive),
+            (&wide, &cfg1, Mode::Preemptive),
+            (&chain, &cfg2, Mode::Preemptive),
+            (&wide, &cfg1, Mode::NonPreemptive),
+        ];
+        for (i, (job, cfg, mode)) in runs.into_iter().enumerate() {
+            let cold = run(job, cfg, &mut FifoPolicy, mode, &opts_trace());
+            let warm = run_in(&mut ws, job, cfg, &mut FifoPolicy, mode, &opts_trace());
+            assert_eq!(warm.makespan, cold.makespan, "run {i}");
+            assert_eq!(warm.busy_time, cold.busy_time, "run {i}");
+            assert_eq!(warm.epochs, cold.epochs, "run {i}");
+            assert_eq!(
+                warm.trace.as_ref().unwrap().segments(),
+                cold.trace.as_ref().unwrap().segments(),
+                "run {i}"
+            );
+            if i == 0 {
+                assert_eq!(warm.stats.workspace_cold_inits, 1);
+                assert_eq!(warm.stats.workspace_reuses, 0);
+            } else {
+                assert_eq!(warm.stats.workspace_reuses, 1, "run {i}");
+                assert_eq!(warm.stats.workspace_cold_inits, 0, "run {i}");
+            }
+            // Cold entry points always report a throwaway workspace.
+            assert_eq!(cold.stats.workspace_cold_inits, 1);
+        }
+        assert_eq!(ws.runs(), 4);
     }
 
     #[test]

@@ -8,6 +8,26 @@
 //! runner surfaces them behind a `--instrument` flag.
 
 use std::fmt;
+use std::sync::OnceLock;
+
+/// The registered allocation-byte probe (see [`register_alloc_probe`]).
+static ALLOC_PROBE: OnceLock<fn() -> u64> = OnceLock::new();
+
+/// Registers a probe reporting the calling thread's cumulative allocated
+/// bytes. Intended for a counting `#[global_allocator]` test harness (the
+/// simulator itself forbids `unsafe`, so the allocator lives in
+/// `fhs-bench`): once registered, every engine run samples the probe
+/// around its epoch loop and reports the delta as
+/// [`RunStats::epoch_bytes`]. First registration wins; later calls are
+/// ignored.
+pub fn register_alloc_probe(probe: fn() -> u64) {
+    let _ = ALLOC_PROBE.set(probe);
+}
+
+/// Current probe reading for this thread, if a probe is registered.
+pub(crate) fn alloc_probe() -> Option<u64> {
+    ALLOC_PROBE.get().map(|f| f())
+}
 
 /// State-transition counters maintained by [`crate::state::JobState`].
 ///
@@ -44,6 +64,19 @@ pub struct RunStats {
     /// Wall time of the whole engine run (including `Policy::init` and the
     /// assign time above), in nanoseconds.
     pub engine_nanos: u64,
+    /// Engine runs that reused an already-warm
+    /// [`crate::workspace::Workspace`] (1 for a single reused run; sums
+    /// under [`merge`](RunStats::merge)).
+    pub workspace_reuses: u64,
+    /// Engine runs that cold-initialized their workspace — including every
+    /// run through the plain [`crate::engine::run`] entry points, which
+    /// use a throwaway workspace.
+    pub workspace_cold_inits: u64,
+    /// Bytes allocated on the running thread during the epoch loop, when
+    /// an allocation probe is registered (see [`register_alloc_probe`]);
+    /// 0 otherwise. In steady state (reused workspace, warm policy) this
+    /// should be ~0 — asserted by the allocation-regression test.
+    pub epoch_bytes: u64,
 }
 
 impl RunStats {
@@ -62,6 +95,9 @@ impl RunStats {
             .max(other.transitions.peak_queue_depth);
         self.assign_nanos += other.assign_nanos;
         self.engine_nanos += other.engine_nanos;
+        self.workspace_reuses += other.workspace_reuses;
+        self.workspace_cold_inits += other.workspace_cold_inits;
+        self.epoch_bytes += other.epoch_bytes;
     }
 }
 
@@ -70,7 +106,8 @@ impl fmt::Display for RunStats {
         write!(
             f,
             "epochs {} | assigned {} | released {} | started {} | completed {} \
-             | progressed {} | peak queue {} | assign {:.3} ms | engine {:.3} ms",
+             | progressed {} | peak queue {} | assign {:.3} ms | engine {:.3} ms \
+             | ws {} warm / {} cold | epoch alloc {} B",
             self.epochs,
             self.tasks_assigned,
             self.transitions.releases,
@@ -80,6 +117,9 @@ impl fmt::Display for RunStats {
             self.transitions.peak_queue_depth,
             self.assign_nanos as f64 / 1e6,
             self.engine_nanos as f64 / 1e6,
+            self.workspace_reuses,
+            self.workspace_cold_inits,
+            self.epoch_bytes,
         )
     }
 }
@@ -102,6 +142,9 @@ mod tests {
             },
             assign_nanos: 100,
             engine_nanos: 500,
+            workspace_reuses: 1,
+            workspace_cold_inits: 0,
+            epoch_bytes: 64,
         };
         let b = RunStats {
             epochs: 1,
@@ -115,6 +158,9 @@ mod tests {
             },
             assign_nanos: 50,
             engine_nanos: 200,
+            workspace_reuses: 0,
+            workspace_cold_inits: 1,
+            epoch_bytes: 32,
         };
         a.merge(&b);
         assert_eq!(a.epochs, 3);
@@ -124,6 +170,9 @@ mod tests {
         assert_eq!(a.transitions.peak_queue_depth, 7);
         assert_eq!(a.assign_nanos, 150);
         assert_eq!(a.engine_nanos, 700);
+        assert_eq!(a.workspace_reuses, 1);
+        assert_eq!(a.workspace_cold_inits, 1);
+        assert_eq!(a.epoch_bytes, 96);
     }
 
     #[test]

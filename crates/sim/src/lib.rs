@@ -72,12 +72,14 @@ pub mod state;
 pub mod svg;
 pub mod timeline;
 pub mod trace;
+pub mod workspace;
 
 pub use config::MachineConfig;
 pub use engine::{Mode, RunOptions, SimOutcome};
 pub use instrument::{RunStats, TransitionCounts};
 pub use policy::{Assignments, EpochView, Policy, ReadyTask};
 pub use ready_queue::ReadyQueue;
+pub use workspace::Workspace;
 
 /// Simulator clock value, in discrete time units.
 pub type Time = u64;

@@ -6,9 +6,10 @@ use kdag::precompute::Artifacts;
 use kdag::KDag;
 
 use crate::config::MachineConfig;
-use crate::engine::{run, run_with_artifacts, Mode, RunOptions};
+use crate::engine::{run, run_in, run_in_with_artifacts, run_with_artifacts, Mode, RunOptions};
 use crate::instrument::RunStats;
 use crate::policy::Policy;
+use crate::workspace::Workspace;
 use crate::Time;
 
 /// One policy evaluation on one job instance.
@@ -57,16 +58,35 @@ pub fn evaluate_instrumented(
 ) -> (EvalResult, RunStats) {
     let out = run(job, config, policy, mode, opts);
     let lb = kdag::metrics::lower_bound(job, config.procs_per_type());
-    let result = EvalResult {
-        makespan: out.makespan,
+    (eval_result(out.makespan, lb), out.stats)
+}
+
+/// [`evaluate_instrumented`] inside a caller-owned [`Workspace`] — engine
+/// buffers are reused across calls; the result is bit-identical to a cold
+/// evaluation.
+pub fn evaluate_instrumented_in(
+    ws: &mut Workspace,
+    job: &KDag,
+    config: &MachineConfig,
+    policy: &mut dyn Policy,
+    mode: Mode,
+    opts: &RunOptions,
+) -> (EvalResult, RunStats) {
+    let out = run_in(ws, job, config, policy, mode, opts);
+    let lb = kdag::metrics::lower_bound(job, config.procs_per_type());
+    (eval_result(out.makespan, lb), out.stats)
+}
+
+fn eval_result(makespan: Time, lb: Time) -> EvalResult {
+    EvalResult {
+        makespan,
         lower_bound: lb,
         ratio: if lb == 0 {
             1.0
         } else {
-            out.makespan as f64 / lb as f64
+            makespan as f64 / lb as f64
         },
-    };
-    (result, out.stats)
+    }
 }
 
 /// As [`evaluate_instrumented`], but initializes the policy from a shared
@@ -84,16 +104,26 @@ pub fn evaluate_instrumented_with_artifacts(
 ) -> (EvalResult, RunStats) {
     let out = run_with_artifacts(job, config, policy, mode, opts, artifacts);
     let lb = kdag::metrics::lower_bound_with_span(job, config.procs_per_type(), artifacts.span());
-    let result = EvalResult {
-        makespan: out.makespan,
-        lower_bound: lb,
-        ratio: if lb == 0 {
-            1.0
-        } else {
-            out.makespan as f64 / lb as f64
-        },
-    };
-    (result, out.stats)
+    (eval_result(out.makespan, lb), out.stats)
+}
+
+/// [`evaluate_instrumented_with_artifacts`] inside a caller-owned
+/// [`Workspace`] — the steady-state sweep path: shared per-instance
+/// analyses *and* zero-allocation engine reuse. Bit-identical to a cold
+/// evaluation.
+#[allow(clippy::too_many_arguments)]
+pub fn evaluate_instrumented_with_artifacts_in(
+    ws: &mut Workspace,
+    job: &KDag,
+    config: &MachineConfig,
+    policy: &mut dyn Policy,
+    mode: Mode,
+    opts: &RunOptions,
+    artifacts: &Arc<Artifacts>,
+) -> (EvalResult, RunStats) {
+    let out = run_in_with_artifacts(ws, job, config, policy, mode, opts, artifacts);
+    let lb = kdag::metrics::lower_bound_with_span(job, config.procs_per_type(), artifacts.span());
+    (eval_result(out.makespan, lb), out.stats)
 }
 
 #[cfg(test)]

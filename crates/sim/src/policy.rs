@@ -20,6 +20,7 @@ use kdag::{KDag, TaskId, Work};
 
 use crate::config::MachineConfig;
 use crate::ready_queue::ReadyQueue;
+use crate::workspace::Workspace;
 use crate::Time;
 
 /// A candidate task visible to the policy at a decision epoch.
@@ -146,6 +147,21 @@ pub trait Policy: Send {
         self.init(job, config, seed);
     }
 
+    /// Hook invoked by the workspace-reusing entry points
+    /// ([`crate::engine::run_in`] and friends) *before* `init`, handing the
+    /// policy the run's [`Workspace`]. Policies that keep per-run scratch
+    /// may clear it here or park reusable buffers in the workspace's typed
+    /// [`Workspace::scratch_mut`] slots so they survive across runs on the
+    /// same worker.
+    ///
+    /// The contract mirrors `init_with_artifacts`: after `reset_in` +
+    /// `init`, the policy's observable behavior must be **bit-identical**
+    /// to a cold `init` alone. The default is a no-op (the cold path), so
+    /// policies that fully reset in `init` need not implement it.
+    fn reset_in(&mut self, workspace: &mut Workspace) {
+        let _ = workspace;
+    }
+
     /// Fill `out` with at most `view.slots[α]` tasks from `view.queues[α]`
     /// for each type `α`. Choosing fewer than the slot count is allowed
     /// (but wastes processors); choosing tasks not present in the queue or
@@ -168,6 +184,9 @@ impl<P: Policy + ?Sized> Policy for Box<P> {
         artifacts: &Arc<Artifacts>,
     ) {
         (**self).init_with_artifacts(job, config, seed, artifacts)
+    }
+    fn reset_in(&mut self, workspace: &mut Workspace) {
+        (**self).reset_in(workspace)
     }
     fn assign(&mut self, view: &EpochView<'_>, out: &mut Assignments) {
         (**self).assign(view, out)

@@ -93,6 +93,14 @@ impl ReadyQueue {
         buf.extend(self.iter().copied());
     }
 
+    /// Empties the queue in place, retaining allocated capacity (the
+    /// workspace-reuse path).
+    pub(crate) fn clear(&mut self) {
+        self.entries.clear();
+        self.live.clear();
+        self.live_count = 0;
+    }
+
     /// Appends a candidate, returning its slot for the position map.
     pub(crate) fn push(&mut self, rt: ReadyTask) -> usize {
         self.entries.push(rt);

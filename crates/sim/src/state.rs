@@ -21,7 +21,10 @@ pub enum TaskStatus {
     Done,
 }
 
-/// Queues, statuses, and dependency counters for one run.
+/// Queues, statuses, and dependency counters for one run. Reusable across
+/// runs via [`reset`](JobState::reset), which re-initializes in place and
+/// retains allocated capacity (the steady-state path of
+/// [`crate::workspace::Workspace`]).
 ///
 /// The per-type queues are kept in arrival order (monotonic `seq`), so FIFO
 /// policies can dispatch by prefix and every policy sees a deterministic
@@ -48,23 +51,52 @@ impl JobState {
     /// Initializes the state and releases the roots (at seq 0, 1, … in id
     /// order).
     pub fn new(job: &KDag) -> Self {
-        let n = job.num_tasks();
-        let mut s = JobState {
-            status: vec![TaskStatus::Blocked; n],
-            indeg: (0..n)
-                .map(|i| job.num_parents(TaskId::from_index(i)) as u32)
-                .collect(),
-            queues: vec![ReadyQueue::new(); job.num_types()],
-            queue_work: vec![0; job.num_types()],
-            pos: vec![0; n],
+        let mut s = JobState::empty();
+        s.reset(job);
+        s
+    }
+
+    /// A zero-capacity state for workspace construction; must be
+    /// [`reset`](JobState::reset) before use.
+    pub(crate) fn empty() -> Self {
+        JobState {
+            status: Vec::new(),
+            indeg: Vec::new(),
+            queues: Vec::new(),
+            queue_work: Vec::new(),
+            pos: Vec::new(),
             next_seq: 0,
             done: 0,
             counts: TransitionCounts::default(),
-        };
-        for v in job.roots() {
-            s.release(job, v);
         }
-        s
+    }
+
+    /// Re-initializes for `job` in place, retaining allocated capacity, and
+    /// releases the roots — observationally identical to a fresh
+    /// [`new`](JobState::new) (property-tested via workspace reuse).
+    pub fn reset(&mut self, job: &KDag) {
+        let n = job.num_tasks();
+        let k = job.num_types();
+        self.status.clear();
+        self.status.resize(n, TaskStatus::Blocked);
+        self.indeg.clear();
+        self.indeg
+            .extend((0..n).map(|i| job.num_parents(TaskId::from_index(i)) as u32));
+        for q in &mut self.queues {
+            q.clear();
+        }
+        self.queues.truncate(k);
+        self.queues.resize_with(k, ReadyQueue::new);
+        self.queue_work.clear();
+        self.queue_work.resize(k, 0);
+        self.pos.clear();
+        self.pos.resize(n, 0);
+        self.next_seq = 0;
+        self.done = 0;
+        self.counts = TransitionCounts::default();
+        for v in job.roots() {
+            self.release(job, v);
+        }
     }
 
     /// Number of completed tasks.

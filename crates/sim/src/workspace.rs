@@ -1,0 +1,253 @@
+//! Reusable per-run simulation state: the steady-state execution layer.
+//!
+//! Every [`crate::engine::run`] call cold-allocates the engine's entire
+//! mutable state — the [`JobState`] position maps and tombstone storage,
+//! the completion min-heap, the `free_procs` index stacks, `busy_time`,
+//! the duplicate-selection stamps. A sweep performs thousands of runs, so
+//! that allocator traffic dominates steady-state cost once per-instance
+//! analysis is shared (PR 2).
+//!
+//! A [`Workspace`] owns all of it once. The `*_in` entry points
+//! ([`crate::engine::run_in`], [`crate::metrics::evaluate_instrumented_in`])
+//! `clear()`-and-reuse the buffers instead of reallocating: the second and
+//! later runs on the same workspace allocate ~nothing in the epoch loop
+//! (asserted by a counting-allocator test in `fhs-bench`). The runner keeps
+//! one workspace per pool worker, so a full sweep performs O(workers)
+//! engine allocations instead of O(cells × instances).
+//!
+//! Reuse is **bit-for-bit invisible**: a run on a dirty reused workspace
+//! produces exactly the outcome of a cold run (property-tested across
+//! differently-shaped instances, both modes, both cadences). Two
+//! invariants make that safe:
+//!
+//! * Every buffer is fully re-initialized for the incoming `(job, config)`
+//!   shape by [`Workspace::begin_run`]; capacity is retained, contents are
+//!   not.
+//! * The duplicate-selection stamps are *not* cleared — instead the epoch
+//!   counter is monotonic across all runs on one workspace, so a stale
+//!   stamp (≤ the counter at hand-back) can never equal a fresh epoch id
+//!   (> it). The counter advances eagerly inside the loop, so even a run
+//!   abandoned by a panic leaves the workspace consistent.
+//!
+//! Policies participate through [`crate::policy::Policy::reset_in`]: the
+//! hook runs before `init` on the `*_in` paths and lets a policy clear
+//! per-run scratch it owns or park per-run state in the workspace's typed
+//! [`scratch_mut`](Workspace::scratch_mut) slots. The default is a no-op
+//! (the cold path), and the contract is the same as for artifacts:
+//! behavior must stay bit-identical to a cold run.
+
+use std::any::{Any, TypeId};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use kdag::{KDag, TaskId};
+
+use crate::config::MachineConfig;
+use crate::policy::Assignments;
+use crate::state::JobState;
+use crate::trace::Segment;
+use crate::Time;
+
+/// Owns every per-run allocation of the engine, reusable across runs of
+/// arbitrary `(job, config)` shapes. See the module docs for the reuse
+/// contract.
+#[derive(Debug)]
+pub struct Workspace {
+    /// Queues, statuses and dependency counters; reset in place per run.
+    pub(crate) state: JobState,
+    /// The policy's output lanes.
+    pub(crate) out: Assignments,
+    /// Per-type processor-busy time.
+    pub(crate) busy_time: Vec<Time>,
+    /// Trace segments (populated only when tracing; stolen by the outcome).
+    pub(crate) segments: Vec<Segment>,
+    /// Per-type slot counts recomputed every epoch.
+    pub(crate) slots: Vec<usize>,
+    /// Reusable copy of one type's chosen slice (ends the `out` borrow).
+    pub(crate) chosen_buf: Vec<TaskId>,
+    /// Duplicate-selection stamps; never cleared (see module docs).
+    pub(crate) stamp: Vec<u64>,
+    /// Monotonic epoch counter across every run on this workspace.
+    pub(crate) epoch: u64,
+    /// Non-preemptive: occupied processors per type.
+    pub(crate) busy: Vec<usize>,
+    /// Non-preemptive: free-processor index stacks (stable trace ids).
+    pub(crate) free_procs: Vec<Vec<u32>>,
+    /// Non-preemptive: processor each running task occupies.
+    pub(crate) proc_of: Vec<u32>,
+    /// Non-preemptive: pending completion events, ordered by (time, task).
+    pub(crate) heap: BinaryHeap<Reverse<(Time, TaskId)>>,
+    /// Preemptive: last processor each task ran on (trace stability).
+    pub(crate) last_proc: Vec<Option<u32>>,
+    /// Completed runs on this workspace (drives the reuse counters).
+    runs: u64,
+    /// Policy-owned typed scratch slots, keyed by concrete type. A linear
+    /// scan: policies register at most a couple of entries.
+    scratch: Vec<(TypeId, Box<dyn Any + Send>)>,
+}
+
+impl Default for Workspace {
+    fn default() -> Self {
+        Workspace {
+            state: JobState::empty(),
+            out: Assignments::default(),
+            busy_time: Vec::new(),
+            segments: Vec::new(),
+            slots: Vec::new(),
+            chosen_buf: Vec::new(),
+            stamp: Vec::new(),
+            epoch: 0,
+            busy: Vec::new(),
+            free_procs: Vec::new(),
+            proc_of: Vec::new(),
+            heap: BinaryHeap::new(),
+            last_proc: Vec::new(),
+            runs: 0,
+            scratch: Vec::new(),
+        }
+    }
+}
+
+impl Workspace {
+    /// An empty workspace. No buffer is allocated until the first run.
+    pub fn new() -> Self {
+        Workspace::default()
+    }
+
+    /// Number of engine runs this workspace has hosted so far.
+    pub fn runs(&self) -> u64 {
+        self.runs
+    }
+
+    /// The typed scratch slot for `T`, created (via `Default`) on first
+    /// access. Policies use this from [`crate::policy::Policy::reset_in`]
+    /// to keep per-run buffers alive across runs on the same worker.
+    pub fn scratch_mut<T: Default + Send + 'static>(&mut self) -> &mut T {
+        let tid = TypeId::of::<T>();
+        if let Some(i) = self.scratch.iter().position(|(t, _)| *t == tid) {
+            return self.scratch[i]
+                .1
+                .downcast_mut::<T>()
+                .expect("scratch slot type matches its TypeId key");
+        }
+        self.scratch.push((tid, Box::new(T::default())));
+        self.scratch
+            .last_mut()
+            .expect("pushed just above")
+            .1
+            .downcast_mut::<T>()
+            .expect("scratch slot type matches its TypeId key")
+    }
+
+    /// Re-initializes every engine buffer for `(job, config)` in place,
+    /// retaining capacity. Returns `true` when this is a reuse (the
+    /// workspace has hosted a run before).
+    pub(crate) fn begin_run(
+        &mut self,
+        job: &KDag,
+        config: &MachineConfig,
+        preemptive: bool,
+    ) -> bool {
+        let reused = self.runs > 0;
+        self.runs += 1;
+        let n = job.num_tasks();
+        let k = config.num_types();
+        self.state.reset(job);
+        self.busy_time.clear();
+        self.busy_time.resize(k, 0);
+        self.segments.clear();
+        self.slots.clear();
+        self.slots.resize(k, 0);
+        self.chosen_buf.clear();
+        // Stamps are only *resized*, never zeroed: surviving entries hold
+        // epoch ids ≤ `self.epoch`, and the monotonic counter guarantees
+        // every id of the upcoming run is larger. New entries get 0 < any
+        // future id.
+        self.stamp.resize(n, 0);
+        if preemptive {
+            self.last_proc.clear();
+            self.last_proc.resize(n, None);
+        } else {
+            self.busy.clear();
+            self.busy.resize(k, 0);
+            self.proc_of.clear();
+            self.proc_of.resize(n, 0);
+            self.heap.clear();
+            for q in &mut self.free_procs {
+                q.clear();
+            }
+            self.free_procs.truncate(k);
+            self.free_procs.resize_with(k, Vec::new);
+            for (alpha, q) in self.free_procs.iter_mut().enumerate() {
+                q.extend((0..config.procs(alpha) as u32).rev());
+            }
+        }
+        reused
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scratch_slots_are_typed_and_persistent() {
+        let mut ws = Workspace::new();
+        ws.scratch_mut::<Vec<u64>>().push(7);
+        *ws.scratch_mut::<u32>() += 3;
+        ws.scratch_mut::<Vec<u64>>().push(9);
+        assert_eq!(ws.scratch_mut::<Vec<u64>>(), &[7, 9]);
+        assert_eq!(*ws.scratch_mut::<u32>(), 3);
+    }
+
+    #[test]
+    fn begin_run_reports_reuse_and_resets_shape() {
+        use kdag::KDagBuilder;
+        let mut b = KDagBuilder::new(2);
+        b.add_task(0, 4);
+        b.add_task(1, 2);
+        let job = b.build().unwrap();
+        let cfg = MachineConfig::uniform(2, 3);
+        let mut ws = Workspace::new();
+        assert!(!ws.begin_run(&job, &cfg, false));
+        assert_eq!(ws.busy_time, vec![0, 0]);
+        assert_eq!(ws.free_procs.len(), 2);
+        assert_eq!(ws.free_procs[0], vec![2, 1, 0]);
+        assert_eq!(ws.runs(), 1);
+        // Dirty the buffers, then reuse with a smaller machine.
+        ws.busy_time[1] = 99;
+        ws.free_procs[0].clear();
+        let cfg2 = MachineConfig::uniform(2, 1);
+        assert!(ws.begin_run(&job, &cfg2, false));
+        assert_eq!(ws.busy_time, vec![0, 0]);
+        assert_eq!(ws.free_procs[0], vec![0]);
+        assert_eq!(ws.runs(), 2);
+    }
+
+    #[test]
+    fn stamps_survive_resizes_without_collisions() {
+        use kdag::KDagBuilder;
+        let big = {
+            let mut b = KDagBuilder::new(1);
+            for _ in 0..8 {
+                b.add_task(0, 1);
+            }
+            b.build().unwrap()
+        };
+        let small = {
+            let mut b = KDagBuilder::new(1);
+            b.add_task(0, 1);
+            b.build().unwrap()
+        };
+        let cfg = MachineConfig::uniform(1, 2);
+        let mut ws = Workspace::new();
+        ws.begin_run(&big, &cfg, true);
+        ws.epoch = 5;
+        ws.stamp.fill(5);
+        ws.begin_run(&small, &cfg, true);
+        ws.begin_run(&big, &cfg, true);
+        // Entries reborn by the shrink-then-grow hold 0; survivors hold 5.
+        // Both are below any future epoch id (monotonic counter at 5).
+        assert!(ws.stamp.iter().all(|&s| s <= ws.epoch));
+    }
+}
