@@ -1,0 +1,17 @@
+//! Temporary review repro: nested maps on a 1-helper pool.
+
+use fhs_par::Pool;
+
+#[test]
+fn nested_maps_on_small_pool() {
+    let p: &'static Pool = Box::leak(Box::new(Pool::with_helpers(1)));
+    for round in 0..50 {
+        let out = p.map((0..8u64).collect(), move |i| {
+            p.map((0..8u64).collect(), move |j| i * 8 + j)
+                .iter()
+                .sum::<u64>()
+                + round
+        });
+        assert_eq!(out.len(), 8);
+    }
+}
