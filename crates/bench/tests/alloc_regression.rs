@@ -151,6 +151,42 @@ fn per_quantum_cadence_is_also_allocation_free_when_warm() {
 }
 
 #[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "allocation accounting is asserted in --release (its own CI step)"
+)]
+fn warm_shiftbt_init_stays_within_byte_budget() {
+    use fhs_core::shiftbt::ShiftBT;
+    use fhs_sim::Policy;
+    use kdag::precompute::Artifacts;
+    use std::sync::Arc;
+
+    let (job, cfg) = fhs_bench::medium_ir();
+    let artifacts = Arc::new(Artifacts::compute(&job));
+    let mut policy = ShiftBT::default();
+    // Cold init sizes every scratch buffer (relaxation calendars, ready
+    // bitsets, EDD orders, cached sequences).
+    policy.init_with_artifacts(&job, &cfg, 1, &artifacts);
+    let cold_order = policy.bottleneck_order.clone();
+    let cold_rank = policy.rank_table().to_vec();
+    // Warm re-init on the same instance must run entirely out of the
+    // retained scratch: zero heap traffic, same answer. The budget is a
+    // hard zero — any regression that reintroduces a per-relaxation or
+    // per-round allocation trips it immediately.
+    for rerun in 0..3 {
+        let before = probe();
+        policy.init_with_artifacts(&job, &cfg, 1, &artifacts);
+        let bytes = probe() - before;
+        assert_eq!(
+            bytes, 0,
+            "warm ShiftBT init allocated {bytes} bytes on rerun {rerun}"
+        );
+        assert_eq!(policy.bottleneck_order, cold_order, "rerun {rerun}");
+        assert_eq!(policy.rank_table(), &cold_rank[..], "rerun {rerun}");
+    }
+}
+
+#[test]
 fn probe_counts_this_threads_allocations() {
     // Sanity for the harness itself (runs in every profile): allocating
     // must advance the thread's byte count by at least the requested size.

@@ -19,6 +19,41 @@
 //!
 //! At run time each type dispatches ready tasks by their position in the
 //! frozen sequence.
+//!
+//! # Incremental sequencing
+//!
+//! A literal implementation runs K(K+1)/2 full relaxation simulations
+//! from scratch. The production path here (bit-identical to the retained
+//! [`reference`] loop, proptested) cuts that three ways:
+//!
+//! * **Cached relaxations.** A type's relaxation from an earlier round
+//!   stays valid after type `β` is fixed as long as the cached simulation
+//!   never ran more than `P_β` concurrent `β`-tasks: if the infinite
+//!   capacity was never exercised past the real capacity, the
+//!   finite-capacity re-simulation dispatches every ready `β`-task
+//!   immediately too and the trajectories coincide by induction. Each
+//!   cached entry records the peak per-type concurrency it observed and
+//!   is invalidated only when the newly fixed type's peak exceeds its
+//!   real processor count.
+//! * **Lateness-bound early exit.** Once every target-type task has
+//!   started, the relaxation's maximum lateness and start order are fully
+//!   determined — the remaining simulation can only add zero — so the
+//!   simulation stops there. Peaks are measured on the same truncated
+//!   window, which keeps the invalidation rule sound: a still-valid cache
+//!   replays the identical (truncated) trajectory.
+//! * **Near-constant-time event machinery.** Types at infinite capacity
+//!   can never wait, so their tasks start the instant they become ready
+//!   and touch no queue at all. Finite-capacity types dispatch through a
+//!   three-level bitset over *precomputed ranks* (the per-type EDD order
+//!   is sorted once per sequencing; fixed types use their frozen
+//!   sequence positions), so pop-min is a few word operations instead of
+//!   a heap pop — and selects exactly the sorted prefix the reference's
+//!   per-epoch full sort selects. Completion events live in a circular
+//!   calendar sized by the job's largest work value (production work
+//!   values are 1–2; a binary heap covers pathological jobs). All of it
+//!   sits in a per-policy [`RelaxScratch`] sized once per job and reused
+//!   across rounds and — on a warm policy — across instances, in the
+//!   spirit of the PR-3 steady-state layer.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -38,47 +73,575 @@ pub struct ShiftBT {
     /// Bottleneck order chosen during [`Policy::init`] (most-late type
     /// first); exposed for tests and ablations.
     pub bottleneck_order: Vec<usize>,
+    scratch: RelaxScratch,
+}
+
+/// One cached one-type relaxation: the lateness and start order it
+/// produced, plus the peak concurrency per type it observed (the
+/// invalidation certificate).
+#[derive(Clone, Debug, Default)]
+struct CacheEntry {
+    valid: bool,
+    lateness: i64,
+    seq: Vec<TaskId>,
+    peaks: Vec<u32>,
+}
+
+/// Three-level hierarchical bitset over dense positions — the relaxation
+/// dispatch queue. Dispatch priorities are precomputed *ranks* (EDD rank
+/// for the target type, frozen-sequence rank for fixed types), so a
+/// find-first-set over position bits replaces a binary heap: insert and
+/// pop-min are a handful of word operations regardless of queue size.
+/// Covers up to 64³ positions per summary word of the top level.
+#[derive(Clone, Debug, Default)]
+struct MinPosSet {
+    l0: Vec<u64>,
+    l1: Vec<u64>,
+    l2: Vec<u64>,
+}
+
+impl MinPosSet {
+    /// Sizes for `m` positions and clears. Never shrinks.
+    fn reset(&mut self, m: usize) {
+        let w0 = m.div_ceil(64).max(1);
+        let w1 = w0.div_ceil(64);
+        let w2 = w1.div_ceil(64);
+        self.l0.clear();
+        self.l0.resize(w0, 0);
+        self.l1.clear();
+        self.l1.resize(w1, 0);
+        self.l2.clear();
+        self.l2.resize(w2, 0);
+    }
+
+    #[inline]
+    fn insert(&mut self, pos: usize) {
+        self.l0[pos >> 6] |= 1 << (pos & 63);
+        self.l1[pos >> 12] |= 1 << ((pos >> 6) & 63);
+        self.l2[pos >> 18] |= 1 << ((pos >> 12) & 63);
+    }
+
+    /// The index and bits of the lowest nonzero `l0` word, if any.
+    /// Consumers take bits in ascending order from the returned word and
+    /// write the remainder back with [`MinPosSet::set_word`], amortizing
+    /// one hierarchy descent over up to 64 pops.
+    #[inline]
+    fn lowest_word(&self) -> Option<(usize, u64)> {
+        let w2 = self.l2.iter().position(|&w| w != 0)?;
+        let b2 = self.l2[w2].trailing_zeros() as usize;
+        let i1 = (w2 << 6) | b2;
+        let b1 = self.l1[i1].trailing_zeros() as usize;
+        let i0 = (i1 << 6) | b1;
+        Some((i0, self.l0[i0]))
+    }
+
+    /// Stores back a partially consumed `l0` word, propagating clears to
+    /// the summary levels when it empties.
+    #[inline]
+    fn set_word(&mut self, i0: usize, w: u64) {
+        self.l0[i0] = w;
+        if w == 0 {
+            let i1 = i0 >> 6;
+            self.l1[i1] &= !(1u64 << (i0 & 63));
+            if self.l1[i1] == 0 {
+                self.l2[i1 >> 6] &= !(1u64 << (i1 & 63));
+            }
+        }
+    }
+}
+
+/// Completion-event queue. Every pending finish time lies in
+/// `[now, now + max_work]`, so with the small work values every production
+/// workload uses (see `fhs_workloads::WORK_RANGE`) a circular calendar of
+/// `> max_work` buckets gives O(1) push and O(max_work) advance; jobs with
+/// larger work values fall back to a binary heap.
+///
+/// The calendar is one flat buffer of `slots × n` task slots: a task
+/// completes exactly once per simulation, so `n` bounds every bucket and
+/// pushes never check capacity or touch an allocator. Batch order within
+/// a bucket is insertion order — within one completion instant the
+/// cascade's arithmetic is commutative (busy counts, indegrees, ready-set
+/// inserts), so bucket order never affects the relaxation's outputs.
+#[derive(Clone, Debug, Default)]
+struct Completions {
+    /// Flat power-of-two circular calendar: bucket `s` occupies
+    /// `flat[s * slot_cap ..][..lens[s]]`.
+    flat: Vec<TaskId>,
+    lens: Vec<u32>,
+    slot_cap: usize,
+    mask: u64,
+    pending: usize,
+    use_heap: bool,
+    heap: BinaryHeap<Reverse<(u64, TaskId)>>,
+}
+
+/// Largest bucket count served by the calendar path (work values of
+/// `RING_SLOTS` and beyond go through the heap).
+const RING_SLOTS: usize = 8;
+
+impl Completions {
+    /// Empties the queue and picks the representation for `max_work`,
+    /// sizing calendar buckets for `n` tasks. Stale `flat` contents are
+    /// fine — `lens` gates what is ever read.
+    fn reset(&mut self, max_work: u64, min_work: u64, n: usize) {
+        self.pending = 0;
+        self.heap.clear();
+        self.use_heap = max_work as usize >= RING_SLOTS || min_work == 0;
+        if !self.use_heap {
+            let slots = (max_work as usize + 1).next_power_of_two();
+            self.mask = slots as u64 - 1;
+            self.slot_cap = n;
+            self.lens.clear();
+            self.lens.resize(slots, 0);
+            if self.flat.len() < slots * n {
+                self.flat.resize(slots * n, TaskId::from_index(0));
+            }
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, t: u64, v: TaskId) {
+        if self.use_heap {
+            self.heap.push(Reverse((t, v)));
+        } else {
+            let s = (t & self.mask) as usize;
+            let l = self.lens[s] as usize;
+            self.flat[s * self.slot_cap + l] = v;
+            self.lens[s] = l as u32 + 1;
+            self.pending += 1;
+        }
+    }
+
+    /// The earliest pending finish time, which is always `>= now`.
+    #[inline]
+    fn next_time(&self, now: u64) -> Option<u64> {
+        if self.use_heap {
+            return self.heap.peek().map(|&Reverse((t, _))| t);
+        }
+        if self.pending == 0 {
+            return None;
+        }
+        (now..=now + self.mask).find(|t| self.lens[(t & self.mask) as usize] != 0)
+    }
+
+    /// Claims the batch finishing exactly at `t`: returns the flat range
+    /// holding it and marks the bucket empty. The caller reads the range
+    /// by index while pushing new events; pushes can never land in a
+    /// claimed bucket (`work ≥ 1` and `work < slots` keep them disjoint),
+    /// so the range stays intact while it is being consumed.
+    #[inline]
+    fn claim_at(&mut self, t: u64) -> std::ops::Range<usize> {
+        let s = (t & self.mask) as usize;
+        let cnt = self.lens[s] as usize;
+        self.lens[s] = 0;
+        self.pending -= cnt;
+        let base = s * self.slot_cap;
+        base..base + cnt
+    }
+
+    /// Heap-path drain: pops every task finishing exactly at `t` into
+    /// `buf` (which must be empty).
+    #[inline]
+    fn drain_heap_at(&mut self, t: u64, buf: &mut Vec<TaskId>) {
+        while let Some(&Reverse((t2, _))) = self.heap.peek() {
+            if t2 != t {
+                break;
+            }
+            buf.push(self.heap.pop().expect("peeked").0 .1);
+        }
+    }
+}
+
+/// Reusable relaxation state. Sized by [`RelaxScratch::prepare`] per
+/// sequencing call; every buffer keeps its capacity across rounds and
+/// across instances on a warm policy.
+#[derive(Clone, Debug, Default)]
+struct RelaxScratch {
+    /// Indegree of every task in the job (template, copied per sim).
+    indeg0: Vec<u32>,
+    /// Working indegrees of the current simulation.
+    indeg: Vec<u32>,
+    /// Per-type EDD order: tasks sorted by `(due, id)`, computed once per
+    /// sequencing call and shared by every relaxation.
+    edd_order: Vec<Vec<TaskId>>,
+    /// Per-type ready set over dispatch ranks (EDD rank for the target
+    /// type, frozen-sequence rank for fixed types). Infinite-capacity
+    /// types never queue: they start the moment they become ready.
+    ready: Vec<MinPosSet>,
+    /// Calendar/heap of pending finish events.
+    completions: Completions,
+    /// Batch buffer for tasks finishing at the current instant.
+    drain: Vec<TaskId>,
+    /// `(start, task)` log of the target type's dispatches.
+    starts: Vec<(u64, TaskId)>,
+    /// Frozen-sequence position per task, written as each type is fixed
+    /// (task type sets are disjoint, so one flat table serves all types).
+    seq_rank: Vec<u32>,
+    /// Flat per-task dispatch rank of the current relaxation: EDD rank
+    /// for the target type, frozen-sequence rank for fixed types.
+    dispatch_rank: Vec<u32>,
+    /// Which types have been fixed so far.
+    fixed: Vec<bool>,
+    /// Per-type cached relaxations.
+    cache: Vec<CacheEntry>,
+    /// Number of tasks of each type.
+    type_counts: Vec<u32>,
+    /// Largest per-task work in the job (sizes the completion calendar).
+    max_work: u64,
+    /// Smallest per-task work in the job (`0` forces the heap path: a
+    /// zero-work task can finish at the instant being drained).
+    min_work: u64,
+    /// Per-type capacity of the current sim (`usize::MAX` = infinite).
+    cap: Vec<usize>,
+    /// Per-type running-task count of the current sim.
+    busy: Vec<u32>,
+    /// Counting-sort workspace for the per-type EDD orders.
+    due_counts: Vec<u32>,
+}
+
+impl RelaxScratch {
+    /// Sizes every buffer for `job`, precomputes the per-type EDD orders,
+    /// and clears all cached state. Buffers never shrink, so a warm policy
+    /// re-sequencing the same (or a smaller) job allocates nothing.
+    fn prepare(&mut self, job: &KDag, due: &[u64]) {
+        let n = job.num_tasks();
+        let k = job.num_types();
+        self.indeg0.clear();
+        self.indeg0
+            .extend((0..n).map(|i| job.num_parents(TaskId::from_index(i)) as u32));
+        self.type_counts.clear();
+        self.type_counts.resize(k, 0);
+        self.max_work = 0;
+        self.min_work = u64::MAX;
+        for v in job.tasks() {
+            self.type_counts[job.rtype(v)] += 1;
+            self.max_work = self.max_work.max(job.work(v));
+            self.min_work = self.min_work.min(job.work(v));
+        }
+        self.fixed.clear();
+        self.fixed.resize(k, false);
+        self.seq_rank.clear();
+        self.seq_rank.resize(n, 0);
+        if self.edd_order.len() < k {
+            self.edd_order.resize_with(k, Vec::new);
+        }
+        for o in &mut self.edd_order[..k] {
+            o.clear();
+        }
+        // Per-type EDD order, keyed by `(due, id)`. Due dates are bounded
+        // by the job span, so for every sane workload a counting sort over
+        // due values beats the comparison sort: tasks are scattered in
+        // ascending id order, which makes ties on `due` fall back to id
+        // order — exactly the reference's sort key.
+        let max_due = due.iter().copied().max().unwrap_or(0) as usize;
+        if max_due <= 8 * n + 64 {
+            let stride = max_due + 1;
+            self.due_counts.clear();
+            self.due_counts.resize(k * stride, 0);
+            for v in job.tasks() {
+                self.due_counts[job.rtype(v) * stride + due[v.index()] as usize] += 1;
+            }
+            // In-place exclusive prefix sums turn counts into offsets.
+            for alpha in 0..k {
+                let row = &mut self.due_counts[alpha * stride..(alpha + 1) * stride];
+                let mut acc = 0u32;
+                for c in row {
+                    let next = acc + *c;
+                    *c = acc;
+                    acc = next;
+                }
+                self.edd_order[alpha]
+                    .resize(self.type_counts[alpha] as usize, TaskId::from_index(0));
+            }
+            for v in job.tasks() {
+                let slot = job.rtype(v) * stride + due[v.index()] as usize;
+                let pos = self.due_counts[slot];
+                self.due_counts[slot] += 1;
+                self.edd_order[job.rtype(v)][pos as usize] = v;
+            }
+        } else {
+            for v in job.tasks() {
+                self.edd_order[job.rtype(v)].push(v);
+            }
+            for o in &mut self.edd_order[..k] {
+                o.sort_unstable_by_key(|&v| (due[v.index()], v));
+            }
+        }
+        if self.ready.len() < k {
+            self.ready.resize_with(k, MinPosSet::default);
+        }
+        if self.cache.len() < k {
+            self.cache.resize_with(k, CacheEntry::default);
+        }
+        for e in &mut self.cache[..k] {
+            e.valid = false;
+        }
+        self.cap.clear();
+        self.cap.resize(k, 0);
+        self.busy.clear();
+        self.busy.resize(k, 0);
+    }
+
+    /// Runs the one-type relaxation for `target` and stores the result
+    /// (lateness, start order, peak concurrencies) in `cache[target]`.
+    /// Exits as soon as every `target` task has started: from that point
+    /// the maximum lateness is fully determined.
+    ///
+    /// The hot loops borrow every scratch field exactly once up front and
+    /// read dispatch ranks from one flat per-task table, so admissions and
+    /// dispatches compile down to straight array traffic: no per-event
+    /// branching on which rank table applies, no method-call boundaries
+    /// the optimizer has to reason across.
+    fn relax(&mut self, job: &KDag, config: &MachineConfig, target: usize, due: &[u64]) {
+        let k = job.num_types();
+        for alpha in 0..k {
+            self.cap[alpha] = if alpha == target || self.fixed[alpha] {
+                config.procs(alpha)
+            } else {
+                usize::MAX
+            };
+        }
+        self.busy[..k].fill(0);
+        self.indeg.clear();
+        self.indeg.extend_from_slice(&self.indeg0);
+        for alpha in 0..k {
+            if self.cap[alpha] != usize::MAX {
+                let m = self.type_counts[alpha] as usize;
+                self.ready[alpha].reset(m);
+            }
+        }
+        self.completions
+            .reset(self.max_work, self.min_work, job.num_tasks());
+        self.starts.clear();
+        let mut peaks = std::mem::take(&mut self.cache[target].peaks);
+        peaks.clear();
+        peaks.resize(k, 0);
+
+        // One flat dispatch-rank table for this relaxation: EDD rank for
+        // the target type, frozen-sequence rank for fixed types. Entries
+        // of infinite-capacity types are stale and never read.
+        self.dispatch_rank.clear();
+        self.dispatch_rank.extend_from_slice(&self.seq_rank);
+        for (i, &v) in self.edd_order[target].iter().enumerate() {
+            self.dispatch_rank[v.index()] = i as u32;
+        }
+
+        let target_total = self.type_counts[target];
+        let mut started_target = 0u32;
+        let mut max_lateness = i64::MIN;
+        let mut now = 0u64;
+
+        let RelaxScratch {
+            indeg,
+            edd_order,
+            ready,
+            completions,
+            drain,
+            starts,
+            cache,
+            cap,
+            busy,
+            dispatch_rank,
+            ..
+        } = self;
+        let indeg = &mut indeg[..];
+        let dispatch_rank = &dispatch_rank[..];
+        let cap = &cap[..k];
+        let busy = &mut busy[..k];
+        let peaks_s = &mut peaks[..k];
+
+        // Admission: infinite-capacity types start the moment they become
+        // ready (they can never wait, so they bypass the ready sets);
+        // finite types enter their type's ready set under their dispatch
+        // rank. Starting inside the completion cascade is trajectory-
+        // neutral: the task starts at the same `now` a dispatch pass
+        // would use.
+        macro_rules! admit {
+            ($v:expr, $now:expr) => {{
+                let v = $v;
+                let alpha = job.rtype(v);
+                if cap[alpha] == usize::MAX {
+                    busy[alpha] += 1;
+                    completions.push($now + job.work(v), v);
+                } else {
+                    ready[alpha].insert(dispatch_rank[v.index()] as usize);
+                }
+            }};
+        }
+
+        for v in job.roots() {
+            admit!(v, 0);
+        }
+
+        while started_target < target_total {
+            // Dispatch at `now`: each finite-capacity type starts its
+            // `free` smallest-ranked ready tasks — exactly the sorted
+            // prefix the reference implementation takes. Infinite types
+            // already started inside the admission step.
+            for alpha in 0..k {
+                if cap[alpha] == usize::MAX {
+                    continue;
+                }
+                let free = cap[alpha] - busy[alpha] as usize;
+                if free == 0 {
+                    continue;
+                }
+                let rq = &mut ready[alpha];
+                let order: &[TaskId] = if alpha == target {
+                    &edd_order[alpha]
+                } else {
+                    &cache[alpha].seq
+                };
+                let is_target = alpha == target;
+                let mut taken = 0usize;
+                while taken < free {
+                    let Some((i0, full)) = rq.lowest_word() else {
+                        break;
+                    };
+                    let base = i0 << 6;
+                    let mut w = full;
+                    while w != 0 && taken < free {
+                        let pos = base | (w.trailing_zeros() as usize);
+                        w &= w - 1;
+                        let v = order[pos];
+                        if is_target {
+                            starts.push((now, v));
+                            started_target += 1;
+                            max_lateness = max_lateness.max(now as i64 - due[v.index()] as i64);
+                        }
+                        taken += 1;
+                        completions.push(now + job.work(v), v);
+                    }
+                    rq.set_word(i0, w);
+                }
+                busy[alpha] += taken as u32;
+            }
+            // Epoch-end concurrency per type; the max over epochs is the
+            // trajectory's true interval concurrency (the invalidation
+            // certificate), since within an epoch tasks finishing at `now`
+            // and tasks starting at `now` never overlap.
+            for alpha in 0..k {
+                peaks_s[alpha] = peaks_s[alpha].max(busy[alpha]);
+            }
+            if started_target == target_total {
+                break;
+            }
+
+            // Advance to the next completion instant and retire the whole
+            // batch before the next dispatch pass.
+            now = completions
+                .next_time(now)
+                .expect("target tasks remain, something must be running");
+            if completions.use_heap {
+                // Heap path; the re-drain loop cascades through any
+                // zero-work chains landing at the same instant.
+                let mut buf = std::mem::take(drain);
+                loop {
+                    buf.clear();
+                    completions.drain_heap_at(now, &mut buf);
+                    if buf.is_empty() {
+                        break;
+                    }
+                    for &v in &buf {
+                        busy[job.rtype(v)] -= 1;
+                        for &c in job.children(v) {
+                            let ci = c.index();
+                            indeg[ci] -= 1;
+                            if indeg[ci] == 0 {
+                                admit!(c, now);
+                            }
+                        }
+                    }
+                }
+                *drain = buf;
+            } else {
+                // Calendar path: `work ≥ 1` on this path, so admissions
+                // during the batch can never land back at `now`.
+                for i in completions.claim_at(now) {
+                    let v = completions.flat[i];
+                    busy[job.rtype(v)] -= 1;
+                    for &c in job.children(v) {
+                        let ci = c.index();
+                        indeg[ci] -= 1;
+                        if indeg[ci] == 0 {
+                            admit!(c, now);
+                        }
+                    }
+                }
+            }
+        }
+
+        starts.sort_unstable_by_key(|&(t, v)| (t, due[v.index()], v));
+        let entry = &mut cache[target];
+        entry.valid = true;
+        entry.lateness = max_lateness;
+        entry.peaks = peaks;
+        entry.seq.clear();
+        entry.seq.extend(starts.iter().map(|&(_, v)| v));
+    }
 }
 
 impl ShiftBT {
     /// The bottleneck-sequencing loop shared by both init paths. Only the
     /// due-date table is precomputable; the iterated one-type relaxations
-    /// depend on the machine configuration and stay here.
+    /// depend on the machine configuration and stay here. Bit-identical
+    /// to [`reference::bottleneck_sequencing`] (see the module docs for
+    /// why the caching and early exit preserve every trajectory).
     fn sequence_bottlenecks(&mut self, job: &KDag, config: &MachineConfig, due: &[u64]) {
         let k = job.num_types();
-        let mut fixed: Vec<Option<Vec<u64>>> = vec![None; k];
+        let s = &mut self.scratch;
+        s.prepare(job, due);
         self.bottleneck_order.clear();
 
-        let mut remaining: Vec<usize> = (0..k).collect();
-        while !remaining.is_empty() {
-            let mut best: Option<(i64, usize, Vec<TaskId>)> = None;
-            for &alpha in &remaining {
-                let (lateness, seq) = relax(job, config, &fixed, alpha, due);
-                let better = match &best {
+        for _round in 0..k {
+            let mut best: Option<(i64, usize)> = None;
+            for alpha in 0..k {
+                if s.fixed[alpha] {
+                    continue;
+                }
+                if !s.cache[alpha].valid {
+                    s.relax(job, config, alpha, due);
+                }
+                let lateness = s.cache[alpha].lateness;
+                let better = match best {
                     None => true,
-                    Some((bl, ba, _)) => lateness > *bl || (lateness == *bl && alpha < *ba),
+                    Some((bl, ba)) => lateness > bl || (lateness == bl && alpha < ba),
                 };
                 if better {
-                    best = Some((lateness, alpha, seq));
+                    best = Some((lateness, alpha));
                 }
             }
-            let (_, alpha, seq) = best.expect("remaining non-empty");
-            let mut ranks = vec![0u64; job.num_tasks()];
-            for (pos, &v) in seq.iter().enumerate() {
-                ranks[v.index()] = pos as u64;
+            let (_, alpha) = best.expect("an unfixed type remains each round");
+            for (pos, &v) in s.cache[alpha].seq.iter().enumerate() {
+                s.seq_rank[v.index()] = pos as u32;
             }
-            fixed[alpha] = Some(ranks);
+            s.fixed[alpha] = true;
             self.bottleneck_order.push(alpha);
-            remaining.retain(|&a| a != alpha);
+            // A surviving cache must have kept the newly fixed type within
+            // its real capacity, or its trajectory no longer replays.
+            for beta in 0..k {
+                if beta != alpha
+                    && !s.fixed[beta]
+                    && s.cache[beta].valid
+                    && s.cache[beta].peaks[alpha] as usize > config.procs(alpha)
+                {
+                    s.cache[beta].valid = false;
+                }
+            }
         }
 
         self.rank.clear();
         self.rank.resize(job.num_tasks(), 0.0);
         for v in job.tasks() {
-            let alpha = job.rtype(v);
-            self.rank[v.index()] =
-                fixed[alpha].as_ref().expect("all types fixed")[v.index()] as f64;
+            self.rank[v.index()] = s.seq_rank[v.index()] as f64;
         }
+    }
+
+    /// The per-task dispatch rank table built by the last init (each
+    /// task's position in its type's frozen sequence). For tests and
+    /// ablations.
+    pub fn rank_table(&self) -> &[f64] {
+        &self.rank
     }
 }
 
@@ -109,100 +672,153 @@ impl Policy for ShiftBT {
     }
 }
 
-/// One-type relaxation: simulate the whole job with type `target` at its
-/// real capacity under EDD, fixed types at their capacity under their
-/// frozen sequences, and all other types at infinite capacity. Returns the
-/// maximum start-based lateness over `target`'s tasks (`i64::MIN` if the
-/// type has none) and the `target` tasks in start order.
-fn relax(
-    job: &KDag,
-    config: &MachineConfig,
-    fixed: &[Option<Vec<u64>>],
-    target: usize,
-    due: &[u64],
-) -> (i64, Vec<TaskId>) {
-    let k = job.num_types();
-    let n = job.num_tasks();
-    let mut indeg: Vec<u32> = (0..n)
-        .map(|i| job.num_parents(TaskId::from_index(i)) as u32)
-        .collect();
-    let mut ready: Vec<Vec<TaskId>> = vec![Vec::new(); k];
-    for v in job.roots() {
-        ready[job.rtype(v)].push(v);
+/// The pre-incremental sequencing loop, kept verbatim as the oracle for
+/// the equivalence property tests: every round re-simulates every
+/// remaining type's relaxation from scratch, to completion, with fresh
+/// allocations. O(K²) full simulations — do not call it on Huge
+/// instances outside of benchmarks.
+pub mod reference {
+    use super::*;
+
+    /// Runs the original bottleneck-sequencing loop and returns the
+    /// bottleneck order (most-late type first) and the per-task rank
+    /// table, exactly as [`ShiftBT`] computes them.
+    pub fn bottleneck_sequencing(
+        job: &KDag,
+        config: &MachineConfig,
+        due: &[u64],
+    ) -> (Vec<usize>, Vec<f64>) {
+        let k = job.num_types();
+        let mut fixed: Vec<Option<Vec<u64>>> = vec![None; k];
+        let mut bottleneck_order = Vec::new();
+
+        let mut remaining: Vec<usize> = (0..k).collect();
+        while !remaining.is_empty() {
+            let mut best: Option<(i64, usize, Vec<TaskId>)> = None;
+            for &alpha in &remaining {
+                let (lateness, seq) = relax(job, config, &fixed, alpha, due);
+                let better = match &best {
+                    None => true,
+                    Some((bl, ba, _)) => lateness > *bl || (lateness == *bl && alpha < *ba),
+                };
+                if better {
+                    best = Some((lateness, alpha, seq));
+                }
+            }
+            let (_, alpha, seq) = best.expect("remaining non-empty");
+            let mut ranks = vec![0u64; job.num_tasks()];
+            for (pos, &v) in seq.iter().enumerate() {
+                ranks[v.index()] = pos as u64;
+            }
+            fixed[alpha] = Some(ranks);
+            bottleneck_order.push(alpha);
+            remaining.retain(|&a| a != alpha);
+        }
+
+        let mut rank = vec![0.0; job.num_tasks()];
+        for v in job.tasks() {
+            let alpha = job.rtype(v);
+            rank[v.index()] = fixed[alpha].as_ref().expect("all types fixed")[v.index()] as f64;
+        }
+        (bottleneck_order, rank)
     }
-    let capacity: Vec<Option<usize>> = (0..k)
-        .map(|a| {
-            if a == target || fixed[a].is_some() {
-                Some(config.procs(a))
+
+    /// One-type relaxation: simulate the whole job with type `target` at
+    /// its real capacity under EDD, fixed types at their capacity under
+    /// their frozen sequences, and all other types at infinite capacity.
+    /// Returns the maximum start-based lateness over `target`'s tasks
+    /// (`i64::MIN` if the type has none) and the `target` tasks in start
+    /// order.
+    fn relax(
+        job: &KDag,
+        config: &MachineConfig,
+        fixed: &[Option<Vec<u64>>],
+        target: usize,
+        due: &[u64],
+    ) -> (i64, Vec<TaskId>) {
+        let k = job.num_types();
+        let n = job.num_tasks();
+        let mut indeg: Vec<u32> = (0..n)
+            .map(|i| job.num_parents(TaskId::from_index(i)) as u32)
+            .collect();
+        let mut ready: Vec<Vec<TaskId>> = vec![Vec::new(); k];
+        for v in job.roots() {
+            ready[job.rtype(v)].push(v);
+        }
+        let capacity: Vec<Option<usize>> = (0..k)
+            .map(|a| {
+                if a == target || fixed[a].is_some() {
+                    Some(config.procs(a))
+                } else {
+                    None // infinite
+                }
+            })
+            .collect();
+        let key = |alpha: usize, v: TaskId| -> u64 {
+            if alpha == target {
+                due[v.index()]
+            } else if let Some(rk) = &fixed[alpha] {
+                rk[v.index()]
             } else {
-                None // infinite
+                0 // infinite capacity: order irrelevant
             }
-        })
-        .collect();
-    let key = |alpha: usize, v: TaskId| -> u64 {
-        if alpha == target {
-            due[v.index()]
-        } else if let Some(rk) = &fixed[alpha] {
-            rk[v.index()]
-        } else {
-            0 // infinite capacity: order irrelevant
-        }
-    };
+        };
 
-    let mut busy = vec![0usize; k];
-    let mut heap: BinaryHeap<Reverse<(u64, TaskId)>> = BinaryHeap::new();
-    let mut now = 0u64;
-    let mut starts: Vec<(u64, TaskId)> = Vec::new();
-    let mut max_lateness = i64::MIN;
-    let mut done = 0usize;
+        let mut busy = vec![0usize; k];
+        let mut heap: BinaryHeap<Reverse<(u64, TaskId)>> = BinaryHeap::new();
+        let mut now = 0u64;
+        let mut starts: Vec<(u64, TaskId)> = Vec::new();
+        let mut max_lateness = i64::MIN;
+        let mut done = 0usize;
 
-    while done < n {
-        // Dispatch at `now`.
-        for alpha in 0..k {
-            let free = match capacity[alpha] {
-                Some(c) => c - busy[alpha],
-                None => usize::MAX,
-            };
-            if free == 0 || ready[alpha].is_empty() {
-                continue;
-            }
-            ready[alpha].sort_unstable_by_key(|&v| (key(alpha, v), v));
-            let take = free.min(ready[alpha].len());
-            for &v in ready[alpha].iter().take(take) {
-                if alpha == target {
-                    starts.push((now, v));
-                    max_lateness = max_lateness.max(now as i64 - due[v.index()] as i64);
+        while done < n {
+            // Dispatch at `now`.
+            for alpha in 0..k {
+                let free = match capacity[alpha] {
+                    Some(c) => c - busy[alpha],
+                    None => usize::MAX,
+                };
+                if free == 0 || ready[alpha].is_empty() {
+                    continue;
                 }
-                busy[alpha] += 1;
-                heap.push(Reverse((now + job.work(v), v)));
+                ready[alpha].sort_unstable_by_key(|&v| (key(alpha, v), v));
+                let take = free.min(ready[alpha].len());
+                for &v in ready[alpha].iter().take(take) {
+                    if alpha == target {
+                        starts.push((now, v));
+                        max_lateness = max_lateness.max(now as i64 - due[v.index()] as i64);
+                    }
+                    busy[alpha] += 1;
+                    heap.push(Reverse((now + job.work(v), v)));
+                }
+                ready[alpha].drain(..take);
             }
-            ready[alpha].drain(..take);
-        }
 
-        // Advance to the next completion.
-        let Reverse((t, v)) = heap.pop().expect("work remains, something must be running");
-        now = t;
-        let mut finished = vec![v];
-        while let Some(&Reverse((t2, _))) = heap.peek() {
-            if t2 != now {
-                break;
+            // Advance to the next completion.
+            let Reverse((t, v)) = heap.pop().expect("work remains, something must be running");
+            now = t;
+            let mut finished = vec![v];
+            while let Some(&Reverse((t2, _))) = heap.peek() {
+                if t2 != now {
+                    break;
+                }
+                finished.push(heap.pop().expect("peeked").0 .1);
             }
-            finished.push(heap.pop().expect("peeked").0 .1);
-        }
-        for v in finished {
-            busy[job.rtype(v)] -= 1;
-            done += 1;
-            for &c in job.children(v) {
-                indeg[c.index()] -= 1;
-                if indeg[c.index()] == 0 {
-                    ready[job.rtype(c)].push(c);
+            for v in finished {
+                busy[job.rtype(v)] -= 1;
+                done += 1;
+                for &c in job.children(v) {
+                    indeg[c.index()] -= 1;
+                    if indeg[c.index()] == 0 {
+                        ready[job.rtype(c)].push(c);
+                    }
                 }
             }
         }
+
+        starts.sort_unstable_by_key(|&(t, v)| (t, due[v.index()], v));
+        (max_lateness, starts.into_iter().map(|(_, v)| v).collect())
     }
-
-    starts.sort_unstable_by_key(|&(t, v)| (t, due[v.index()], v));
-    (max_lateness, starts.into_iter().map(|(_, v)| v).collect())
 }
 
 #[cfg(test)]
@@ -291,5 +907,50 @@ mod tests {
             );
             assert_eq!(out.busy_time.iter().sum::<u64>(), job.total_work());
         }
+    }
+
+    #[test]
+    fn incremental_matches_oracle_on_examples() {
+        for (job, cfg) in [
+            (kdag::examples::figure1(), MachineConfig::uniform(3, 2)),
+            (kdag::examples::figure1(), MachineConfig::new(vec![1, 3, 2])),
+        ] {
+            let due = duedate::due_dates(&job);
+            let (order, rank) = reference::bottleneck_sequencing(&job, &cfg, &due);
+            let mut p = ShiftBT::default();
+            p.init(&job, &cfg, 0);
+            assert_eq!(p.bottleneck_order, order);
+            assert_eq!(p.rank_table(), &rank[..]);
+        }
+    }
+
+    #[test]
+    fn warm_policy_resequencing_is_stable() {
+        // A warm policy re-initialized on a different instance must not
+        // leak any cached state from the previous one.
+        let job_a = kdag::examples::figure1();
+        let cfg_a = MachineConfig::uniform(3, 2);
+        let mut b = KDagBuilder::new(2);
+        let head = b.add_task(0, 2);
+        for _ in 0..6 {
+            let v = b.add_task(1, 3);
+            b.add_edge(head, v).unwrap();
+        }
+        let job_b = b.build().unwrap();
+        let cfg_b = MachineConfig::new(vec![2, 1]);
+
+        let mut warm = ShiftBT::default();
+        warm.init(&job_a, &cfg_a, 0);
+        warm.init(&job_b, &cfg_b, 0);
+        let mut cold = ShiftBT::default();
+        cold.init(&job_b, &cfg_b, 0);
+        assert_eq!(warm.bottleneck_order, cold.bottleneck_order);
+        assert_eq!(warm.rank_table(), cold.rank_table());
+
+        warm.init(&job_a, &cfg_a, 0);
+        let mut cold_a = ShiftBT::default();
+        cold_a.init(&job_a, &cfg_a, 0);
+        assert_eq!(warm.bottleneck_order, cold_a.bottleneck_order);
+        assert_eq!(warm.rank_table(), cold_a.rank_table());
     }
 }

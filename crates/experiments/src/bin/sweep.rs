@@ -31,7 +31,7 @@ struct SweepArgs {
 }
 
 const USAGE: &str = "usage: sweep [--family ep|tree|ir] [--typing layered|random] \
-[--size small|medium|large] [--k K] [--skewed] [--preemptive] \
+[--size small|medium|large|huge] [--k K] [--skewed] [--preemptive] \
 [--algo NAME]... [--instances N] [--seed S] [--csv] [--instrument] \
 [--no-artifact-cache] [--workers N]\n\
 algorithm names: KGreedy LSpan DType MaxDP ShiftBT MQB MQB+All+Exp … (default: all six)\n\
@@ -82,6 +82,7 @@ fn parse() -> Result<SweepArgs, String> {
                     "small" => SystemSize::Small,
                     "medium" => SystemSize::Medium,
                     "large" => SystemSize::Large,
+                    "huge" => SystemSize::Huge,
                     other => return Err(format!("unknown size {other}")),
                 }
             }

@@ -30,9 +30,10 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use fhs_core::{make_policy, Algorithm};
-use fhs_sim::{metrics, Mode, Policy, RunOptions, RunStats, Workspace};
+use fhs_sim::{metrics, MachineConfig, Mode, Policy, RunOptions, RunStats, Workspace};
 use fhs_workloads::WorkloadSpec;
 use kdag::precompute::Artifacts;
+use kdag::KDag;
 
 use crate::stats::Summary;
 
@@ -275,6 +276,18 @@ pub fn run_sweep(
     // Artifacts are only consumed by offline policies; a sweep of purely
     // online columns (e.g. KGreedy alone) skips the precompute entirely.
     let any_offline = cells.iter().any(|c| c.algo.is_offline());
+    // Dispatch granularity: instance-level fan-out cannot occupy the team
+    // when instances are few but heavy (the Large/Huge bench shape — 4
+    // instances on an 8-wide team leaves half the workers idle). Below
+    // `team × 4` instances, (instance, cell) pairs become the work items
+    // instead; above it, the instance-level path is preferred since it
+    // keeps only one job + artifact bundle alive per worker rather than
+    // one per instance. Results are bit-identical either way (each pair's
+    // evaluation depends only on its shared, read-only instance bundle).
+    let team = workers.unwrap_or_else(|| fhs_par::pool().workers()).max(1);
+    if instances < team.saturating_mul(4) && cells.len() > 1 {
+        return run_sweep_fine(spec, cells, instances, base_seed, workers, any_offline);
+    }
     let spec = *spec;
     let cols: Arc<[SweepCell]> = cells.into();
     let eval = move |i: u64| -> Vec<(f64, RunStats)> {
@@ -302,6 +315,62 @@ pub fn run_sweep(
     };
     let per_instance = pool_map(workers, instances, eval);
     transpose(cells.len(), instances, per_instance)
+}
+
+/// One prepared instance of the fine-grained sweep: the shared job,
+/// machine, optional analysis bundle, and instance seed.
+type PreparedInstance = Arc<(KDag, MachineConfig, Option<Arc<Artifacts>>, u64)>;
+
+/// The fine-grained sweep: stage A samples and analyzes every instance in
+/// parallel (one bundle each), stage B fans the `instances × cells` pairs
+/// across the pool, so even a 4-instance sweep keeps a full team busy.
+/// Holds every instance bundle alive for the duration — callers gate on
+/// instance count to keep that affordable.
+fn run_sweep_fine(
+    spec: &WorkloadSpec,
+    cells: &[SweepCell],
+    instances: usize,
+    base_seed: u64,
+    workers: Option<usize>,
+    any_offline: bool,
+) -> Vec<SweepCellResult> {
+    let spec = *spec;
+    let prep = move |i: u64| -> PreparedInstance {
+        let seed = instance_seed(base_seed, i);
+        let (job, cfg) = spec.sample(seed);
+        let artifacts = any_offline.then(|| Arc::new(Artifacts::compute(&job)));
+        Arc::new((job, cfg, artifacts, seed))
+    };
+    let prepared = Arc::new(pool_map(workers, instances, prep));
+
+    let cols: Arc<[SweepCell]> = cells.into();
+    let ncells = cells.len();
+    let pairs: Vec<(usize, usize)> = (0..instances)
+        .flat_map(|i| (0..ncells).map(move |c| (i, c)))
+        .collect();
+    let eval = move |(i, c): (usize, usize)| -> (f64, RunStats) {
+        let (job, cfg, artifacts, seed) = &*prepared[i];
+        let cell = cols[c];
+        let mut opts = RunOptions::seeded(*seed);
+        opts.quantum = cell.quantum;
+        with_worker_ctx(|ctx| {
+            let (ws, policy) = ctx.parts(cell.algo);
+            let (result, stats) = match artifacts {
+                Some(a) => metrics::evaluate_instrumented_with_artifacts_in(
+                    ws, job, cfg, policy, cell.mode, &opts, a,
+                ),
+                None => metrics::evaluate_instrumented_in(ws, job, cfg, policy, cell.mode, &opts),
+            };
+            (result.ratio, stats)
+        })
+    };
+    let flat = match workers {
+        Some(w) => fhs_par::pool().map_with(w, pairs, eval),
+        None => fhs_par::pool().map(pairs, eval),
+    };
+    let per_instance: Vec<Vec<(f64, RunStats)>> =
+        flat.chunks(ncells).map(|row| row.to_vec()).collect();
+    transpose(ncells, instances, per_instance)
 }
 
 /// The pre-pool instance-major path: scoped threads spawned per call, a
@@ -498,6 +567,28 @@ mod tests {
             assert_eq!(a.ratios, b.ratios);
             assert_eq!(a.stats.epochs, b.stats.epochs);
             assert_eq!(a.stats.transitions, b.stats.transitions);
+        }
+    }
+
+    #[test]
+    fn fine_and_coarse_dispatch_agree_bitwise() {
+        // With Some(4) workers and 6 instances the (instance, cell)
+        // fine-grained path runs (6 < 4×4); with Some(1) and the same
+        // seeds the instance-level path runs (6 ≥ 1×4). Both must produce
+        // identical columns.
+        let spec = WorkloadSpec::new(Family::Ir, Typing::Random, SystemSize::Small, 3);
+        let cells = [
+            SweepCell::new(Algorithm::Mqb, Mode::NonPreemptive),
+            SweepCell::new(Algorithm::ShiftBT, Mode::Preemptive),
+            SweepCell::new(Algorithm::KGreedy, Mode::NonPreemptive),
+        ];
+        let fine = run_sweep(&spec, &cells, 6, 17, Some(4));
+        let coarse = run_sweep(&spec, &cells, 6, 17, Some(1));
+        for (f, c) in fine.iter().zip(&coarse) {
+            assert_eq!(f.ratios, c.ratios);
+            assert_eq!(f.stats.epochs, c.stats.epochs);
+            assert_eq!(f.stats.tasks_assigned, c.stats.tasks_assigned);
+            assert_eq!(f.stats.transitions, c.stats.transitions);
         }
     }
 

@@ -8,62 +8,166 @@
 //! readiness bookkeeping. [`transitive_reduction`] removes every
 //! redundant edge; the result is the unique minimal DAG with the same
 //! reachability relation.
+//!
+//! The default algorithm streams over parents in O(|V| + |E|) memory: for
+//! each parent it walks the descendant cone of its children in topological
+//! order, pruned to the topological window spanned by the children, with
+//! an epoch-stamped visited array so no per-node set is ever materialized.
+//! The previous dense-bitset implementation — O(|V|²/64) words of
+//! descendant bitsets, ~1.25 GB at 100k tasks — survives verbatim as
+//! [`reference::transitive_reduction`] and anchors the property tests.
 
 use crate::builder::KDagBuilder;
 use crate::graph::KDag;
 use crate::topo::topological_order;
+use crate::types::TaskId;
 
 /// Returns `dag` with every transitively redundant edge removed.
 ///
 /// An edge `u → v` is redundant iff a path `u → … → v` of length ≥ 2
-/// exists. O(|V|·(|V|/64 + |E|)) via per-node descendant bitsets in
-/// reverse topological order — fine for the job sizes this project
-/// simulates (thousands of tasks).
+/// exists — equivalently, iff some *other* child of `u` reaches `v`.
+/// Since topological positions strictly increase along edges, only a
+/// child at a smaller position can reach `v`; so for each parent the
+/// children are visited in ascending topological position, each
+/// unreached child marking its strict descendants (pruned to positions
+/// ≤ the last child's) into a shared epoch-stamped array before the next
+/// child is tested. A child found already marked is redundant, and its
+/// pruned descendant cone is provably already marked, so it is skipped
+/// without its own walk.
+///
+/// Memory is O(|V| + |E|) regardless of DAG shape. Time is output
+/// sensitive — O(Σ_u cone(u)) where `cone(u)` is the pruned descendant
+/// cone walked below `u`'s children; on the generator families here the
+/// windows are shallow and the walk is near-linear in |E|, where the
+/// dense-bitset [`reference`] needs O(|V|²/64) words no matter what.
 pub fn transitive_reduction(dag: &KDag) -> KDag {
     let n = dag.num_tasks();
-    let words = n.div_ceil(64);
-    // reach[v] = bitset of all strict descendants of v
-    let mut reach: Vec<Vec<u64>> = vec![vec![0u64; words]; n];
     let order = topological_order(dag).expect("KDag invariant violated: cycle");
-
-    for &v in order.iter().rev() {
-        let vi = v.index();
-        // OR in children and their reach sets
-        for &c in dag.children(v) {
-            let ci = c.index();
-            reach[vi][ci / 64] |= 1 << (ci % 64);
-            // split borrow: copy child's set into v's
-            let (a, b) = if vi < ci {
-                let (lo, hi) = reach.split_at_mut(ci);
-                (&mut lo[vi], &hi[0])
-            } else {
-                let (lo, hi) = reach.split_at_mut(vi);
-                (&mut hi[0], &lo[ci])
-            };
-            for (w, &cw) in a.iter_mut().zip(b.iter()) {
-                *w |= cw;
-            }
-        }
+    let mut pos = vec![0u32; n];
+    for (p, &v) in order.iter().enumerate() {
+        pos[v.index()] = p as u32;
     }
+
+    // Epoch-stamped visit marks: `visited[w] == epoch` means `w` is a
+    // strict descendant (within the pruning window) of an already-walked
+    // child of the parent currently being processed.
+    let mut visited = vec![0u32; n];
+    let mut epoch = 0u32;
+    let mut stack: Vec<TaskId> = Vec::new();
+    // Child indices (into the parent's CSR slice) sorted by topo position.
+    let mut by_pos: Vec<u32> = Vec::new();
+    let mut redundant: Vec<bool> = Vec::new();
 
     let mut b = KDagBuilder::with_capacity(dag.num_types(), n, dag.num_edges());
     for v in dag.tasks() {
         b.add_task(dag.rtype(v), dag.work(v));
     }
-    for v in dag.tasks() {
-        for &c in dag.children(v) {
-            // redundant iff some OTHER child of v reaches c
-            let ci = c.index();
-            let redundant = dag
-                .children(v)
-                .iter()
-                .any(|&other| other != c && (reach[other.index()][ci / 64] >> (ci % 64)) & 1 == 1);
-            if !redundant {
-                b.add_edge(v, c).expect("subset of valid edges");
+    for u in dag.tasks() {
+        let children = dag.children(u);
+        if children.len() < 2 {
+            // A single edge can never be implied by a longer path from u.
+            for &c in children {
+                b.add_edge(u, c).expect("subset of valid edges");
+            }
+            continue;
+        }
+
+        epoch += 1;
+        by_pos.clear();
+        by_pos.extend(0..children.len() as u32);
+        by_pos.sort_unstable_by_key(|&i| pos[children[i as usize].index()]);
+        let max_pos = pos[children[*by_pos.last().expect("≥2 children") as usize].index()];
+
+        redundant.clear();
+        redundant.resize(children.len(), false);
+        for &i in &by_pos {
+            let v = children[i as usize];
+            if visited[v.index()] == epoch {
+                // Reached from a smaller-position child: u → v is
+                // redundant, and v's pruned cone is already marked (every
+                // node in it is also in the marking child's pruned cone).
+                redundant[i as usize] = true;
+                continue;
+            }
+            // Mark v's strict descendants with positions ≤ max_pos. Any
+            // path to a node inside the window stays inside the window
+            // (positions strictly increase along edges), so pruning loses
+            // nothing.
+            debug_assert!(stack.is_empty());
+            stack.push(v);
+            while let Some(w) = stack.pop() {
+                for &c in dag.children(w) {
+                    let ci = c.index();
+                    if pos[ci] <= max_pos && visited[ci] != epoch {
+                        visited[ci] = epoch;
+                        stack.push(c);
+                    }
+                }
+            }
+        }
+
+        for (i, &c) in children.iter().enumerate() {
+            if !redundant[i] {
+                b.add_edge(u, c).expect("subset of valid edges");
             }
         }
     }
     b.build().expect("edge subset of a DAG is a DAG")
+}
+
+/// The original dense-bitset transitive reduction, kept verbatim as the
+/// oracle for property tests. O(|V|·(|V|/64 + |E|)) time and O(|V|²/64)
+/// words of memory — do not call it on Huge instances.
+pub mod reference {
+    use super::*;
+
+    /// Returns `dag` with every transitively redundant edge removed,
+    /// via per-node descendant bitsets in reverse topological order.
+    pub fn transitive_reduction(dag: &KDag) -> KDag {
+        let n = dag.num_tasks();
+        let words = n.div_ceil(64);
+        // reach[v] = bitset of all strict descendants of v
+        let mut reach: Vec<Vec<u64>> = vec![vec![0u64; words]; n];
+        let order = topological_order(dag).expect("KDag invariant violated: cycle");
+
+        for &v in order.iter().rev() {
+            let vi = v.index();
+            // OR in children and their reach sets
+            for &c in dag.children(v) {
+                let ci = c.index();
+                reach[vi][ci / 64] |= 1 << (ci % 64);
+                // split borrow: copy child's set into v's
+                let (a, b) = if vi < ci {
+                    let (lo, hi) = reach.split_at_mut(ci);
+                    (&mut lo[vi], &hi[0])
+                } else {
+                    let (lo, hi) = reach.split_at_mut(vi);
+                    (&mut hi[0], &lo[ci])
+                };
+                for (w, &cw) in a.iter_mut().zip(b.iter()) {
+                    *w |= cw;
+                }
+            }
+        }
+
+        let mut b = KDagBuilder::with_capacity(dag.num_types(), n, dag.num_edges());
+        for v in dag.tasks() {
+            b.add_task(dag.rtype(v), dag.work(v));
+        }
+        for v in dag.tasks() {
+            for &c in dag.children(v) {
+                // redundant iff some OTHER child of v reaches c
+                let ci = c.index();
+                let redundant = dag.children(v).iter().any(|&other| {
+                    other != c && (reach[other.index()][ci / 64] >> (ci % 64)) & 1 == 1
+                });
+                if !redundant {
+                    b.add_edge(v, c).expect("subset of valid edges");
+                }
+            }
+        }
+        b.build().expect("edge subset of a DAG is a DAG")
+    }
 }
 
 /// Returns `true` iff `a` and `b` have identical reachability (same task
@@ -85,7 +189,6 @@ pub fn same_reachability(a: &KDag, b: &KDag) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::types::TaskId;
 
     fn dag_with_shortcut() -> KDag {
         // 0 -> 1 -> 2 plus the redundant shortcut 0 -> 2.
@@ -150,5 +253,14 @@ mod tests {
         let r = transitive_reduction(&g);
         assert_eq!(crate::metrics::span(&r), crate::metrics::span(&g));
         assert_eq!(r.total_work_per_type(), g.total_work_per_type());
+    }
+
+    #[test]
+    fn streaming_matches_reference_on_examples() {
+        for g in [dag_with_shortcut(), crate::examples::figure1()] {
+            let new = transitive_reduction(&g);
+            let old = reference::transitive_reduction(&g);
+            assert_eq!(new, old);
+        }
     }
 }

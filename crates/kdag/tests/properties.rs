@@ -206,6 +206,19 @@ proptest! {
     }
 
     #[test]
+    fn streaming_reduction_matches_dense_reference(dag in arb_kdag(3, 40, 3)) {
+        // The streaming topo-pruned reduction must reproduce the retained
+        // dense-bitset oracle exactly: same tasks, same edge set.
+        let new = kdag::reduction::transitive_reduction(&dag);
+        let old = kdag::reduction::reference::transitive_reduction(&dag);
+        prop_assert_eq!(new.num_edges(), old.num_edges());
+        prop_assert_eq!(&new, &old);
+        for v in new.tasks() {
+            prop_assert_eq!(new.children(v), old.children(v), "children of {}", v);
+        }
+    }
+
+    #[test]
     fn text_format_round_trips(dag in arb_kdag(4, 40, 5)) {
         let text = kdag::text::to_text(&dag);
         let back = kdag::text::from_text(&text).expect("serialized output parses");

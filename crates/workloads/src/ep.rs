@@ -46,7 +46,11 @@ impl EpParams {
 /// of `K` phases of `U[1, max_phase_len]` tasks, typed per `typing`, with
 /// works drawn from [`crate::WORK_RANGE`].
 pub fn generate<R: Rng>(k: usize, params: &EpParams, typing: Typing, rng: &mut R) -> KDag {
-    let mut b = KDagBuilder::new(k);
+    // Expected size: branches × K phases × (1 + max_phase_len)/2 tasks;
+    // matters at Huge scale (~100k tasks) where repeated regrowth of the
+    // builder's arrays would dominate generation.
+    let expect = params.branches * k * (1 + params.max_phase_len).div_ceil(2);
+    let mut b = KDagBuilder::with_capacity(k, expect, expect);
     for _ in 0..params.branches {
         let mut prev = None;
         for phase in 0..k {

@@ -18,12 +18,27 @@
 //!   `K` pools — the same structured-types regime, one level finer (see
 //!   DESIGN.md).
 //! * **Random** IR draws each task's type uniformly.
+//!
+//! Iterations whose `maps × reduces` product exceeds
+//! [`DENSE_WIRING_LIMIT`] (only the Huge size class in practice) are
+//! wired by a sparse path — each reduce draws a bounded number of
+//! weighted map inputs instead of testing every pair — keeping edge
+//! count and generation time O(tasks); narrower classes keep the exact
+//! historical per-pair Bernoulli stream.
 
 use kdag::{KDag, KDagBuilder, TaskId};
 use rand::Rng;
 
 use crate::sample_work;
 use crate::spec::Typing;
+
+/// Above this `maps × reduces` product an iteration is wired by the
+/// sparse path (per-reduce weighted fanin draws) instead of the dense
+/// per-pair Bernoulli pass, which costs O(maps·reduces) RNG draws and
+/// emits Θ(maps·reduces) expected edges. Large instances (≤ 700 × 300)
+/// stay far below the threshold, so every pre-Huge size class keeps its
+/// exact historical RNG stream and golden outputs.
+pub const DENSE_WIRING_LIMIT: usize = 1 << 20;
 
 /// IR generation parameters.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -52,6 +67,15 @@ impl IrParams {
     }
 }
 
+/// Draws one index from the discrete distribution whose cumulative
+/// weights are `cum` (strictly positive weights; `cum` is non-empty and
+/// ends at the total). O(log n) per draw, one RNG draw.
+fn pick_weighted<R: Rng>(rng: &mut R, cum: &[f64]) -> usize {
+    let total = *cum.last().expect("non-empty distribution");
+    let x: f64 = rng.gen_range(0.0..total);
+    cum.partition_point(|&c| c <= x).min(cum.len() - 1)
+}
+
 /// Generates an IR K-DAG per the module description.
 pub fn generate<R: Rng>(k: usize, params: &IrParams, typing: Typing, rng: &mut R) -> KDag {
     let iters = params.iterations.max(1);
@@ -59,6 +83,7 @@ pub fn generate<R: Rng>(k: usize, params: &IrParams, typing: Typing, rng: &mut R
     let reduces = params.reduces.max(1);
     let n = iters * (maps + reduces);
     let mut b = KDagBuilder::with_capacity(k, n, n * 2);
+    let sparse = maps.saturating_mul(reduces) > DENSE_WIRING_LIMIT;
 
     let type_of = |phase: usize, rng: &mut R| match typing {
         Typing::Layered => phase % k,
@@ -83,24 +108,45 @@ pub fn generate<R: Rng>(k: usize, params: &IrParams, typing: Typing, rng: &mut R
                     0.05 + r * r * r
                 })
                 .collect();
-            let total_w: f64 = rweights.iter().sum();
-            let pick = |rng: &mut R| {
-                let mut x: f64 = rng.gen_range(0.0..total_w);
-                for (i, &w) in rweights.iter().enumerate() {
-                    if x < w {
-                        return prev_reduces[i];
-                    }
-                    x -= w;
+            if sparse {
+                // Same 1–2 weighted parents, binary-searched over the
+                // cumulative distribution instead of a linear scan.
+                let mut cum = rweights;
+                let mut acc = 0.0;
+                for w in &mut cum {
+                    acc += *w;
+                    *w = acc;
                 }
-                *prev_reduces.last().expect("non-empty")
-            };
-            for &m in &map_ids {
-                let first = pick(rng);
-                b.add_edge(first, m).expect("cross-iteration edge");
-                if rng.gen_bool(0.5) {
-                    let second = pick(rng);
-                    if second != first {
-                        b.add_edge(second, m).expect("cross-iteration edge");
+                for &m in &map_ids {
+                    let first = prev_reduces[pick_weighted(rng, &cum)];
+                    b.add_edge(first, m).expect("cross-iteration edge");
+                    if rng.gen_bool(0.5) {
+                        let second = prev_reduces[pick_weighted(rng, &cum)];
+                        if second != first {
+                            b.add_edge(second, m).expect("cross-iteration edge");
+                        }
+                    }
+                }
+            } else {
+                let total_w: f64 = rweights.iter().sum();
+                let pick = |rng: &mut R| {
+                    let mut x: f64 = rng.gen_range(0.0..total_w);
+                    for (i, &w) in rweights.iter().enumerate() {
+                        if x < w {
+                            return prev_reduces[i];
+                        }
+                        x -= w;
+                    }
+                    *prev_reduces.last().expect("non-empty")
+                };
+                for &m in &map_ids {
+                    let first = pick(rng);
+                    b.add_edge(first, m).expect("cross-iteration edge");
+                    if rng.gen_bool(0.5) {
+                        let second = pick(rng);
+                        if second != first {
+                            b.add_edge(second, m).expect("cross-iteration edge");
+                        }
                     }
                 }
             }
@@ -134,17 +180,40 @@ pub fn generate<R: Rng>(k: usize, params: &IrParams, typing: Typing, rng: &mut R
             edges.insert((m, r));
             b.add_edge(m, r).expect("guaranteed map→reduce edge");
         }
-        for &r in &reduce_ids {
-            for (mi, &m) in map_ids.iter().enumerate() {
-                if rng.gen_bool(weights[mi]) && edges.insert((m, r)) {
-                    b.add_edge(m, r).expect("map→reduce edge");
+        if sparse {
+            // Sparse stand-in for the per-pair Bernoulli pass: each reduce
+            // draws 1–4 extra inputs from the heavy-tailed map-fanout
+            // distribution, so hot maps still feed most reduces but the
+            // edge count stays O(maps + reduces) instead of
+            // Θ(maps·reduces).
+            let mut cum = weights;
+            let mut acc = 0.0;
+            for w in &mut cum {
+                acc += *w;
+                *w = acc;
+            }
+            for &r in &reduce_ids {
+                let extra = rng.gen_range(1usize..=4);
+                for _ in 0..extra {
+                    let m = map_ids[pick_weighted(rng, &cum)];
+                    if edges.insert((m, r)) {
+                        b.add_edge(m, r).expect("map→reduce edge");
+                    }
                 }
             }
-            if !edges.iter().any(|&(_, rr)| rr == r) {
-                // unreachable in practice (guaranteed edges above), kept
-                // for robustness if reduce_ids were empty-fanin
-                let _ = edges.insert((map_ids[heaviest], r))
-                    && b.add_edge(map_ids[heaviest], r).is_ok();
+        } else {
+            for &r in &reduce_ids {
+                for (mi, &m) in map_ids.iter().enumerate() {
+                    if rng.gen_bool(weights[mi]) && edges.insert((m, r)) {
+                        b.add_edge(m, r).expect("map→reduce edge");
+                    }
+                }
+                if !edges.iter().any(|&(_, rr)| rr == r) {
+                    // unreachable in practice (guaranteed edges above), kept
+                    // for robustness if reduce_ids were empty-fanin
+                    let _ = edges.insert((map_ids[heaviest], r))
+                        && b.add_edge(map_ids[heaviest], r).is_ok();
+                }
             }
         }
         prev_reduces = reduce_ids;

@@ -4,6 +4,8 @@
 //! * **Medium** systems: 10–20 per type (40–80 total at K = 4).
 //! * **Large** systems (an extension beyond the paper, for the ≥1000-task
 //!   sweep benchmarks): 30–60 per type.
+//! * **Huge** systems (extension; cluster-scale, for the ~100k-task
+//!   regime): 100–200 per type.
 //!
 //! The skewed-load experiments (§V-E) shrink type 1's pool to 1/5 of its
 //! sampled size while leaving the others unchanged.
@@ -20,6 +22,8 @@ pub enum SystemSize {
     Medium,
     /// 30–60 processors per type (extension; sized for ≥1000-task jobs).
     Large,
+    /// 100–200 processors per type (extension; sized for ~100k-task jobs).
+    Huge,
 }
 
 impl SystemSize {
@@ -29,15 +33,17 @@ impl SystemSize {
             SystemSize::Small => (1, 5),
             SystemSize::Medium => (10, 20),
             SystemSize::Large => (30, 60),
+            SystemSize::Huge => (100, 200),
         }
     }
 
-    /// The display word ("Small" / "Medium" / "Large").
+    /// The display word ("Small" / "Medium" / "Large" / "Huge").
     pub fn label(&self) -> &'static str {
         match self {
             SystemSize::Small => "Small",
             SystemSize::Medium => "Medium",
             SystemSize::Large => "Large",
+            SystemSize::Huge => "Huge",
         }
     }
 }
@@ -106,5 +112,15 @@ mod tests {
     fn labels() {
         assert_eq!(SystemSize::Small.label(), "Small");
         assert_eq!(SystemSize::Medium.label(), "Medium");
+        assert_eq!(SystemSize::Huge.label(), "Huge");
+    }
+
+    #[test]
+    fn huge_range_scales_past_large() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..50 {
+            let c = sample_config(4, SystemSize::Huge, &mut rng);
+            assert!(c.procs_per_type().iter().all(|&p| (100..=200).contains(&p)));
+        }
     }
 }

@@ -108,6 +108,9 @@ impl WorkloadSpec {
             SystemSize::Medium => (20, 60),
             // ≥ 250 branches × K phases ⇒ ≥ 1000 tasks at K = 4.
             SystemSize::Large => (250, 500),
+            // ~7000 branches × 4 phases × ~4 tasks ⇒ ~112k tasks on
+            // average at K = 4 (`max_phase_len ∈ U[4, 10]`).
+            SystemSize::Huge => (5000, 9000),
         }
     }
 
@@ -116,6 +119,7 @@ impl WorkloadSpec {
             SystemSize::Small => (30, 150),
             SystemSize::Medium => (300, 1200),
             SystemSize::Large => (3000, 12000),
+            SystemSize::Huge => (30000, 120000),
         }
     }
 
@@ -125,6 +129,10 @@ impl WorkloadSpec {
             SystemSize::Medium => ((20, 60), (10, 30)),
             // ≥ 2 iterations × (400 + 150) ⇒ ≥ 1100 tasks.
             SystemSize::Large => ((400, 700), (150, 300)),
+            // ≥ 2 iterations × (15000 + 5000) ⇒ ≥ 40k tasks (~100k on
+            // average over `iterations ∈ U[2, 5]`); wide enough to take
+            // the generator's sparse wiring path.
+            SystemSize::Huge => ((15000, 25000), (5000, 8000)),
         }
     }
 
@@ -231,6 +239,36 @@ mod tests {
                     job.num_tasks()
                 );
                 assert!(cfg.procs_per_type().iter().all(|&p| (30..=60).contains(&p)));
+            }
+        }
+    }
+
+    #[test]
+    fn huge_instances_reach_the_100k_regime() {
+        // The scale bench and the Huge smoke test rely on EP/IR landing
+        // in the ~10⁵-task band with cluster-scale pools; IR must also be
+        // wide enough to take the generator's sparse wiring path.
+        for family in [Family::Ep, Family::Ir] {
+            let s = WorkloadSpec::new(family, Typing::Layered, SystemSize::Huge, 4);
+            for seed in 0..3 {
+                let (job, cfg) = s.sample(seed);
+                assert!(
+                    job.num_tasks() >= 40_000,
+                    "{} seed {seed}: only {} tasks",
+                    s.label(),
+                    job.num_tasks()
+                );
+                assert!(
+                    job.num_edges() <= 4 * job.num_tasks(),
+                    "{} seed {seed}: {} edges for {} tasks — sparse wiring broken?",
+                    s.label(),
+                    job.num_edges(),
+                    job.num_tasks()
+                );
+                assert!(cfg
+                    .procs_per_type()
+                    .iter()
+                    .all(|&p| (100..=200).contains(&p)));
             }
         }
     }
