@@ -14,6 +14,7 @@ fn args(instances: usize) -> CommonArgs {
         seed: 7,
         csv_dir: None,
         workers: Some(1),
+        ..CommonArgs::default()
     }
 }
 

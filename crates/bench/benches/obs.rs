@@ -1,0 +1,167 @@
+//! Observability overhead bench: the engine with every steady-state
+//! recording channel on (utilization timeline + latency/depth histograms,
+//! the channels `sweep --utilization --instrument` / `--metrics-out` use)
+//! against the unobserved engine, on warm workspaces.
+//!
+//! Besides the usual criterion run, `--json <path>` measures the headline
+//! configuration (one Large layered IR instance, ≥1000 tasks, warm MQB and
+//! KGreedy runs) and writes `BENCH_obs.json`, asserting the acceptance
+//! criterion: ≤5% overhead with the steady-state channels on. The
+//! bounded event trace (a per-transition ring push, paid only by the one
+//! instance a sweep traces) is measured and reported for context.
+//!
+//! ```console
+//! cargo bench -p fhs-bench --bench obs -- --json ../../BENCH_obs.json
+//! ```
+
+use criterion::{black_box, criterion_group, Criterion};
+use fhs_core::{make_policy, Algorithm};
+use fhs_experiments::runner::instance_seed;
+use fhs_sim::{engine, MachineConfig, Mode, ObsConfig, RunOptions, Workspace};
+use fhs_workloads::{resources::SystemSize, Family, Typing, WorkloadSpec};
+use kdag::KDag;
+use std::time::Instant;
+
+const BASE_SEED: u64 = 0xBE7C;
+
+/// The sweep pipeline's steady-state recording channels.
+fn steady_channels() -> ObsConfig {
+    ObsConfig {
+        utilization: true,
+        latency: true,
+        events: false,
+        event_cap: 0,
+    }
+}
+
+/// One warm observed/unobserved run pair on a reused workspace.
+fn run_warm(
+    ws: &mut Workspace,
+    job: &KDag,
+    cfg: &MachineConfig,
+    algo: Algorithm,
+    opts: &RunOptions,
+) -> u64 {
+    let mut policy = make_policy(algo);
+    engine::run_in(ws, job, cfg, policy.as_mut(), Mode::NonPreemptive, opts).makespan
+}
+
+fn bench_obs(c: &mut Criterion) {
+    let (job, cfg) = fhs_bench::medium_ir();
+    let plain = RunOptions::seeded(1);
+    let seen = RunOptions::seeded(1).with_observe(steady_channels());
+    let traced = RunOptions::seeded(1).with_observe(ObsConfig::all());
+
+    for algo in [Algorithm::KGreedy, Algorithm::Mqb] {
+        let mut g = c.benchmark_group(format!("obs/medium-ir/{}", algo.label()));
+        g.sample_size(20);
+        let mut ws = Workspace::new();
+        run_warm(&mut ws, &job, &cfg, algo, &plain); // size all buffers
+        g.bench_function("unobserved", |b| {
+            b.iter(|| black_box(run_warm(&mut ws, &job, &cfg, algo, &plain)))
+        });
+        g.bench_function("util+latency", |b| {
+            b.iter(|| black_box(run_warm(&mut ws, &job, &cfg, algo, &seen)))
+        });
+        g.bench_function("all-channels", |b| {
+            b.iter(|| black_box(run_warm(&mut ws, &job, &cfg, algo, &traced)))
+        });
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_obs);
+
+/// Minimum wall time of `samples` runs of `f`, in nanoseconds — the
+/// noise-robust statistic for a ratio assertion on a shared machine.
+fn min_nanos(samples: usize, mut f: impl FnMut()) -> u128 {
+    (0..samples)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_nanos()
+        })
+        .min()
+        .expect("at least one sample")
+}
+
+/// Measures the headline overhead and writes the JSON baseline.
+fn write_baseline(path: &str) {
+    let spec = WorkloadSpec::new(Family::Ir, Typing::Layered, SystemSize::Large, 4);
+    let (job, cfg) = spec.sample(instance_seed(BASE_SEED, 0));
+    assert!(
+        job.num_tasks() >= 1000,
+        "headline instance too small: {} tasks",
+        job.num_tasks()
+    );
+    let samples = 7;
+    let plain = RunOptions::seeded(1);
+    let seen = RunOptions::seeded(1).with_observe(steady_channels());
+    let traced = RunOptions::seeded(1).with_observe(ObsConfig::all());
+
+    let mut rows = Vec::new();
+    let mut worst: f64 = 0.0;
+    for algo in [Algorithm::KGreedy, Algorithm::Mqb] {
+        let mut ws = Workspace::new();
+        // Observe-only first: the observed warm run must replay the
+        // unobserved one exactly before timing either.
+        let m_plain = run_warm(&mut ws, &job, &cfg, algo, &plain);
+        let m_seen = run_warm(&mut ws, &job, &cfg, algo, &seen);
+        assert_eq!(
+            m_plain,
+            m_seen,
+            "{}: recording changed the run",
+            algo.label()
+        );
+
+        let base = min_nanos(samples, || {
+            black_box(run_warm(&mut ws, &job, &cfg, algo, &plain));
+        });
+        let steady = min_nanos(samples, || {
+            black_box(run_warm(&mut ws, &job, &cfg, algo, &seen));
+        });
+        let all = min_nanos(samples, || {
+            black_box(run_warm(&mut ws, &job, &cfg, algo, &traced));
+        });
+        let overhead = steady as f64 / base as f64 - 1.0;
+        let overhead_all = all as f64 / base as f64 - 1.0;
+        worst = worst.max(overhead);
+        rows.push(format!(
+            "    {{\n      \"algo\": \"{}\",\n      \"unobserved_min_ns\": {base},\n      \
+             \"observed_min_ns\": {steady},\n      \"all_channels_min_ns\": {all},\n      \
+             \"overhead\": {overhead:.4},\n      \"overhead_all_channels\": {overhead_all:.4}\n    }}",
+            algo.label()
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"obs/large-ir-warm-engine\",\n  \"workload\": {{\n    \
+         \"spec\": \"{}\",\n    \"k\": 4,\n    \"tasks\": {}\n  }},\n  \
+         \"samples\": {samples},\n  \"channels\": \"utilization+latency\",\n  \
+         \"cells\": [\n{}\n  ],\n  \"worst_overhead\": {worst:.4}\n}}\n",
+        spec.label(),
+        job.num_tasks(),
+        rows.join(",\n"),
+    );
+    std::fs::write(path, &json).expect("write baseline");
+    println!(
+        "wrote {path}: worst steady-channel overhead {:.2}%",
+        worst * 100.0
+    );
+    assert!(
+        worst <= 0.05,
+        "acceptance criterion: observability overhead must be ≤5% on a Large \
+         instance (got {:.2}%)",
+        worst * 100.0
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(w) = args.windows(2).find(|w| w[0] == "--json") {
+        write_baseline(&w[1]);
+        return;
+    }
+    let mut c = Criterion::from_args();
+    benches(&mut c);
+}

@@ -187,6 +187,48 @@ fn warm_shiftbt_init_stays_within_byte_budget() {
 }
 
 #[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "allocation accounting is asserted in --release (its own CI step)"
+)]
+fn observed_epoch_loop_is_also_allocation_free_when_warm() {
+    use fhs_sim::ObsConfig;
+
+    fhs_sim::instrument::register_alloc_probe(probe);
+    let (job, cfg) = fhs_bench::medium_ir();
+    // Every recording channel on: utilization timeline, latency + depth
+    // histograms, and the bounded event trace. The recorder state lives in
+    // the workspace, so the first observed run sizes its buffers (allowed
+    // to allocate) and warm reruns must stay at exactly zero.
+    let opts = RunOptions::seeded(1).with_observe(ObsConfig::all());
+    for algo in ALL_ALGORITHMS {
+        for mode in [Mode::NonPreemptive, Mode::Preemptive] {
+            let mut ws = Workspace::new();
+            let mut policy = make_policy(algo);
+            let cold = engine::run_in(&mut ws, &job, &cfg, policy.as_mut(), mode, &opts);
+            assert!(
+                cold.obs.is_some(),
+                "{} {mode:?}: observe requested but no payload",
+                algo.label()
+            );
+            for rerun in 0..3 {
+                let warm = engine::run_in(&mut ws, &job, &cfg, policy.as_mut(), mode, &opts);
+                assert_eq!(warm.makespan, cold.makespan, "{} {mode:?}", algo.label());
+                let obs = warm.obs.expect("observe requested");
+                assert!(obs.util.is_some(), "utilization recorded");
+                assert!(obs.assign_ns.count > 0, "latency recorded");
+                assert_eq!(
+                    warm.stats.epoch_bytes,
+                    0,
+                    "{} {mode:?} rerun {rerun}: observed epoch loop allocated on a warm workspace",
+                    algo.label()
+                );
+            }
+        }
+    }
+}
+
+#[test]
 fn probe_counts_this_threads_allocations() {
     // Sanity for the harness itself (runs in every profile): allocating
     // must advance the thread's byte count by at least the requested size.

@@ -59,6 +59,35 @@ pub mod channel {
 
     impl<T> std::error::Error for SendError<T> {}
 
+    /// Error returned by [`Sender::try_send`] (upstream signature); both
+    /// variants carry the undelivered message.
+    pub enum TrySendError<T> {
+        /// The channel is at capacity right now.
+        Full(T),
+        /// Every [`Receiver`] has been dropped.
+        Disconnected(T),
+    }
+
+    impl<T> std::fmt::Debug for TrySendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(match self {
+                TrySendError::Full(_) => "Full(..)",
+                TrySendError::Disconnected(_) => "Disconnected(..)",
+            })
+        }
+    }
+
+    impl<T> std::fmt::Display for TrySendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(match self {
+                TrySendError::Full(_) => "sending on a full channel",
+                TrySendError::Disconnected(_) => "sending on a disconnected channel",
+            })
+        }
+    }
+
+    impl<T> std::error::Error for TrySendError<T> {}
+
     /// Error returned by [`Receiver::recv`] when every [`Sender`] has been
     /// dropped and the queue is drained (matches upstream crossbeam).
     #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -117,6 +146,23 @@ pub mod channel {
                     .send_ready
                     .wait(state)
                     .expect("channel poisoned");
+            }
+        }
+
+        /// Non-blocking [`Sender::send`] (upstream signature): enqueues
+        /// `msg` if there is room right now, otherwise hands it back.
+        pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+            let mut state = self.shared.state.lock().expect("channel poisoned");
+            if Arc::strong_count(&self.shared) == state.senders {
+                return Err(TrySendError::Disconnected(msg));
+            }
+            if state.queue.len() < state.capacity {
+                state.queue.push_back(msg);
+                drop(state);
+                self.shared.recv_ready.notify_one();
+                Ok(())
+            } else {
+                Err(TrySendError::Full(msg))
             }
         }
     }
@@ -258,6 +304,24 @@ mod tests {
             let got: Vec<u32> = rx.iter().collect();
             assert_eq!(got, (0..50).collect::<Vec<_>>());
         });
+    }
+
+    #[test]
+    fn try_send_never_blocks() {
+        let (tx, rx) = channel::bounded::<u32>(2);
+        assert!(tx.try_send(1).is_ok());
+        assert!(tx.try_send(2).is_ok());
+        assert!(matches!(
+            tx.try_send(3),
+            Err(channel::TrySendError::Full(3))
+        ));
+        assert_eq!(rx.recv(), Ok(1));
+        assert!(tx.try_send(3).is_ok());
+        drop(rx);
+        assert!(matches!(
+            tx.try_send(4),
+            Err(channel::TrySendError::Disconnected(4))
+        ));
     }
 
     #[test]

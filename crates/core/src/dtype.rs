@@ -83,11 +83,7 @@ mod tests {
             &cfg,
             &mut DType::default(),
             Mode::NonPreemptive,
-            &RunOptions {
-                record_trace: true,
-                seed: 0,
-                quantum: None,
-            },
+            &RunOptions::seeded(0).with_trace(),
         );
         let tr = out.trace.unwrap();
         let first_type0 = tr

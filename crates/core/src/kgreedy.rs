@@ -167,11 +167,7 @@ mod tests {
             &cfg,
             &mut KGreedy::default(),
             Mode::NonPreemptive,
-            &RunOptions {
-                record_trace: true,
-                seed: 9,
-                quantum: None,
-            },
+            &RunOptions::seeded(9).with_trace(),
         );
         fhs_sim::trace::validate(&out.trace.unwrap(), &job, &cfg).unwrap();
     }

@@ -105,11 +105,7 @@ mod tests {
             &cfg,
             &mut LSpan::default(),
             Mode::NonPreemptive,
-            &RunOptions {
-                record_trace: true,
-                seed: 0,
-                quantum: None,
-            },
+            &RunOptions::seeded(0).with_trace(),
         );
         let tr = traced.trace.unwrap();
         let first = tr.segments().iter().min_by_key(|s| s.start).unwrap();

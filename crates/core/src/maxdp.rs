@@ -76,11 +76,7 @@ mod tests {
             &cfg,
             &mut MaxDP::default(),
             Mode::NonPreemptive,
-            &RunOptions {
-                record_trace: true,
-                seed: 0,
-                quantum: None,
-            },
+            &RunOptions::seeded(0).with_trace(),
         );
         let tr = out.trace.unwrap();
         let first_type0 = tr

@@ -562,11 +562,7 @@ mod tests {
             &cfg,
             &mut Mqb::default(),
             Mode::NonPreemptive,
-            &RunOptions {
-                record_trace: true,
-                seed: 0,
-                quantum: None,
-            },
+            &RunOptions::seeded(0).with_trace(),
         );
         let tr = out.trace.unwrap();
         let first = tr.segments().iter().min_by_key(|s| s.start).unwrap();
@@ -664,11 +660,7 @@ mod tests {
             &cfg,
             &mut Mqb::default(),
             Mode::NonPreemptive,
-            &RunOptions {
-                record_trace: true,
-                seed: 0,
-                quantum: None,
-            },
+            &RunOptions::seeded(0).with_trace(),
         );
         fhs_sim::trace::validate(&out.trace.unwrap(), &job, &cfg).unwrap();
     }

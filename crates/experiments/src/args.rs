@@ -13,6 +13,26 @@ pub struct CommonArgs {
     pub csv_dir: Option<std::path::PathBuf>,
     /// Worker-thread override (defaults to all cores).
     pub workers: Option<usize>,
+    /// Append per-cell engine counters and assign-latency percentiles to
+    /// each figure's output (`--instrument`).
+    pub instrument: bool,
+    /// Append per-cell utilization aggregates — per-type utilization,
+    /// imbalance, CoV, drain fraction — to each figure's output
+    /// (`--utilization`).
+    pub utilization: bool,
+}
+
+impl Default for CommonArgs {
+    fn default() -> Self {
+        CommonArgs {
+            instances: 100,
+            seed: 0x5EED,
+            csv_dir: None,
+            workers: None,
+            instrument: false,
+            utilization: false,
+        }
+    }
 }
 
 impl CommonArgs {
@@ -26,9 +46,7 @@ impl CommonArgs {
     ) -> Result<CommonArgs, String> {
         let mut out = CommonArgs {
             instances: default_instances,
-            seed: 0x5EED,
-            csv_dir: None,
-            workers: None,
+            ..CommonArgs::default()
         };
         let mut it = args.into_iter();
         while let Some(flag) = it.next() {
@@ -57,10 +75,16 @@ impl CommonArgs {
                             .map_err(|e| format!("--workers: {e}"))?,
                     );
                 }
+                "--instrument" => out.instrument = true,
+                "--utilization" => out.utilization = true,
                 "--help" | "-h" => {
                     return Err(format!(
-                        "usage: [--instances N] [--seed S] [--csv-dir DIR] [--workers W]\n\
+                        "usage: [--instances N] [--seed S] [--csv-dir DIR] [--workers W] \
+                         [--instrument] [--utilization]\n\
                          defaults: --instances {default_instances} --seed 0x5EED\n\
+                         --instrument appends per-cell engine counters and assign-latency \
+                         percentiles; --utilization appends per-type utilization, imbalance \
+                         and drain aggregates\n\
                          (the paper aggregates 5000 instances per cell: pass --instances 5000)"
                     ));
                 }
@@ -110,6 +134,8 @@ mod tests {
         assert_eq!(a.seed, 0x5EED);
         assert_eq!(a.csv_dir, None);
         assert_eq!(a.workers, None);
+        assert!(!a.instrument);
+        assert!(!a.utilization);
     }
 
     #[test]
@@ -124,6 +150,8 @@ mod tests {
                 "/tmp/x",
                 "--workers",
                 "4",
+                "--instrument",
+                "--utilization",
             ]),
             300,
         )
@@ -132,6 +160,8 @@ mod tests {
         assert_eq!(a.seed, 7);
         assert_eq!(a.csv_dir.unwrap().to_str().unwrap(), "/tmp/x");
         assert_eq!(a.workers, Some(4));
+        assert!(a.instrument);
+        assert!(a.utilization);
     }
 
     #[test]

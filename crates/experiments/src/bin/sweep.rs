@@ -7,10 +7,16 @@
 //!     --algo MQB --algo KGreedy --preemptive --skewed --instances 1000
 //! ```
 
+use std::path::PathBuf;
+
 use fhs_core::{Algorithm, ALL_ALGORITHMS};
 use fhs_experiments::figures::{panel_csv_table, Panel};
-use fhs_experiments::runner::{run_cell, run_cell_instrumented, run_sweep, Cell, SweepCell};
+use fhs_experiments::obsout;
+use fhs_experiments::runner::{
+    run_cell, run_cell_instrumented, run_sweep_observed, Cell, SweepCell, SweepCellResult,
+};
 use fhs_experiments::stats::Summary;
+use fhs_obs::{chrome_trace_json, events_jsonl, ObsConfig, TraceCell};
 use fhs_sim::Mode;
 use fhs_workloads::{resources::SystemSize, Family, Typing, WorkloadSpec};
 
@@ -26,6 +32,10 @@ struct SweepArgs {
     seed: u64,
     csv: bool,
     instrument: bool,
+    utilization: bool,
+    trace_out: Option<PathBuf>,
+    trace_cap: usize,
+    metrics_out: Option<PathBuf>,
     no_artifact_cache: bool,
     workers: Option<usize>,
 }
@@ -33,12 +43,23 @@ struct SweepArgs {
 const USAGE: &str = "usage: sweep [--family ep|tree|ir] [--typing layered|random] \
 [--size small|medium|large|huge] [--k K] [--skewed] [--preemptive] \
 [--algo NAME]... [--instances N] [--seed S] [--csv] [--instrument] \
+[--utilization] [--trace-out PATH] [--trace-cap N] [--metrics-out PATH] \
 [--no-artifact-cache] [--workers N]\n\
 algorithm names: KGreedy LSpan DType MaxDP ShiftBT MQB MQB+All+Exp … (default: all six)\n\
 --instrument appends per-algorithm engine counters (epochs, transitions, \
-assign/engine wall time) after the table\n\
+assign/engine wall time) plus assign/epoch latency and queue-depth \
+percentiles after the table\n\
+--utilization appends per-algorithm utilization accounting (per-type \
+utilization, imbalance, CoV, time-to-drain) from the timeline recorder\n\
+--trace-out writes the structured event trace of instance 0 (one trace \
+process per algorithm); '.jsonl' suffix selects JSON-lines, anything else \
+Chrome-trace JSON loadable in Perfetto / chrome://tracing\n\
+--trace-cap bounds the recorded events per run (first-N; default 65536)\n\
+--metrics-out appends one JSON line per algorithm cell (versioned schema: \
+ratio summary, engine counters, latency percentiles, utilization)\n\
 --no-artifact-cache re-samples and re-analyzes every instance per algorithm \
-(the legacy cell-major path); results are bit-identical either way\n\
+(the legacy cell-major path); results are bit-identical either way, but the \
+observability flags above need the instance-major sweep\n\
 --workers caps the persistent worker pool (default: all cores); results \
 are bit-identical for any worker count";
 
@@ -55,6 +76,10 @@ fn parse() -> Result<SweepArgs, String> {
         seed: 0x5EED,
         csv: false,
         instrument: false,
+        utilization: false,
+        trace_out: None,
+        trace_cap: 0,
+        metrics_out: None,
         no_artifact_cache: false,
         workers: None,
     };
@@ -114,6 +139,14 @@ fn parse() -> Result<SweepArgs, String> {
                 )
             }
             "--instrument" => out.instrument = true,
+            "--utilization" => out.utilization = true,
+            "--trace-out" => out.trace_out = Some(PathBuf::from(value("--trace-out")?)),
+            "--trace-cap" => {
+                out.trace_cap = value("--trace-cap")?
+                    .parse()
+                    .map_err(|e| format!("--trace-cap: {e}"))?
+            }
+            "--metrics-out" => out.metrics_out = Some(PathBuf::from(value("--metrics-out")?)),
             "--no-artifact-cache" => out.no_artifact_cache = true,
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown flag {other}\n{USAGE}")),
@@ -127,6 +160,15 @@ fn parse() -> Result<SweepArgs, String> {
     }
     if out.algos.is_empty() {
         out.algos = ALL_ALGORITHMS.to_vec();
+    }
+    if out.no_artifact_cache
+        && (out.utilization || out.trace_out.is_some() || out.metrics_out.is_some())
+    {
+        return Err(
+            "--no-artifact-cache (the legacy cell-major path) cannot record \
+--utilization/--trace-out/--metrics-out; drop one or the other"
+                .into(),
+        );
     }
     Ok(out)
 }
@@ -143,9 +185,26 @@ fn main() {
     if args.skewed {
         spec = spec.skewed();
     }
+    // The recording channels implied by the requested outputs: latency
+    // histograms feed both --instrument and --metrics-out, the timeline
+    // recorder feeds --utilization and --metrics-out, event tracing runs
+    // only when a trace sink is given.
+    let observe = ObsConfig {
+        utilization: args.utilization || args.metrics_out.is_some(),
+        latency: args.instrument || args.metrics_out.is_some(),
+        events: args.trace_out.is_some(),
+        event_cap: args.trace_cap,
+    };
+    let mode_label = match args.mode {
+        Mode::NonPreemptive => "np",
+        Mode::Preemptive => "pre",
+    };
     // Per-algorithm aggregated engine counters; only filled (and printed)
     // under --instrument so the default table output is unchanged.
     let mut counters = Vec::new();
+    // The sweep columns of the instance-major path (None on the legacy
+    // path), feeding the observability sections and export sinks below.
+    let mut columns: Option<Vec<SweepCellResult>> = None;
     let rows: Vec<(String, Summary)> = if args.no_artifact_cache {
         // Legacy cell-major escape hatch: every algorithm re-samples and
         // re-analyzes its own copy of each instance.
@@ -173,17 +232,27 @@ fn main() {
             .iter()
             .map(|&algo| SweepCell::new(algo, args.mode))
             .collect();
-        let results = run_sweep(&spec, &cells, args.instances, args.seed, args.workers);
-        args.algos
+        let results = run_sweep_observed(
+            &spec,
+            &cells,
+            args.instances,
+            args.seed,
+            args.workers,
+            observe,
+        );
+        let rows = args
+            .algos
             .iter()
-            .zip(results)
+            .zip(&results)
             .map(|(&algo, col)| {
                 if args.instrument {
                     counters.push((algo.label(), col.stats));
                 }
                 (algo.label().to_string(), col.summary())
             })
-            .collect()
+            .collect();
+        columns = Some(results);
+        rows
     };
     let panel = Panel {
         title: format!(
@@ -207,8 +276,83 @@ fn main() {
             "engine counters (summed over {} instances):",
             args.instances
         );
-        for (label, stats) in counters {
+        for (i, (label, stats)) in counters.iter().enumerate() {
             println!("  {label:<16} {stats}");
+            if let Some(o) = columns.as_ref().and_then(|cols| cols[i].obs.as_ref()) {
+                println!("  {:<16} {}", "", obsout::latency_summary(o));
+            }
+        }
+    }
+    if args.utilization {
+        let cols = columns.as_ref().expect("checked in parse()");
+        println!(
+            "utilization (timeline recorder, mean over {} instances):",
+            args.instances
+        );
+        for (&algo, col) in args.algos.iter().zip(cols) {
+            if let Some(o) = &col.obs {
+                println!("  {:<16} {}", algo.label(), obsout::utilization_summary(o));
+            }
+        }
+    }
+    if let Some(path) = &args.metrics_out {
+        let cols = columns.as_ref().expect("checked in parse()");
+        let mut out = String::new();
+        for (&algo, col) in args.algos.iter().zip(cols) {
+            out.push_str(&obsout::metrics_line(
+                algo.label(),
+                &spec.label(),
+                mode_label,
+                args.instances,
+                args.seed,
+                &col.summary(),
+                &col.stats,
+                col.obs.as_ref(),
+            ));
+            out.push('\n');
+        }
+        match std::fs::write(path, out) {
+            Ok(()) => eprintln!("wrote metrics: {} ({} cells)", path.display(), cols.len()),
+            Err(e) => {
+                eprintln!("failed to write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+    }
+    if let Some(path) = &args.trace_out {
+        let cols = columns.as_ref().expect("checked in parse()");
+        let traces: Vec<TraceCell> = args
+            .algos
+            .iter()
+            .zip(cols)
+            .enumerate()
+            .filter_map(|(i, (&algo, col))| {
+                let t = col.obs.as_ref()?.trace.as_ref()?;
+                Some(TraceCell {
+                    pid: i as u32 + 1,
+                    name: format!("{} {mode_label}", algo.label()),
+                    ..t.clone()
+                })
+            })
+            .collect();
+        let jsonl = path.extension().is_some_and(|e| e == "jsonl");
+        let body = if jsonl {
+            events_jsonl(&traces)
+        } else {
+            chrome_trace_json(&traces)
+        };
+        let events: usize = traces.iter().map(|t| t.events.len()).sum();
+        let dropped: u64 = traces.iter().map(|t| t.dropped).sum();
+        match std::fs::write(path, body) {
+            Ok(()) => eprintln!(
+                "wrote trace: {} ({} format, instance 0, {events} events, {dropped} dropped)",
+                path.display(),
+                if jsonl { "JSON-lines" } else { "Chrome-trace" },
+            ),
+            Err(e) => {
+                eprintln!("failed to write {}: {e}", path.display());
+                std::process::exit(1);
+            }
         }
     }
 }

@@ -15,8 +15,8 @@ use fhs_sim::Mode;
 use fhs_workloads::{resources::SystemSize, Family, Typing, WorkloadSpec};
 
 use crate::args::CommonArgs;
-use crate::figures::{panel_csv_table, Panel};
-use crate::runner::{run_sweep, SweepCell};
+use crate::figures::{obs_config, obs_section, panel_csv_table, Panel};
+use crate::runner::{run_sweep_observed, SweepCell, SweepCellResult};
 
 /// Default instances per cell for the binary (paper: 5000).
 pub const DEFAULT_INSTANCES: usize = 500;
@@ -40,38 +40,57 @@ pub fn panel_specs() -> [WorkloadSpec; 6] {
 /// instance stream (instance-major sweep), so every instance is sampled
 /// and analyzed once instead of six times.
 pub fn compute(args: &CommonArgs) -> Vec<Panel> {
+    compute_observed(args).into_iter().map(|(p, _)| p).collect()
+}
+
+/// As [`compute`], also returning each panel's raw sweep columns — which
+/// carry the observability payloads when `--instrument`/`--utilization`
+/// recording was requested.
+pub fn compute_observed(args: &CommonArgs) -> Vec<(Panel, Vec<SweepCellResult>)> {
     let cells: Vec<SweepCell> = ALL_ALGORITHMS
         .into_iter()
         .map(|algo| SweepCell::new(algo, Mode::NonPreemptive))
         .collect();
     panel_specs()
         .into_iter()
-        .map(|spec| Panel {
-            title: spec.label(),
-            rows: ALL_ALGORITHMS
-                .into_iter()
-                .zip(run_sweep(
-                    &spec,
-                    &cells,
-                    args.instances,
-                    args.seed,
-                    args.workers,
-                ))
-                .map(|(algo, col)| (algo.label().to_string(), col.summary()))
-                .collect(),
+        .map(|spec| {
+            let cols = run_sweep_observed(
+                &spec,
+                &cells,
+                args.instances,
+                args.seed,
+                args.workers,
+                obs_config(args),
+            );
+            let panel = Panel {
+                title: spec.label(),
+                rows: ALL_ALGORITHMS
+                    .into_iter()
+                    .zip(&cols)
+                    .map(|(algo, col)| (algo.label().to_string(), col.summary()))
+                    .collect(),
+            };
+            (panel, cols)
         })
         .collect()
 }
 
 /// Computes, renders, and (optionally) writes `fig4.csv`.
 pub fn report(args: &CommonArgs) -> String {
-    let panels = compute(args);
+    let panels = compute_observed(args);
     let mut csv = panel_csv_table();
     let mut out = String::from(
         "Figure 4 — algorithm performance (avg completion-time ratio, non-preemptive, K=4)\n\n",
     );
-    for p in &panels {
+    for (p, cols) in &panels {
         out.push_str(&p.render());
+        out.push_str(&obs_section(
+            args,
+            ALL_ALGORITHMS
+                .into_iter()
+                .map(|a| a.label().to_string())
+                .zip(cols.iter()),
+        ));
         out.push('\n');
         p.csv_rows(&mut csv);
     }
@@ -91,6 +110,7 @@ mod tests {
             seed: 7,
             csv_dir: None,
             workers: None,
+            ..CommonArgs::default()
         }
     }
 
@@ -153,5 +173,21 @@ mod tests {
         for spec in panel_specs() {
             assert!(text.contains(&spec.label()));
         }
+        assert!(!text.contains("imbalance"), "no appendix without flags");
+    }
+
+    #[test]
+    fn observability_flags_append_the_per_cell_sections() {
+        let args = CommonArgs {
+            instrument: true,
+            utilization: true,
+            ..tiny_args()
+        };
+        let text = report(&args);
+        assert!(text.contains("assign µs"), "--instrument latency lines");
+        assert!(text.contains("imbalance"), "--utilization aggregate lines");
+        let (_, cols) = &compute_observed(&args)[0];
+        let obs = cols[0].obs.as_ref().expect("payload recorded");
+        assert_eq!(obs.util.runs, args.instances as u64);
     }
 }

@@ -15,7 +15,8 @@ use fhs_workloads::{resources::SystemSize, Family, Typing, WorkloadSpec};
 
 use crate::args::CommonArgs;
 use crate::chart;
-use crate::runner::{run_cell, Cell};
+use crate::figures::{obs_config, obs_section};
+use crate::runner::{run_sweep_observed, SweepCell, SweepCellResult};
 use crate::stats::Summary;
 use crate::table::Table;
 
@@ -44,39 +45,61 @@ fn base_specs() -> [(Family, Typing, SystemSize); 3] {
 
 /// Computes the three K-sweep panels.
 pub fn compute(args: &CommonArgs) -> Vec<KSweepPanel> {
+    compute_observed(args).into_iter().map(|(p, _)| p).collect()
+}
+
+/// Per panel, the rendered series plus, per `K`, the six observed sweep
+/// columns that produced them.
+pub type ObservedKSweep = Vec<(KSweepPanel, Vec<(usize, Vec<SweepCellResult>)>)>;
+
+/// As [`compute`], also returning the raw sweep columns per `K` — one
+/// instance-major sweep over the six algorithms per `(panel, K)` point,
+/// so all six bars of a point share one sampled instance stream.
+pub fn compute_observed(args: &CommonArgs) -> ObservedKSweep {
+    let cells: Vec<SweepCell> = ALL_ALGORITHMS
+        .into_iter()
+        .map(|algo| SweepCell::new(algo, Mode::NonPreemptive))
+        .collect();
     base_specs()
         .into_iter()
         .map(|(family, typing, size)| {
             let title = WorkloadSpec::new(family, typing, size, 1).label();
+            let by_k: Vec<(usize, Vec<SweepCellResult>)> = K_RANGE
+                .map(|k| {
+                    let spec = WorkloadSpec::new(family, typing, size, k);
+                    let cols = run_sweep_observed(
+                        &spec,
+                        &cells,
+                        args.instances,
+                        args.seed,
+                        args.workers,
+                        obs_config(args),
+                    );
+                    (k, cols)
+                })
+                .collect();
             let series = ALL_ALGORITHMS
                 .into_iter()
-                .map(|algo| {
-                    let sweep: Vec<Summary> = K_RANGE
-                        .map(|k| {
-                            let cell = Cell::new(
-                                WorkloadSpec::new(family, typing, size, k),
-                                algo,
-                                Mode::NonPreemptive,
-                            );
-                            run_cell(&cell, args.instances, args.seed, args.workers)
-                        })
-                        .collect();
+                .enumerate()
+                .map(|(i, algo)| {
+                    let sweep: Vec<Summary> =
+                        by_k.iter().map(|(_, cols)| cols[i].summary()).collect();
                     (algo, sweep)
                 })
                 .collect();
-            KSweepPanel { title, series }
+            (KSweepPanel { title, series }, by_k)
         })
         .collect()
 }
 
 /// Computes, renders, and (optionally) writes `fig5.csv`.
 pub fn report(args: &CommonArgs) -> String {
-    let panels = compute(args);
+    let panels = compute_observed(args);
     let mut out =
         String::from("Figure 5 — avg completion-time ratio as K varies 1..6 (non-preemptive)\n\n");
     let mut csv = Table::new(vec!["panel", "algorithm", "K", "mean", "ci95", "max", "n"]);
     let xs: Vec<String> = K_RANGE.map(|k| format!("K={k}")).collect();
-    for p in &panels {
+    for (p, by_k) in &panels {
         let series: Vec<(String, Vec<f64>)> = p
             .series
             .iter()
@@ -89,6 +112,15 @@ pub fn report(args: &CommonArgs) -> String {
             .collect();
         out.push_str(&format!("== {} ==\n", p.title));
         out.push_str(&chart::series_table("algorithm", &xs, &series));
+        for (k, cols) in by_k {
+            out.push_str(&obs_section(
+                args,
+                ALL_ALGORITHMS
+                    .into_iter()
+                    .map(|a| format!("{} K={k}", a.label()))
+                    .zip(cols.iter()),
+            ));
+        }
         out.push('\n');
         for (algo, sweep) in &p.series {
             for (k, s) in K_RANGE.zip(sweep) {
@@ -120,6 +152,7 @@ mod tests {
             seed: 13,
             csv_dir: None,
             workers: None,
+            ..CommonArgs::default()
         }
     }
 

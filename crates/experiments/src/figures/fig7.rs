@@ -10,7 +10,8 @@ use fhs_sim::Mode;
 use fhs_workloads::{resources::SystemSize, Family, Typing, WorkloadSpec};
 
 use crate::args::CommonArgs;
-use crate::runner::{run_cell, Cell};
+use crate::figures::{obs_config, obs_section};
+use crate::runner::{run_sweep_observed, SweepCell, SweepCellResult};
 use crate::stats::Summary;
 use crate::table::Table;
 
@@ -35,36 +36,77 @@ pub fn panel_specs() -> [WorkloadSpec; 3] {
     ]
 }
 
-/// Computes the three panels in both execution modes.
+/// The panel's twelve sweep columns: per algorithm, a non-preemptive cell
+/// followed by the paper's literal per-quantum preemptive cell
+/// (quantum = 1).
+fn mode_cells() -> Vec<SweepCell> {
+    ALL_ALGORITHMS
+        .into_iter()
+        .flat_map(|algo| {
+            [
+                SweepCell::new(algo, Mode::NonPreemptive),
+                SweepCell {
+                    algo,
+                    mode: Mode::Preemptive,
+                    quantum: Some(1),
+                },
+            ]
+        })
+        .collect()
+}
+
+/// Computes the three panels in both execution modes. Each panel is one
+/// instance-major sweep over all twelve (algorithm, mode) columns, so
+/// both modes compare on literally the same sampled instances and each
+/// instance's analysis artifacts are shared across all columns.
 pub fn compute(args: &CommonArgs) -> Vec<ModePanel> {
+    compute_observed(args).into_iter().map(|(p, _)| p).collect()
+}
+
+/// As [`compute`], also returning the raw sweep columns (np/preemptive
+/// interleaved per algorithm) with any recorded observability payloads.
+pub fn compute_observed(args: &CommonArgs) -> Vec<(ModePanel, Vec<SweepCellResult>)> {
+    let cells = mode_cells();
     panel_specs()
         .into_iter()
-        .map(|spec| ModePanel {
-            title: spec.label(),
-            rows: ALL_ALGORITHMS
-                .into_iter()
-                .map(|algo| {
-                    let run = |mode, quantum| {
-                        let mut cell = Cell::new(spec, algo, mode);
-                        cell.quantum = quantum;
-                        run_cell(&cell, args.instances, args.seed, args.workers)
-                    };
-                    // Preemptive cells use the paper's literal per-quantum
-                    // scheduler (quantum = 1).
-                    (
-                        algo,
-                        run(Mode::NonPreemptive, None),
-                        run(Mode::Preemptive, Some(1)),
-                    )
-                })
-                .collect(),
+        .map(|spec| {
+            let cols = run_sweep_observed(
+                &spec,
+                &cells,
+                args.instances,
+                args.seed,
+                args.workers,
+                obs_config(args),
+            );
+            let panel = ModePanel {
+                title: spec.label(),
+                rows: ALL_ALGORITHMS
+                    .into_iter()
+                    .zip(cols.chunks(2))
+                    .map(|(algo, pair)| (algo, pair[0].summary(), pair[1].summary()))
+                    .collect(),
+            };
+            (panel, cols)
+        })
+        .collect()
+}
+
+/// Labels for the twelve sweep columns of [`compute_observed`].
+fn mode_labels() -> Vec<String> {
+    ALL_ALGORITHMS
+        .into_iter()
+        .flat_map(|algo| {
+            [
+                format!("{} np", algo.label()),
+                format!("{} pre(q=1)", algo.label()),
+            ]
         })
         .collect()
 }
 
 /// Computes, renders, and (optionally) writes `fig7.csv`.
 pub fn report(args: &CommonArgs) -> String {
-    let panels = compute(args);
+    let panels = compute_observed(args);
     let mut out = String::from(
         "Figure 7 — non-preemptive vs preemptive (avg completion-time ratio, K=4)\n\n",
     );
@@ -77,7 +119,7 @@ pub fn report(args: &CommonArgs) -> String {
         "preemptive_ci95",
         "n",
     ]);
-    for p in &panels {
+    for (p, cols) in &panels {
         let mut t = Table::new(vec!["algorithm", "non-preemptive", "preemptive", "delta"]);
         for (algo, np, pe) in &p.rows {
             t.push_row(vec![
@@ -96,7 +138,12 @@ pub fn report(args: &CommonArgs) -> String {
                 np.n.to_string(),
             ]);
         }
-        out.push_str(&format!("== {} ==\n{}\n", p.title, t.render()));
+        out.push_str(&format!("== {} ==\n{}", p.title, t.render()));
+        out.push_str(&obs_section(
+            args,
+            mode_labels().into_iter().zip(cols.iter()),
+        ));
+        out.push('\n');
     }
     if let Err(e) = args.write_csv("fig7", &csv.to_csv()) {
         out.push_str(&format!("(csv write failed: {e})\n"));
@@ -114,6 +161,7 @@ mod tests {
             seed: 17,
             csv_dir: None,
             workers: None,
+            ..CommonArgs::default()
         }
     }
 

@@ -14,8 +14,8 @@ use fhs_sim::Mode;
 use fhs_workloads::{resources::SystemSize, Family, Typing, WorkloadSpec};
 
 use crate::args::CommonArgs;
-use crate::figures::{panel_csv_table, Panel};
-use crate::runner::{run_cell, Cell};
+use crate::figures::{obs_config, obs_section, panel_csv_table, Panel};
+use crate::runner::{run_sweep_observed, SweepCell, SweepCellResult};
 
 /// Default instances per cell for the binary (paper: 5000).
 pub const DEFAULT_INSTANCES: usize = 300;
@@ -36,35 +36,59 @@ pub fn algorithms() -> Vec<Algorithm> {
         .collect()
 }
 
-/// Computes the three panels (summaries carry both mean and max).
+/// Computes the three panels (summaries carry both mean and max). The
+/// seven bars share one instance stream per panel (instance-major sweep).
 pub fn compute(args: &CommonArgs) -> Vec<Panel> {
+    compute_observed(args).into_iter().map(|(p, _)| p).collect()
+}
+
+/// As [`compute`], also returning the raw sweep columns with any recorded
+/// observability payloads.
+pub fn compute_observed(args: &CommonArgs) -> Vec<(Panel, Vec<SweepCellResult>)> {
+    let cells: Vec<SweepCell> = algorithms()
+        .into_iter()
+        .map(|algo| SweepCell::new(algo, Mode::NonPreemptive))
+        .collect();
     panel_specs()
         .into_iter()
-        .map(|spec| Panel {
-            title: spec.label(),
-            rows: algorithms()
-                .into_iter()
-                .map(|algo| {
-                    let cell = Cell::new(spec, algo, Mode::NonPreemptive);
-                    (
-                        algo.label().to_string(),
-                        run_cell(&cell, args.instances, args.seed, args.workers),
-                    )
-                })
-                .collect(),
+        .map(|spec| {
+            let cols = run_sweep_observed(
+                &spec,
+                &cells,
+                args.instances,
+                args.seed,
+                args.workers,
+                obs_config(args),
+            );
+            let panel = Panel {
+                title: spec.label(),
+                rows: algorithms()
+                    .into_iter()
+                    .zip(&cols)
+                    .map(|(algo, col)| (algo.label().to_string(), col.summary()))
+                    .collect(),
+            };
+            (panel, cols)
         })
         .collect()
 }
 
 /// Computes, renders, and (optionally) writes `fig8.csv`.
 pub fn report(args: &CommonArgs) -> String {
-    let panels = compute(args);
+    let panels = compute_observed(args);
     let mut csv = panel_csv_table();
     let mut out = String::from(
         "Figure 8 — MQB with partial/imprecise information (avg and max ratio, non-preemptive, K=4)\n\n",
     );
-    for p in &panels {
+    for (p, cols) in &panels {
         out.push_str(&p.render());
+        out.push_str(&obs_section(
+            args,
+            algorithms()
+                .into_iter()
+                .map(|a| a.label().to_string())
+                .zip(cols.iter()),
+        ));
         out.push('\n');
         p.csv_rows(&mut csv);
     }
@@ -84,6 +108,7 @@ mod tests {
             seed: 29,
             csv_dir: None,
             workers: None,
+            ..CommonArgs::default()
         }
     }
 

@@ -122,6 +122,7 @@ mod tests {
             seed: 77,
             csv_dir: None,
             workers: None,
+            ..CommonArgs::default()
         }
     }
 

@@ -167,6 +167,7 @@ mod tests {
             seed: 31,
             csv_dir: None,
             workers: None,
+            ..CommonArgs::default()
         }
     }
 

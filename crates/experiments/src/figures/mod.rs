@@ -5,12 +5,17 @@ pub mod fig5;
 pub mod fig6;
 pub mod fig7;
 pub mod fig8;
+pub mod fig_util;
 pub mod flex_binding;
 pub mod lower_bound;
 
+use crate::args::CommonArgs;
 use crate::chart;
+use crate::obsout;
+use crate::runner::SweepCellResult;
 use crate::stats::Summary;
 use crate::table::Table;
+use fhs_obs::ObsConfig;
 
 /// One panel of a bar-chart figure: a workload with one summary per
 /// algorithm (bar).
@@ -64,6 +69,48 @@ impl Panel {
             ]);
         }
     }
+}
+
+/// The engine recording channels implied by a figure binary's
+/// `--instrument` / `--utilization` flags. Event tracing stays off here —
+/// structured traces are the `sweep` binary's job (`--trace-out`).
+pub fn obs_config(args: &CommonArgs) -> ObsConfig {
+    ObsConfig {
+        utilization: args.utilization,
+        latency: args.instrument,
+        events: false,
+        event_cap: 0,
+    }
+}
+
+/// Renders the observability appendix of one panel: per labeled cell, an
+/// `--instrument` counters + latency-percentile block and/or a
+/// `--utilization` aggregate line. Empty when both flags are off.
+pub fn obs_section<'a>(
+    args: &CommonArgs,
+    rows: impl IntoIterator<Item = (String, &'a SweepCellResult)>,
+) -> String {
+    if !args.instrument && !args.utilization {
+        return String::new();
+    }
+    let mut out = String::new();
+    for (label, col) in rows {
+        if args.instrument {
+            out.push_str(&format!("  {label:<18} {}\n", col.stats));
+            if let Some(o) = &col.obs {
+                out.push_str(&format!("  {:<18} {}\n", "", obsout::latency_summary(o)));
+            }
+        }
+        if args.utilization {
+            if let Some(o) = &col.obs {
+                out.push_str(&format!(
+                    "  {label:<18} {}\n",
+                    obsout::utilization_summary(o)
+                ));
+            }
+        }
+    }
+    out
 }
 
 /// The shared CSV header matching [`Panel::csv_rows`].
@@ -127,6 +174,7 @@ mod csv_dir_tests {
             seed: 3,
             csv_dir: Some(dir.clone()),
             workers: Some(1),
+            ..CommonArgs::default()
         };
         let _ = super::fig4::report(&args);
         let csv = std::fs::read_to_string(dir.join("fig4.csv")).expect("csv written");

@@ -22,9 +22,12 @@
 pub mod args;
 pub mod chart;
 pub mod figures;
+pub mod obsout;
 pub mod runner;
 pub mod stats;
 pub mod table;
 
-pub use runner::{run_cell, run_sweep, Cell, SweepCell, SweepCellResult};
+pub use runner::{
+    run_cell, run_sweep, run_sweep_observed, Cell, CellObs, SweepCell, SweepCellResult,
+};
 pub use stats::Summary;

@@ -1,0 +1,248 @@
+//! Structured observability export and shared rendering.
+//!
+//! * [`metrics_line`] — one line of the stable metrics-JSONL schema
+//!   behind `sweep --metrics-out` (hand-rolled JSON; the build
+//!   environment has no serde). Every line carries a `version` field so
+//!   downstream tooling can detect schema changes.
+//! * [`latency_summary`] / [`utilization_summary`] — the human-readable
+//!   per-cell appendix lines shared by `sweep --instrument` /
+//!   `--utilization` and the figure binaries' `--instrument` /
+//!   `--utilization` flags.
+
+use fhs_obs::json::json_string;
+use fhs_obs::HistSnapshot;
+use fhs_sim::RunStats;
+
+use crate::runner::CellObs;
+use crate::stats::Summary;
+
+/// Version tag stamped into every metrics-JSONL line; bumped on any
+/// backwards-incompatible change to the line layout.
+pub const METRICS_SCHEMA_VERSION: u64 = 1;
+
+/// Formats an `f64` as a JSON number. Non-finite values become `null`
+/// so a degenerate statistic can never produce an unparseable file.
+fn num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".into()
+    }
+}
+
+/// `{"count":…,"p50":…,"p90":…,"p99":…,"max":…}` for one histogram.
+fn hist_json(h: &HistSnapshot) -> String {
+    let (p50, p90, p99, max) = h.percentiles();
+    format!(
+        "{{\"count\":{},\"p50\":{p50},\"p90\":{p90},\"p99\":{p99},\"max\":{max}}}",
+        h.count
+    )
+}
+
+/// One metrics-JSONL line for a sweep cell: identity (`cell`, `workload`,
+/// `mode`, `instances`, `seed`), the ratio summary, the aggregated engine
+/// counters, and — when recording ran — the latency-histogram percentiles
+/// and utilization aggregates. The line is self-contained and versioned;
+/// parse it back with [`fhs_obs::json::parse`].
+#[allow(clippy::too_many_arguments)]
+pub fn metrics_line(
+    cell: &str,
+    workload: &str,
+    mode: &str,
+    instances: usize,
+    seed: u64,
+    summary: &Summary,
+    stats: &RunStats,
+    obs: Option<&CellObs>,
+) -> String {
+    let mut out = String::with_capacity(512);
+    out.push_str(&format!(
+        "{{\"version\":{METRICS_SCHEMA_VERSION},\"cell\":{},\"workload\":{},\"mode\":{},\"instances\":{instances},\"seed\":{seed}",
+        json_string(cell),
+        json_string(workload),
+        json_string(mode),
+    ));
+    out.push_str(&format!(
+        ",\"ratio\":{{\"n\":{},\"mean\":{},\"min\":{},\"max\":{},\"std\":{},\"ci95\":{},\"p50\":{},\"p95\":{}}}",
+        summary.n,
+        num(summary.mean),
+        num(summary.min),
+        num(summary.max),
+        num(summary.std),
+        num(summary.ci95),
+        num(summary.p50),
+        num(summary.p95),
+    ));
+    out.push_str(&format!(
+        ",\"stats\":{{\"epochs\":{},\"tasks_assigned\":{},\"releases\":{},\"starts\":{},\"completions\":{},\"progress_updates\":{},\"peak_queue_depth\":{},\"assign_nanos\":{},\"engine_nanos\":{},\"workspace_reuses\":{},\"workspace_cold_inits\":{}}}",
+        stats.epochs,
+        stats.tasks_assigned,
+        stats.transitions.releases,
+        stats.transitions.starts,
+        stats.transitions.completions,
+        stats.transitions.progress_updates,
+        stats.transitions.peak_queue_depth,
+        stats.assign_nanos,
+        stats.engine_nanos,
+        stats.workspace_reuses,
+        stats.workspace_cold_inits,
+    ));
+    if let Some(o) = obs {
+        out.push_str(&format!(
+            ",\"latency\":{{\"assign_ns\":{},\"epoch_ns\":{},\"queue_depth\":{}}}",
+            hist_json(&o.assign_ns),
+            hist_json(&o.epoch_ns),
+            hist_json(&o.queue_depth),
+        ));
+        let k = o.util.sum_util.len();
+        let per_type: Vec<String> = (0..k).map(|a| num(o.util.mean_util(a))).collect();
+        let drain: Vec<String> = (0..k).map(|a| num(o.util.mean_drain_frac(a))).collect();
+        let mean = if k == 0 {
+            0.0
+        } else {
+            (0..k).map(|a| o.util.mean_util(a)).sum::<f64>() / k as f64
+        };
+        out.push_str(&format!(
+            ",\"utilization\":{{\"runs\":{},\"mean\":{},\"imbalance\":{},\"cov\":{},\"per_type\":[{}],\"drain_frac\":[{}]}}",
+            o.util.runs,
+            num(mean),
+            num(o.util.mean_imbalance()),
+            num(o.util.mean_cov()),
+            per_type.join(","),
+            drain.join(","),
+        ));
+    }
+    out.push('}');
+    out
+}
+
+/// One-line latency appendix for a cell: assign / inter-epoch wall-time
+/// percentiles (µs) and ready-queue depth percentiles, from the merged
+/// histograms.
+pub fn latency_summary(o: &CellObs) -> String {
+    let us = |ns: u64| format!("{:.1}", ns as f64 / 1e3);
+    let (a50, a90, a99, amax) = o.assign_ns.percentiles();
+    let (e50, e90, e99, emax) = o.epoch_ns.percentiles();
+    let (d50, d90, d99, dmax) = o.queue_depth.percentiles();
+    format!(
+        "assign µs p50/p90/p99/max {}/{}/{}/{} | epoch µs {}/{}/{}/{} | queue depth {d50}/{d90}/{d99}/{dmax}",
+        us(a50),
+        us(a90),
+        us(a99),
+        us(amax),
+        us(e50),
+        us(e90),
+        us(e99),
+        us(emax),
+    )
+}
+
+/// One-line utilization appendix for a cell: per-type mean utilization,
+/// imbalance index (max−min), coefficient of variation, and per-type
+/// drain fraction (time-to-drain over makespan), all averaged over the
+/// cell's instances.
+pub fn utilization_summary(o: &CellObs) -> String {
+    let k = o.util.sum_util.len();
+    let per: Vec<String> = (0..k)
+        .map(|a| format!("{:.1}%", 100.0 * o.util.mean_util(a)))
+        .collect();
+    let drain: Vec<String> = (0..k)
+        .map(|a| format!("{:.2}", o.util.mean_drain_frac(a)))
+        .collect();
+    format!(
+        "util [{}] | imbalance {:.3} | CoV {:.3} | drain [{}]",
+        per.join(" "),
+        o.util.mean_imbalance(),
+        o.util.mean_cov(),
+        drain.join(" "),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{run_sweep_observed, SweepCell};
+    use fhs_core::Algorithm;
+    use fhs_obs::json::parse;
+    use fhs_obs::ObsConfig;
+    use fhs_sim::Mode;
+    use fhs_workloads::{resources::SystemSize, Family, Typing, WorkloadSpec};
+
+    fn observed_cell() -> (Summary, RunStats, CellObs) {
+        let spec = WorkloadSpec::new(Family::Ep, Typing::Layered, SystemSize::Small, 3);
+        let cells = [SweepCell::new(Algorithm::Mqb, Mode::NonPreemptive)];
+        let mut out = run_sweep_observed(&spec, &cells, 6, 11, Some(2), ObsConfig::all());
+        let col = out.remove(0);
+        let summary = col.summary();
+        (summary, col.stats, col.obs.expect("recorded"))
+    }
+
+    #[test]
+    fn metrics_line_is_valid_versioned_json() {
+        let (summary, stats, obs) = observed_cell();
+        let line = metrics_line(
+            "MQB",
+            "Small Layered EP",
+            "NonPreemptive",
+            6,
+            11,
+            &summary,
+            &stats,
+            Some(&obs),
+        );
+        assert!(!line.contains('\n'), "one line per cell");
+        let v = parse(&line).expect("line parses");
+        assert_eq!(
+            v.get("version").and_then(|x| x.as_u64()),
+            Some(METRICS_SCHEMA_VERSION)
+        );
+        assert_eq!(v.get("cell").and_then(|x| x.as_str()), Some("MQB"));
+        assert_eq!(v.get("instances").and_then(|x| x.as_u64()), Some(6));
+        let ratio = v.get("ratio").expect("ratio block");
+        assert!(ratio.get("mean").and_then(|x| x.as_f64()).unwrap() >= 1.0);
+        let lat = v.get("latency").expect("latency block");
+        assert!(
+            lat.get("assign_ns")
+                .and_then(|h| h.get("count"))
+                .and_then(|x| x.as_u64())
+                .unwrap()
+                > 0
+        );
+        let util = v.get("utilization").expect("utilization block");
+        assert_eq!(util.get("runs").and_then(|x| x.as_u64()), Some(6));
+        assert_eq!(
+            util.get("per_type")
+                .and_then(|x| x.as_array())
+                .map(|a| a.len()),
+            Some(3)
+        );
+    }
+
+    #[test]
+    fn metrics_line_without_obs_still_parses() {
+        let (summary, stats, _) = observed_cell();
+        let line = metrics_line("KGreedy", "w", "Preemptive", 6, 11, &summary, &stats, None);
+        let v = parse(&line).expect("line parses");
+        assert!(v.get("latency").is_none());
+        assert!(v.get("utilization").is_none());
+        assert!(v.get("stats").is_some());
+    }
+
+    #[test]
+    fn non_finite_values_serialize_as_null() {
+        assert_eq!(num(f64::NAN), "null");
+        assert_eq!(num(f64::INFINITY), "null");
+        assert_eq!(num(1.5), "1.5");
+    }
+
+    #[test]
+    fn text_summaries_mention_the_headline_numbers() {
+        let (_, _, obs) = observed_cell();
+        let lat = latency_summary(&obs);
+        assert!(lat.contains("assign µs"));
+        assert!(lat.contains("queue depth"));
+        let util = utilization_summary(&obs);
+        assert!(util.contains("imbalance"));
+        assert!(util.contains('%'));
+    }
+}

@@ -30,6 +30,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use fhs_core::{make_policy, Algorithm};
+use fhs_obs::{HistSnapshot, ObsConfig, RunObs, TraceCell, UtilSummary};
 use fhs_sim::{metrics, MachineConfig, Mode, Policy, RunOptions, RunStats, Workspace};
 use fhs_workloads::WorkloadSpec;
 use kdag::precompute::Artifacts;
@@ -164,14 +165,26 @@ pub fn run_cell_ratios(
 /// As [`run_cell_ratios`], but additionally returns each instance's engine
 /// counters plus their aggregate ([`RunStats::merge`] over all instances:
 /// counts and wall times sum, peak queue depth takes the maximum).
+///
+/// The aggregate is reduced *on the workers* via [`fhs_par::Pool::map_fold`]:
+/// each worker folds the instances it evaluates into a chunk-local
+/// accumulator and the caller merges those in input order, so no post-pass
+/// over the per-instance vector is needed and the totals are identical for
+/// every worker count ([`RunStats::merge`] is associative with the default
+/// as identity).
 pub fn run_cell_instrumented(
     cell: &Cell,
     instances: usize,
     base_seed: u64,
     workers: Option<usize>,
 ) -> (Vec<(f64, RunStats)>, RunStats) {
+    #[derive(Default)]
+    struct Acc {
+        per: Vec<(f64, RunStats)>,
+        total: RunStats,
+    }
     let cell = *cell;
-    let eval = move |i: u64| -> (f64, RunStats) {
+    let eval = move |i: u64| -> Acc {
         let seed = instance_seed(base_seed, i);
         let (job, cfg) = cell.spec.sample(seed);
         let mut opts = RunOptions::seeded(seed);
@@ -180,15 +193,22 @@ pub fn run_cell_instrumented(
             let (ws, policy) = ctx.parts(cell.algo);
             let (result, stats) =
                 metrics::evaluate_instrumented_in(ws, &job, &cfg, policy, cell.mode, &opts);
-            (result.ratio, stats)
+            Acc {
+                per: vec![(result.ratio, stats)],
+                total: stats,
+            }
         })
     };
-    let per_instance = pool_map(workers, instances, eval);
-    let mut total = RunStats::default();
-    for (_, stats) in &per_instance {
-        total.merge(stats);
-    }
-    (per_instance, total)
+    let merge = |a: &mut Acc, b: Acc| {
+        a.per.extend(b.per);
+        a.total.merge(&b.total);
+    };
+    let items: Vec<u64> = (0..instances as u64).collect();
+    let acc = match workers {
+        Some(w) => fhs_par::pool().map_fold_with(w, items, eval, merge),
+        None => fhs_par::pool().map_fold(items, eval, merge),
+    };
+    (acc.per, acc.total)
 }
 
 /// One `(algorithm, mode, cadence)` column of an instance-major sweep; the
@@ -214,14 +234,66 @@ impl SweepCell {
     }
 }
 
+/// Aggregated observability payload for one sweep column: latency
+/// histograms merged over every instance (and therefore across pool
+/// workers — [`HistSnapshot::merge`] is exact and order-independent),
+/// utilization means, and the column's event trace (recorded for the
+/// first instance only, so the payload stays bounded at any sweep size).
+#[derive(Clone, Debug, Default)]
+pub struct CellObs {
+    /// Instances that contributed a recording.
+    pub runs: u64,
+    /// Per-epoch `Policy::assign` wall latency (ns), merged over instances.
+    pub assign_ns: HistSnapshot,
+    /// Inter-epoch wall durations within the engine loop (ns).
+    pub epoch_ns: HistSnapshot,
+    /// Ready-queue depth samples (one per type per epoch).
+    pub queue_depth: HistSnapshot,
+    /// Per-type utilization / imbalance aggregates (means over instances).
+    pub util: UtilSummary,
+    /// Structured event trace of the column's first recorded instance
+    /// (`pid`/`name` are left blank for the exporter to fill).
+    pub trace: Option<TraceCell>,
+}
+
+impl CellObs {
+    /// Folds one run's payload in. Callers must absorb runs in instance
+    /// order: the utilization sums are `f64` additions, and only a fixed
+    /// fold order reproduces bit-identical aggregates for every worker
+    /// count (the histogram merges are exact in any order).
+    pub fn absorb(&mut self, run: &RunObs) {
+        self.runs += 1;
+        self.assign_ns.merge(&run.assign_ns);
+        self.epoch_ns.merge(&run.epoch_ns);
+        self.queue_depth.merge(&run.queue_depth);
+        if let Some(u) = &run.util {
+            self.util.add(u);
+        }
+        if self.trace.is_none() && !run.events.is_empty() {
+            self.trace = Some(TraceCell {
+                pid: 0,
+                name: String::new(),
+                k: run.k,
+                procs: run.procs.clone(),
+                events: run.events.clone(),
+                dropped: run.events_dropped,
+            });
+        }
+    }
+}
+
 /// Per-column results of [`run_sweep`]: the raw per-instance ratios (in
-/// instance order, so columns pair up) and the aggregated engine counters.
+/// instance order, so columns pair up), the aggregated engine counters,
+/// and — when recording was requested via [`run_sweep_observed`] — the
+/// merged observability payload.
 #[derive(Clone, Debug)]
 pub struct SweepCellResult {
     /// Completion-time ratios, one per instance, in instance order.
     pub ratios: Vec<f64>,
     /// [`RunStats::merge`] over the column's instances.
     pub stats: RunStats,
+    /// Merged observability payload (`None` when recording was off).
+    pub obs: Option<CellObs>,
 }
 
 impl SweepCellResult {
@@ -237,16 +309,42 @@ fn transpose(
     instances: usize,
     per_instance: Vec<Vec<(f64, RunStats)>>,
 ) -> Vec<SweepCellResult> {
+    transpose_observed(
+        columns,
+        instances,
+        per_instance
+            .into_iter()
+            .map(|row| row.into_iter().map(|(r, s)| (r, s, None)).collect())
+            .collect(),
+    )
+}
+
+/// One instance's runs, cell by cell: ratio, engine counters, and the
+/// optional observability payload.
+type InstanceRuns = Vec<(f64, RunStats, Option<Box<RunObs>>)>;
+
+/// As [`transpose`], folding each instance's observability payload into
+/// its column in instance order (see [`CellObs::absorb`] for why the
+/// order matters).
+fn transpose_observed(
+    columns: usize,
+    instances: usize,
+    per_instance: Vec<InstanceRuns>,
+) -> Vec<SweepCellResult> {
     let mut out: Vec<SweepCellResult> = (0..columns)
         .map(|_| SweepCellResult {
             ratios: Vec::with_capacity(instances),
             stats: RunStats::default(),
+            obs: None,
         })
         .collect();
-    for row in &per_instance {
-        for (col, (ratio, stats)) in out.iter_mut().zip(row) {
-            col.ratios.push(*ratio);
-            col.stats.merge(stats);
+    for row in per_instance {
+        for (col, (ratio, stats, obs)) in out.iter_mut().zip(row) {
+            col.ratios.push(ratio);
+            col.stats.merge(&stats);
+            if let Some(run) = obs {
+                col.obs.get_or_insert_with(CellObs::default).absorb(&run);
+            }
         }
     }
     out
@@ -273,6 +371,34 @@ pub fn run_sweep(
     base_seed: u64,
     workers: Option<usize>,
 ) -> Vec<SweepCellResult> {
+    run_sweep_observed(
+        spec,
+        cells,
+        instances,
+        base_seed,
+        workers,
+        ObsConfig::default(),
+    )
+}
+
+/// As [`run_sweep`], recording the observability channels selected by
+/// `observe` along the way: per-type utilization timelines, assign/epoch
+/// latency and queue-depth histograms, and a structured event trace.
+///
+/// Recording is observe-only — the ratios and logical counters are
+/// bit-identical to [`run_sweep`] with recording off (property-tested at
+/// the engine level) — and bounded: histograms are fixed-size and merged
+/// across instances, and events are captured for **instance 0 only**, so
+/// one trace per column survives regardless of the sweep size. Per-column
+/// payloads land on [`SweepCellResult::obs`].
+pub fn run_sweep_observed(
+    spec: &WorkloadSpec,
+    cells: &[SweepCell],
+    instances: usize,
+    base_seed: u64,
+    workers: Option<usize>,
+    observe: ObsConfig,
+) -> Vec<SweepCellResult> {
     // Artifacts are only consumed by offline policies; a sweep of purely
     // online columns (e.g. KGreedy alone) skips the precompute entirely.
     let any_offline = cells.iter().any(|c| c.algo.is_offline());
@@ -286,35 +412,47 @@ pub fn run_sweep(
     // evaluation depends only on its shared, read-only instance bundle).
     let team = workers.unwrap_or_else(|| fhs_par::pool().workers()).max(1);
     if instances < team.saturating_mul(4) && cells.len() > 1 {
-        return run_sweep_fine(spec, cells, instances, base_seed, workers, any_offline);
+        return run_sweep_fine(
+            spec,
+            cells,
+            instances,
+            base_seed,
+            workers,
+            any_offline,
+            observe,
+        );
     }
     let spec = *spec;
     let cols: Arc<[SweepCell]> = cells.into();
-    let eval = move |i: u64| -> Vec<(f64, RunStats)> {
+    let eval = move |i: u64| -> Vec<(f64, RunStats, Option<Box<RunObs>>)> {
         let seed = instance_seed(base_seed, i);
         let (job, cfg) = spec.sample(seed);
         let artifacts = any_offline.then(|| Arc::new(Artifacts::compute(&job)));
+        // Events for the first instance only: one bounded trace per cell.
+        let mut oc = observe;
+        oc.events &= i == 0;
         with_worker_ctx(|ctx| {
             cols.iter()
                 .map(|cell| {
                     let mut opts = RunOptions::seeded(seed);
                     opts.quantum = cell.quantum;
+                    opts.observe = oc;
                     let (ws, policy) = ctx.parts(cell.algo);
-                    let (result, stats) = match &artifacts {
-                        Some(a) => metrics::evaluate_instrumented_with_artifacts_in(
+                    let (result, stats, obs) = match &artifacts {
+                        Some(a) => metrics::evaluate_observed_with_artifacts_in(
                             ws, &job, &cfg, policy, cell.mode, &opts, a,
                         ),
-                        None => metrics::evaluate_instrumented_in(
-                            ws, &job, &cfg, policy, cell.mode, &opts,
-                        ),
+                        None => {
+                            metrics::evaluate_observed_in(ws, &job, &cfg, policy, cell.mode, &opts)
+                        }
                     };
-                    (result.ratio, stats)
+                    (result.ratio, stats, obs)
                 })
                 .collect()
         })
     };
     let per_instance = pool_map(workers, instances, eval);
-    transpose(cells.len(), instances, per_instance)
+    transpose_observed(cells.len(), instances, per_instance)
 }
 
 /// One prepared instance of the fine-grained sweep: the shared job,
@@ -333,6 +471,7 @@ fn run_sweep_fine(
     base_seed: u64,
     workers: Option<usize>,
     any_offline: bool,
+    observe: ObsConfig,
 ) -> Vec<SweepCellResult> {
     let spec = *spec;
     let prep = move |i: u64| -> PreparedInstance {
@@ -348,29 +487,36 @@ fn run_sweep_fine(
     let pairs: Vec<(usize, usize)> = (0..instances)
         .flat_map(|i| (0..ncells).map(move |c| (i, c)))
         .collect();
-    let eval = move |(i, c): (usize, usize)| -> (f64, RunStats) {
+    let eval = move |(i, c): (usize, usize)| -> (f64, RunStats, Option<Box<RunObs>>) {
         let (job, cfg, artifacts, seed) = &*prepared[i];
         let cell = cols[c];
         let mut opts = RunOptions::seeded(*seed);
         opts.quantum = cell.quantum;
+        // Same first-instance-only event gate as the coarse path.
+        opts.observe = observe;
+        opts.observe.events &= i == 0;
         with_worker_ctx(|ctx| {
             let (ws, policy) = ctx.parts(cell.algo);
-            let (result, stats) = match artifacts {
-                Some(a) => metrics::evaluate_instrumented_with_artifacts_in(
+            let (result, stats, obs) = match artifacts {
+                Some(a) => metrics::evaluate_observed_with_artifacts_in(
                     ws, job, cfg, policy, cell.mode, &opts, a,
                 ),
-                None => metrics::evaluate_instrumented_in(ws, job, cfg, policy, cell.mode, &opts),
+                None => metrics::evaluate_observed_in(ws, job, cfg, policy, cell.mode, &opts),
             };
-            (result.ratio, stats)
+            (result.ratio, stats, obs)
         })
     };
-    let flat = match workers {
+    let mut flat = match workers {
         Some(w) => fhs_par::pool().map_with(w, pairs, eval),
         None => fhs_par::pool().map(pairs, eval),
     };
-    let per_instance: Vec<Vec<(f64, RunStats)>> =
-        flat.chunks(ncells).map(|row| row.to_vec()).collect();
-    transpose(ncells, instances, per_instance)
+    let mut per_instance: Vec<InstanceRuns> = Vec::with_capacity(instances);
+    while !flat.is_empty() {
+        let rest = flat.split_off(ncells.min(flat.len()));
+        per_instance.push(flat);
+        flat = rest;
+    }
+    transpose_observed(ncells, instances, per_instance)
 }
 
 /// The pre-pool instance-major path: scoped threads spawned per call, a
@@ -590,6 +736,57 @@ mod tests {
             assert_eq!(f.stats.tasks_assigned, c.stats.tasks_assigned);
             assert_eq!(f.stats.transitions, c.stats.transitions);
         }
+    }
+
+    #[test]
+    fn observed_sweep_is_observe_only_and_carries_payloads() {
+        let spec = WorkloadSpec::new(Family::Ir, Typing::Layered, SystemSize::Small, 3);
+        let cells = [
+            SweepCell::new(Algorithm::Mqb, Mode::NonPreemptive),
+            SweepCell::new(Algorithm::KGreedy, Mode::Preemptive),
+        ];
+        let plain = run_sweep(&spec, &cells, 8, 5, Some(2));
+        let observed = run_sweep_observed(&spec, &cells, 8, 5, Some(2), ObsConfig::all());
+        for (p, o) in plain.iter().zip(&observed) {
+            assert_eq!(p.ratios, o.ratios, "recording must not perturb results");
+            assert_eq!(p.stats.epochs, o.stats.epochs);
+            assert_eq!(p.stats.tasks_assigned, o.stats.tasks_assigned);
+            assert_eq!(p.stats.transitions, o.stats.transitions);
+            assert!(p.obs.is_none(), "no payload without recording");
+            let obs = o.obs.as_ref().expect("payload present when recording");
+            assert_eq!(obs.runs, 8);
+            assert_eq!(obs.util.runs, 8);
+            // One assign sample per epoch; one depth sample per type per
+            // epoch — across all instances.
+            assert_eq!(obs.assign_ns.count, o.stats.epochs);
+            assert_eq!(obs.queue_depth.count, o.stats.epochs * 3);
+            let trace = obs.trace.as_ref().expect("instance-0 trace captured");
+            assert_eq!(trace.k, 3);
+            assert!(!trace.events.is_empty());
+        }
+    }
+
+    #[test]
+    fn observed_aggregates_are_worker_count_independent() {
+        // The utilization sums are f64 folds; absorbing runs in instance
+        // order (transpose) must make them bit-identical for any team.
+        let spec = WorkloadSpec::new(Family::Ep, Typing::Layered, SystemSize::Small, 3);
+        let cells = [SweepCell::new(Algorithm::LSpan, Mode::NonPreemptive)];
+        let oc = ObsConfig {
+            utilization: true,
+            ..ObsConfig::default()
+        };
+        let seq = run_sweep_observed(&spec, &cells, 10, 23, Some(1), oc);
+        let par = run_sweep_observed(&spec, &cells, 10, 23, Some(4), oc);
+        let (a, b) = (seq[0].obs.as_ref().unwrap(), par[0].obs.as_ref().unwrap());
+        assert_eq!(a.util.sum_util, b.util.sum_util);
+        assert_eq!(a.util.sum_drain_frac, b.util.sum_drain_frac);
+        assert_eq!(
+            a.util.sum_imbalance.to_bits(),
+            b.util.sum_imbalance.to_bits()
+        );
+        assert_eq!(a.util.sum_cov.to_bits(), b.util.sum_cov.to_bits());
+        assert!(a.trace.is_none(), "events were not requested");
     }
 
     #[test]

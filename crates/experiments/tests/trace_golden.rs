@@ -1,0 +1,121 @@
+//! Golden tests for the structured trace export: a real sweep's trace
+//! must be a valid Chrome-trace document (parseable JSON, named
+//! processes/lanes, monotonic timestamps, balanced B/E span pairs) and a
+//! valid JSONL stream with matching event counts.
+
+use fhs_experiments::runner::{run_sweep_observed, SweepCell};
+use fhs_obs::json::{parse, Value};
+use fhs_obs::{chrome_trace_json, events_jsonl, ObsConfig, TraceCell};
+use fhs_sim::Mode;
+use fhs_workloads::{resources::SystemSize, Family, Typing, WorkloadSpec};
+
+/// One small sweep with tracing on; returns named trace cells exactly as
+/// the `sweep --trace-out` binary builds them.
+fn traced_cells() -> Vec<TraceCell> {
+    let spec = WorkloadSpec::new(Family::Ir, Typing::Layered, SystemSize::Small, 3);
+    let cells = [
+        SweepCell::new(fhs_core::Algorithm::KGreedy, Mode::NonPreemptive),
+        SweepCell::new(fhs_core::Algorithm::Mqb, Mode::NonPreemptive),
+    ];
+    let observe = ObsConfig {
+        events: true,
+        ..ObsConfig::default()
+    };
+    let cols = run_sweep_observed(&spec, &cells, 3, 41, Some(2), observe);
+    cols.iter()
+        .enumerate()
+        .map(|(i, col)| {
+            let t = col
+                .obs
+                .as_ref()
+                .and_then(|o| o.trace.as_ref())
+                .expect("tracing was on");
+            TraceCell {
+                pid: i as u32 + 1,
+                name: format!("cell {i} np"),
+                ..t.clone()
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn chrome_trace_is_valid_monotonic_and_balanced() {
+    let cells = traced_cells();
+    let doc = chrome_trace_json(&cells);
+    let root = parse(&doc).expect("exporter emits valid JSON");
+    assert_eq!(
+        root.get("displayTimeUnit").and_then(Value::as_str),
+        Some("ms")
+    );
+    let events = root
+        .get("traceEvents")
+        .and_then(Value::as_array)
+        .expect("traceEvents array");
+    assert!(!events.is_empty());
+
+    let field = |e: &Value, k: &str| e.get(k).and_then(Value::as_u64);
+    let phase = |e: &Value| e.get("ph").and_then(Value::as_str).unwrap().to_string();
+    // Metadata names both processes; data events carry pid/tid/ts and
+    // per-(pid,tid) monotonic timestamps with balanced B/E nesting.
+    let mut named_pids = std::collections::HashSet::new();
+    let mut last_ts: std::collections::HashMap<(u64, u64), u64> = Default::default();
+    let mut open_spans: std::collections::HashMap<(u64, u64), u64> = Default::default();
+    for e in events {
+        match phase(e).as_str() {
+            "M" => {
+                if e.get("name").and_then(Value::as_str) == Some("process_name") {
+                    named_pids.insert(field(e, "pid").unwrap());
+                }
+            }
+            ph @ ("B" | "E" | "i") => {
+                let key = (field(e, "pid").unwrap(), field(e, "tid").unwrap());
+                let ts = field(e, "ts").expect("data events carry ts");
+                let prev = last_ts.insert(key, ts).unwrap_or(0);
+                assert!(ts >= prev, "ts went backwards on pid/tid {key:?}");
+                let depth = open_spans.entry(key).or_insert(0);
+                match ph {
+                    "B" => *depth += 1,
+                    "E" => {
+                        assert!(*depth > 0, "E without B on pid/tid {key:?}");
+                        *depth -= 1;
+                    }
+                    _ => {}
+                }
+            }
+            other => panic!("unexpected phase {other}"),
+        }
+    }
+    assert_eq!(named_pids.len(), cells.len(), "every cell pid is named");
+    // Non-preemptive traces close every span they open.
+    for (key, depth) in open_spans {
+        assert_eq!(depth, 0, "unbalanced B/E on pid/tid {key:?}");
+    }
+}
+
+#[test]
+fn jsonl_stream_matches_the_cells_event_counts() {
+    let cells = traced_cells();
+    let body = events_jsonl(&cells);
+    let mut lines = body.lines();
+    for cell in &cells {
+        let header = parse(lines.next().expect("header line")).expect("valid header");
+        assert_eq!(
+            header.get("pid").and_then(Value::as_u64),
+            Some(cell.pid as u64)
+        );
+        assert_eq!(
+            header.get("events").and_then(Value::as_u64),
+            Some(cell.events.len() as u64)
+        );
+        let mut prev_t = 0;
+        for _ in 0..cell.events.len() {
+            let ev = parse(lines.next().expect("event line")).expect("valid event");
+            assert!(ev.get("kind").and_then(Value::as_str).is_some());
+            let t = ev.get("t").and_then(Value::as_u64).unwrap();
+            assert!(t >= prev_t, "jsonl events out of order");
+            prev_t = t;
+        }
+    }
+    assert!(lines.next().is_none(), "no trailing lines");
+}

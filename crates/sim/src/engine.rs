@@ -62,6 +62,12 @@ pub struct RunOptions {
     /// paper's literal per-quantum scheduler. Ignored by the
     /// non-preemptive engine.
     pub quantum: Option<Work>,
+    /// Observability channels to record (utilization timelines, latency
+    /// histograms, event trace). Everything off by default; recording is
+    /// observe-only (bit-identical schedules, property-tested) and
+    /// allocation-free in the warm epoch loop. The payload is returned on
+    /// [`SimOutcome::obs`].
+    pub observe: fhs_obs::ObsConfig,
 }
 
 impl RunOptions {
@@ -85,6 +91,12 @@ impl RunOptions {
         self.quantum = Some(q);
         self
     }
+
+    /// Enables the given observability channels for the run.
+    pub fn with_observe(mut self, cfg: fhs_obs::ObsConfig) -> Self {
+        self.observe = cfg;
+        self
+    }
 }
 
 /// Result of one engine run.
@@ -100,6 +112,9 @@ pub struct SimOutcome {
     pub trace: Option<Trace>,
     /// Per-run instrumentation counters (always collected).
     pub stats: RunStats,
+    /// Observability payload (utilization report, histograms, events),
+    /// when any [`RunOptions::observe`] channel was enabled.
+    pub obs: Option<Box<fhs_obs::RunObs>>,
 }
 
 impl SimOutcome {
@@ -280,6 +295,27 @@ fn run_engine(
     } else {
         stats.workspace_cold_inits = 1;
     }
+    // Arm the recorder before the allocation probe below: all observability
+    // storage is sized here (and retained across runs), so the metered
+    // epoch loop records without allocating. With observe off this is a
+    // no-op and every recorder call in the loop is an early return.
+    ws.obs
+        .begin_run(opts.observe, config.procs_per_type(), reused);
+    if ws.obs.events_on() {
+        if reused {
+            ws.obs.workspace_reuse(ws.runs());
+        }
+        // `policy.reset_in`/`init` already ran in the caller; record the
+        // init instant retroactively at t = 0.
+        ws.obs.policy_init(false);
+        // `begin_run` released the roots (in id order) before the recorder
+        // was armed; emit their Release events here.
+        for v in job.roots() {
+            ws.obs.release(0, 0, v.index() as u32, job.rtype(v));
+        }
+    }
+    let latency_on = ws.obs.latency_on();
+    let mut last_epoch_t: Option<Instant> = None;
     let mut now: Time = 0;
     // With a counting allocator registered, meter the whole loop below —
     // in steady state (warm workspace + warm policy) the delta is ~0.
@@ -313,6 +349,11 @@ fn run_engine(
             ws.epoch += 1;
             stats.epochs += 1;
             ws.out.reset(k);
+            if latency_on {
+                for alpha in 0..k {
+                    ws.obs.record_depth(ws.state.queues()[alpha].len() as u64);
+                }
+            }
             let view = EpochView {
                 time: now,
                 job,
@@ -324,7 +365,20 @@ fn run_engine(
             };
             let assign_t = Instant::now();
             policy.assign(&view, &mut ws.out);
-            stats.assign_nanos += assign_t.elapsed().as_nanos() as u64;
+            let assign_ns = assign_t.elapsed().as_nanos() as u64;
+            stats.assign_nanos += assign_ns;
+            if latency_on {
+                ws.obs.record_assign_ns(assign_ns);
+                // Epoch duration = wall time between consecutive decision
+                // epochs (n epochs yield n−1 samples), sampled at the
+                // assign boundary the engine already timestamps — the
+                // latency channel adds no clock read of its own here.
+                if let Some(prev) = last_epoch_t.replace(assign_t) {
+                    ws.obs
+                        .record_epoch_ns(assign_t.duration_since(prev).as_nanos() as u64);
+                }
+            }
+            ws.obs.epoch_event(now, ws.epoch, ws.out.total() as u64);
 
             let mut min_rem: Option<Work> = None;
             for alpha in 0..k {
@@ -362,6 +416,8 @@ fn run_engine(
                         assert!(rem > 0, "task {v} already finished");
                         min_rem = Some(min_rem.map_or(rem, |m| m.min(rem)));
                     }
+                    // This epoch, type α runs exactly its chosen tasks.
+                    ws.obs.timeline_set(alpha, now, ws.chosen_buf.len() as u32);
                 } else {
                     for &v in &ws.chosen_buf {
                         let rem = ws.state.start(job, v); // panics if not ready
@@ -370,6 +426,14 @@ fn run_engine(
                         let p = ws.free_procs[alpha].pop().expect("slot accounting");
                         ws.proc_of[v.index()] = p;
                         ws.heap.push(Reverse((now + rem, v)));
+                        ws.obs.start(
+                            now,
+                            ws.epoch,
+                            v.index() as u32,
+                            alpha,
+                            Some(p as usize),
+                            rem,
+                        );
                         if opts.record_trace {
                             ws.segments.push(Segment {
                                 task: v,
@@ -380,6 +444,7 @@ fn run_engine(
                             });
                         }
                     }
+                    ws.obs.timeline_set(alpha, now, ws.busy[alpha] as u32);
                 }
             }
 
@@ -435,7 +500,10 @@ fn run_engine(
                     ws.busy_time[alpha] += ws.chosen_buf.len() as u64 * dt;
                     for &v in &ws.chosen_buf {
                         if ws.state.progress(job, v, dt) == 0 {
-                            ws.state.complete(job, v);
+                            ws.obs
+                                .complete(now, ws.epoch, v.index() as u32, alpha, None);
+                            ws.state
+                                .complete_obs(job, v, now, ws.epoch, Some(&mut ws.obs));
                             ws.last_proc[v.index()] = None;
                         }
                     }
@@ -460,6 +528,9 @@ fn run_engine(
                 &mut ws.busy,
                 &mut ws.free_procs,
                 &ws.proc_of,
+                &mut ws.obs,
+                now,
+                ws.epoch,
                 first,
             );
             while let Some(&Reverse((t2, _))) = ws.heap.peek() {
@@ -473,6 +544,9 @@ fn run_engine(
                     &mut ws.busy,
                     &mut ws.free_procs,
                     &ws.proc_of,
+                    &mut ws.obs,
+                    now,
+                    ws.epoch,
                     v,
                 );
             }
@@ -485,7 +559,9 @@ fn run_engine(
             .saturating_sub(at_entry);
     }
 
-    // --- shared outcome assembly. ---
+    // --- shared outcome assembly (past the probe: extraction may clone). ---
+    ws.obs.run_end(now, ws.epoch);
+    let obs = ws.obs.take_run(now);
     if preemptive && opts.record_trace {
         crate::trace::coalesce(&mut ws.segments);
     }
@@ -498,23 +574,32 @@ fn run_engine(
             .record_trace
             .then(|| Trace::new(std::mem::take(&mut ws.segments), now)),
         stats,
+        obs,
     }
 }
 
 /// Completes a non-preemptively running task, returning its processor to
-/// the free stack.
+/// the free stack (and reporting the completion, child releases and new
+/// busy count to the recorder).
+#[allow(clippy::too_many_arguments)]
 fn finish(
     job: &KDag,
     state: &mut JobState,
     busy: &mut [usize],
     free_procs: &mut [Vec<u32>],
     proc_of: &[u32],
+    obs: &mut fhs_obs::Recorder,
+    now: Time,
+    epoch: u64,
     v: TaskId,
 ) {
     let alpha = job.rtype(v);
     busy[alpha] -= 1;
-    free_procs[alpha].push(proc_of[v.index()]);
-    state.complete(job, v);
+    let p = proc_of[v.index()];
+    free_procs[alpha].push(p);
+    obs.complete(now, epoch, v.index() as u32, alpha, Some(p as usize));
+    state.complete_obs(job, v, now, epoch, Some(obs));
+    obs.timeline_set(alpha, now, busy[alpha] as u32);
 }
 
 #[cfg(test)]
@@ -524,11 +609,7 @@ mod tests {
     use kdag::KDagBuilder;
 
     fn opts_trace() -> RunOptions {
-        RunOptions {
-            record_trace: true,
-            seed: 0,
-            quantum: None,
-        }
+        RunOptions::default().with_trace()
     }
 
     fn chain_job() -> KDag {
@@ -870,6 +951,53 @@ mod tests {
             assert_eq!(cold.stats.workspace_cold_inits, 1);
         }
         assert_eq!(ws.runs(), 4);
+    }
+
+    #[test]
+    fn observed_run_matches_unobserved_and_accounts_time() {
+        let job = chain_job();
+        let cfg = MachineConfig::uniform(2, 2);
+        for mode in [Mode::NonPreemptive, Mode::Preemptive] {
+            let plain = run(&job, &cfg, &mut FifoPolicy, mode, &RunOptions::default());
+            assert!(plain.obs.is_none());
+            let opts = RunOptions::default().with_observe(fhs_obs::ObsConfig::all());
+            let seen = run(&job, &cfg, &mut FifoPolicy, mode, &opts);
+            assert_eq!(seen.makespan, plain.makespan, "{mode:?}");
+            assert_eq!(seen.busy_time, plain.busy_time, "{mode:?}");
+            assert_eq!(seen.epochs, plain.epochs, "{mode:?}");
+            let obs = seen.obs.expect("observe requested");
+            let util = obs.util.as_ref().expect("utilization on");
+            assert_eq!(util.makespan, plain.makespan);
+            for (alpha, t) in util.per_type.iter().enumerate() {
+                // The timeline's busy integral is exactly the engine's own
+                // busy-time accounting, in both modes.
+                assert_eq!(t.busy, plain.busy_time[alpha], "{mode:?} type {alpha}");
+                assert_eq!(
+                    t.busy + t.idle_active + t.idle_tail,
+                    t.procs as u64 * util.makespan,
+                    "{mode:?} type {alpha}"
+                );
+            }
+            // Events: one run_begin, one run_end, a release/complete per
+            // task; starts only in the non-preemptive engine.
+            use fhs_obs::EventKind;
+            let count = |k: EventKind| obs.events.iter().filter(|e| e.kind == k).count() as u64;
+            assert_eq!(obs.events_dropped, 0);
+            assert_eq!(count(EventKind::RunBegin), 1);
+            assert_eq!(count(EventKind::RunEnd), 1);
+            assert_eq!(count(EventKind::Release), 3);
+            assert_eq!(count(EventKind::Complete), 3);
+            if mode == Mode::NonPreemptive {
+                assert_eq!(count(EventKind::Start), 3);
+            }
+            assert_eq!(count(EventKind::Epoch), plain.epochs);
+            // Timestamps are monotonic.
+            assert!(obs.events.windows(2).all(|w| w[0].t <= w[1].t));
+            // Latency histograms saw every epoch's assign + k depth samples.
+            assert_eq!(obs.assign_ns.count, plain.epochs);
+            assert_eq!(obs.queue_depth.count, plain.epochs * 2);
+            assert_eq!(obs.epoch_ns.count, plain.epochs.saturating_sub(1));
+        }
     }
 
     #[test]

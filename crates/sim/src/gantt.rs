@@ -79,11 +79,7 @@ mod tests {
             &cfg,
             &mut FifoPolicy,
             Mode::NonPreemptive,
-            &RunOptions {
-                record_trace: true,
-                seed: 0,
-                quantum: None,
-            },
+            &RunOptions::default().with_trace(),
         );
         let trace = out.trace.unwrap();
         (job, cfg, trace)

@@ -76,6 +76,10 @@ pub mod workspace;
 
 pub use config::MachineConfig;
 pub use engine::{Mode, RunOptions, SimOutcome};
+// The observability layer (utilization timelines, histograms, event
+// trace) lives in the dependency-free `fhs-obs` crate; re-export the
+// handles engine callers need.
+pub use fhs_obs::{HistSnapshot, ObsConfig, RunObs, UtilSummary, UtilizationReport};
 pub use instrument::{RunStats, TransitionCounts};
 pub use policy::{Assignments, EpochView, Policy, ReadyTask};
 pub use ready_queue::ReadyQueue;

@@ -77,6 +77,40 @@ pub fn evaluate_instrumented_in(
     (eval_result(out.makespan, lb), out.stats)
 }
 
+/// As [`evaluate_instrumented_in`], but also surfaces the run's
+/// observability payload ([`SimOutcome::obs`](crate::SimOutcome::obs)) —
+/// present when any [`RunOptions::observe`] channel is enabled.
+pub fn evaluate_observed_in(
+    ws: &mut Workspace,
+    job: &KDag,
+    config: &MachineConfig,
+    policy: &mut dyn Policy,
+    mode: Mode,
+    opts: &RunOptions,
+) -> (EvalResult, RunStats, Option<Box<fhs_obs::RunObs>>) {
+    let out = run_in(ws, job, config, policy, mode, opts);
+    let lb = kdag::metrics::lower_bound(job, config.procs_per_type());
+    (eval_result(out.makespan, lb), out.stats, out.obs)
+}
+
+/// As [`evaluate_instrumented_with_artifacts_in`], but also surfaces the
+/// run's observability payload — the fully-loaded sweep path: shared
+/// per-instance analyses, zero-allocation engine reuse, and recording.
+#[allow(clippy::too_many_arguments)]
+pub fn evaluate_observed_with_artifacts_in(
+    ws: &mut Workspace,
+    job: &KDag,
+    config: &MachineConfig,
+    policy: &mut dyn Policy,
+    mode: Mode,
+    opts: &RunOptions,
+    artifacts: &Arc<Artifacts>,
+) -> (EvalResult, RunStats, Option<Box<fhs_obs::RunObs>>) {
+    let out = run_in_with_artifacts(ws, job, config, policy, mode, opts, artifacts);
+    let lb = kdag::metrics::lower_bound_with_span(job, config.procs_per_type(), artifacts.span());
+    (eval_result(out.makespan, lb), out.stats, out.obs)
+}
+
 fn eval_result(makespan: Time, lb: Time) -> EvalResult {
     EvalResult {
         makespan,

@@ -182,6 +182,7 @@ fn outcome(makespan: Time, epochs: u64, busy_time: Vec<Time>, trace: Option<Trac
             epochs,
             ..RunStats::default()
         },
+        obs: None,
     }
 }
 

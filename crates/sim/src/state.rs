@@ -191,6 +191,21 @@ impl JobState {
     /// Marks `v` complete and releases any children whose last dependency
     /// this was. Newly released children are appended to their queues.
     pub fn complete(&mut self, job: &KDag, v: TaskId) {
+        self.complete_obs(job, v, 0, 0, None);
+    }
+
+    /// As [`complete`](JobState::complete), but reports each newly released
+    /// child to `obs` (stamped with sim time `t` and `epoch`). The
+    /// recorder is write-only: state transitions are identical to
+    /// [`complete`](JobState::complete).
+    pub fn complete_obs(
+        &mut self,
+        job: &KDag,
+        v: TaskId,
+        t: u64,
+        epoch: u64,
+        mut obs: Option<&mut fhs_obs::Recorder>,
+    ) {
         let st = self.status[v.index()];
         assert!(
             st == TaskStatus::Running || st == TaskStatus::Ready,
@@ -207,6 +222,9 @@ impl JobState {
             self.indeg[c.index()] -= 1;
             if self.indeg[c.index()] == 0 {
                 self.release(job, c);
+                if let Some(o) = obs.as_deref_mut() {
+                    o.release(t, epoch, c.index() as u32, job.rtype(c));
+                }
             }
         }
     }

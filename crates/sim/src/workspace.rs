@@ -79,6 +79,12 @@ pub struct Workspace {
     pub(crate) heap: BinaryHeap<Reverse<(Time, TaskId)>>,
     /// Preemptive: last processor each task ran on (trace stability).
     pub(crate) last_proc: Vec<Option<u32>>,
+    /// Observability recorder (timelines, histograms, event trace). Armed
+    /// per run by the engine from [`crate::engine::RunOptions::observe`];
+    /// inert (every call an early-return no-op) when nothing is enabled.
+    /// Owned here so its storage survives runs and the warm epoch loop
+    /// records without allocating.
+    pub(crate) obs: fhs_obs::Recorder,
     /// Completed runs on this workspace (drives the reuse counters).
     runs: u64,
     /// Policy-owned typed scratch slots, keyed by concrete type. A linear
@@ -102,6 +108,7 @@ impl Default for Workspace {
             proc_of: Vec::new(),
             heap: BinaryHeap::new(),
             last_proc: Vec::new(),
+            obs: fhs_obs::Recorder::new(),
             runs: 0,
             scratch: Vec::new(),
         }

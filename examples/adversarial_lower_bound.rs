@@ -44,11 +44,7 @@ fn main() {
                     &cfg,
                     policy.as_mut(),
                     Mode::NonPreemptive,
-                    &RunOptions {
-                        record_trace: false,
-                        seed: 1000 * m as u64 + t,
-                        quantum: None,
-                    },
+                    &RunOptions::seeded(1000 * m as u64 + t),
                 );
                 sums[i] += out.makespan as f64 / t_star;
             }

@@ -50,11 +50,7 @@ fn main() {
         &machine,
         mqb.as_mut(),
         Mode::NonPreemptive,
-        &RunOptions {
-            record_trace: true,
-            seed: 0,
-            quantum: None,
-        },
+        &RunOptions::default().with_trace(),
     );
     let util = out.utilization(&machine);
     let trace = out.trace.expect("trace requested");

@@ -24,11 +24,7 @@ fn full_matrix_produces_legal_schedules() {
                             &cfg,
                             policy.as_mut(),
                             mode,
-                            &RunOptions {
-                                record_trace: true,
-                                seed: 0xFACADE,
-                                quantum: None,
-                            },
+                            &RunOptions::seeded(0xFACADE).with_trace(),
                         );
                         let tr = out.trace.expect("trace requested");
                         assert_eq!(
@@ -122,11 +118,7 @@ fn adversarial_family_separates_online_from_offline() {
             &cfg,
             kg.as_mut(),
             Mode::NonPreemptive,
-            &RunOptions {
-                record_trace: false,
-                seed: t,
-                quantum: None,
-            },
+            &RunOptions::seeded(t),
         )
         .makespan as f64
             / t_star;
@@ -135,11 +127,7 @@ fn adversarial_family_separates_online_from_offline() {
             &cfg,
             mqb.as_mut(),
             Mode::NonPreemptive,
-            &RunOptions {
-                record_trace: false,
-                seed: t,
-                quantum: None,
-            },
+            &RunOptions::seeded(t),
         )
         .makespan as f64
             / t_star;
