@@ -1,0 +1,126 @@
+//! Throughput macro-benchmark: sustained jobs/sec of the session engine
+//! under a continuous seeded Poisson job stream, per scheduling policy.
+//!
+//! Each measured unit is one whole streamed session — machine sampled
+//! from the spec, jobs admitted at the arrival plan's times, policy
+//! values and job runtimes recycled through the session's spare pools,
+//! offline policies paying their per-job `Artifacts` precompute at
+//! admission (as an online-arrival system would). Wall time over the
+//! stream divided by the job count is the steady-state cost per job; its
+//! reciprocal is the sustained throughput this bench pins.
+//!
+//! Besides the usual criterion run, `--json <path>` measures all six
+//! policies on a longer stream and writes a small JSON baseline —
+//! `BENCH_throughput.json` at the repo root is generated this way:
+//!
+//! ```console
+//! # paths are relative to crates/bench (the bench binary's CWD)
+//! cargo bench -p fhs-bench --bench throughput -- --json ../../BENCH_throughput.json
+//! ```
+
+use criterion::{black_box, criterion_group, Criterion};
+use fhs_core::{Algorithm, ALL_ALGORITHMS};
+use fhs_experiments::stream::{run_stream, Arrivals, StreamCell, StreamConfig};
+use fhs_sim::InterJobPolicy;
+use fhs_workloads::{resources::SystemSize, Family, Typing, WorkloadSpec};
+use std::time::Instant;
+
+const SEED: u64 = 0x57AE;
+const MEAN_GAP: f64 = 8.0;
+
+fn config(jobs: usize) -> StreamConfig {
+    StreamConfig {
+        spec: WorkloadSpec::new(Family::Ir, Typing::Layered, SystemSize::Small, 4),
+        jobs,
+        arrivals: Arrivals::Poisson { mean_gap: MEAN_GAP },
+        seed: SEED,
+    }
+}
+
+fn bench_throughput(c: &mut Criterion) {
+    let cfg = config(32);
+    let mut g = c.benchmark_group("throughput/small-ir-poisson");
+    g.sample_size(10);
+    for algo in [Algorithm::KGreedy, Algorithm::Mqb] {
+        g.bench_function(algo.label(), |b| {
+            let cell = StreamCell::new(algo, InterJobPolicy::Fifo);
+            b.iter(|| black_box(run_stream(&cfg, &cell)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_throughput);
+
+/// Median wall time of `samples` runs of `f`, in nanoseconds.
+fn median_nanos(samples: usize, mut f: impl FnMut()) -> u128 {
+    let mut times: Vec<u128> = (0..samples)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_nanos()
+        })
+        .collect();
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
+/// Measures sustained jobs/sec for all six policies and writes the JSON
+/// baseline.
+fn write_baseline(path: &str) {
+    let jobs = 256;
+    let samples = 3;
+    let cfg = config(jobs);
+
+    let mut rows = Vec::new();
+    for algo in ALL_ALGORITHMS {
+        let cell = StreamCell::new(algo, InterJobPolicy::Fifo);
+        // Correctness first: the stream must fully retire and replay
+        // deterministically before its timing means anything.
+        let out = run_stream(&cfg, &cell);
+        assert_eq!(out.jobs.len(), jobs, "{}: jobs lost", algo.label());
+        assert_eq!(out.stream.completed, jobs as u64);
+        let ns = median_nanos(samples, || {
+            black_box(run_stream(&cfg, &cell));
+        });
+        let jobs_per_sec = jobs as f64 * 1e9 / ns as f64;
+        println!(
+            "{:<10} stream {} jobs: median {:.1} ms, {:.0} jobs/sec (sim {:.2} jobs/ktime)",
+            algo.label(),
+            jobs,
+            ns as f64 / 1e6,
+            jobs_per_sec,
+            out.throughput(),
+        );
+        rows.push(format!(
+            "    {{\"algo\": \"{}\", \"median_ns\": {ns}, \"jobs_per_sec\": {jobs_per_sec:.1}, \
+             \"sim_jobs_per_kilotime\": {:.3}, \"mean_response\": {:.2}, \
+             \"mean_slowdown\": {:.3}}}",
+            algo.label(),
+            out.throughput(),
+            out.response_summary().mean,
+            out.slowdown_summary().mean,
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"throughput/small-ir-poisson\",\n  \"workload\": {{\n    \
+         \"spec\": \"{}\",\n    \"k\": 4,\n    \"jobs\": {jobs},\n    \
+         \"mean_gap\": {MEAN_GAP},\n    \"inter\": \"fifo\",\n    \"mode\": \"np\",\n    \
+         \"seed\": {SEED}\n  }},\n  \"samples\": {samples},\n  \"policies\": [\n{}\n  ]\n}}\n",
+        cfg.spec.label(),
+        rows.join(",\n"),
+    );
+    std::fs::write(path, &json).expect("write baseline");
+    println!("wrote {path}");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(w) = args.windows(2).find(|w| w[0] == "--json") {
+        write_baseline(&w[1]);
+        return;
+    }
+    let mut c = Criterion::from_args();
+    benches(&mut c);
+}

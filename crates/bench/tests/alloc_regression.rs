@@ -116,6 +116,77 @@ fn epoch_loop_allocates_zero_bytes_on_reused_workspaces() {
     debug_assertions,
     ignore = "allocation accounting is asserted in --release (its own CI step)"
 )]
+fn heterogeneous_grow_then_shrink_shapes_stay_allocation_free_when_warm() {
+    // The session engine's steady-state promise: a workspace that has
+    // seen a set of job/machine shapes once re-runs ANY of them without
+    // allocating — including shrinking to a much smaller instance and
+    // growing back (capacity is retained across `resize`-downs), and
+    // hopping between differently-shaped machines (Small 1–5 procs/type
+    // vs Medium 10–20). Every buffer is high-watermark sized; only a
+    // never-seen dimension may allocate.
+    fhs_sim::instrument::register_alloc_probe(probe);
+    let shapes = [
+        ("medium-ir", fhs_bench::medium_ir()),
+        ("small-ep", fhs_bench::small_ep()),
+        ("medium-tree", fhs_bench::medium_tree()),
+    ];
+    for algo in ALL_ALGORITHMS {
+        for mode in [Mode::NonPreemptive, Mode::Preemptive] {
+            let mut ws = Workspace::new();
+            let mut policy = make_policy(algo);
+            // Cold pass: first visit of each shape sizes the buffers
+            // (allocations expected and allowed).
+            let cold: Vec<u64> = shapes
+                .iter()
+                .map(|(_, (job, cfg))| {
+                    engine::run_in(
+                        &mut ws,
+                        job,
+                        cfg,
+                        policy.as_mut(),
+                        mode,
+                        &RunOptions::seeded(1),
+                    )
+                    .makespan
+                })
+                .collect();
+            // Warm passes: shrink (big → small), grow back, and cross
+            // between machine shapes — zero bytes in the epoch loop,
+            // same makespans as the cold pass.
+            for (round, &i) in [1usize, 0, 2, 0, 1].iter().enumerate() {
+                let (name, (job, cfg)) = &shapes[i];
+                let warm = engine::run_in(
+                    &mut ws,
+                    job,
+                    cfg,
+                    policy.as_mut(),
+                    mode,
+                    &RunOptions::seeded(1),
+                );
+                assert_eq!(warm.stats.workspace_reuses, 1);
+                assert_eq!(
+                    warm.makespan,
+                    cold[i],
+                    "{} {mode:?} {name}: warm replay diverged",
+                    algo.label()
+                );
+                assert_eq!(
+                    warm.stats.epoch_bytes,
+                    0,
+                    "{} {mode:?} {name} round {round}: epoch loop allocated on a \
+                     warm workspace after a shape change",
+                    algo.label()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "allocation accounting is asserted in --release (its own CI step)"
+)]
 fn per_quantum_cadence_is_also_allocation_free_when_warm() {
     fhs_sim::instrument::register_alloc_probe(probe);
     let (job, cfg) = fhs_bench::small_ep();

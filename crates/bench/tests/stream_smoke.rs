@@ -1,0 +1,100 @@
+//! Release-only smoke test for the session engine's streaming path: a
+//! bounded Poisson job stream through one long-lived session per policy,
+//! with wall-clock and correctness guards.
+//!
+//! This is the steady-state shape the session engine exists for — many
+//! jobs through one machine, runtimes and policy values recycled across
+//! retirements — exercised end to end at a scale the unit tests don't
+//! reach. Guards:
+//!
+//! * **Retirement**: every admitted job retires; per-job metrics respect
+//!   their bounds (response ≥ isolated lower bound, slowdown ≥ 1).
+//! * **Work conservation**: machine busy time equals the job set's total
+//!   work for every policy and inter-job discipline.
+//! * **Determinism**: a replay reproduces per-job finish times bit for
+//!   bit.
+//! * **Wall clock**: the whole grid (six policies × three inter-job
+//!   disciplines) finishes within a generous budget a near-linear
+//!   session loop clears easily but a per-epoch rescan regression
+//!   cannot.
+//!
+//! Debug builds skip this (CI runs it in the `--release` step alongside
+//! `huge_smoke` and the allocation regressions).
+
+use std::time::{Duration, Instant};
+
+use fhs_core::ALL_ALGORITHMS;
+use fhs_experiments::stream::{run_stream, Arrivals, StreamCell, StreamConfig};
+use fhs_sim::{Mode, ALL_INTER_JOB_POLICIES};
+use fhs_workloads::{resources::SystemSize, Family, Typing, WorkloadSpec};
+
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "streaming smoke is exercised in --release (its own CI step)"
+)]
+fn streaming_grid_end_to_end() {
+    let config = StreamConfig {
+        spec: WorkloadSpec::new(Family::Ir, Typing::Layered, SystemSize::Small, 4),
+        jobs: 96,
+        arrivals: Arrivals::Poisson { mean_gap: 6.0 },
+        seed: 0xF10,
+    };
+    let t0 = Instant::now();
+    let mut total_work = None;
+    for algo in ALL_ALGORITHMS {
+        for inter in ALL_INTER_JOB_POLICIES {
+            for (mode, quantum) in [(Mode::NonPreemptive, None), (Mode::Preemptive, Some(1))] {
+                let cell = StreamCell {
+                    algo,
+                    mode,
+                    quantum,
+                    inter,
+                };
+                let out = run_stream(&config, &cell);
+                assert_eq!(
+                    out.jobs.len(),
+                    config.jobs,
+                    "{} {:?} {:?}: jobs lost",
+                    algo.label(),
+                    mode,
+                    inter
+                );
+                for j in &out.jobs {
+                    assert!(
+                        j.response() >= j.lower_bound,
+                        "{}: response beat the isolated lower bound",
+                        algo.label()
+                    );
+                    assert!(j.slowdown() >= 1.0);
+                }
+                // Work conservation: every cell streams the same job set.
+                let work = out.stream.work;
+                match total_work {
+                    None => total_work = Some(work),
+                    Some(w) => assert_eq!(work, w, "{}: job set drifted", algo.label()),
+                }
+                let replay = run_stream(&config, &cell);
+                let a: Vec<(u64, u64)> = out.jobs.iter().map(|j| (j.id, j.finish)).collect();
+                let b: Vec<(u64, u64)> = replay.jobs.iter().map(|j| (j.id, j.finish)).collect();
+                assert_eq!(
+                    a,
+                    b,
+                    "{} {:?} {:?}: replay diverged",
+                    algo.label(),
+                    mode,
+                    inter
+                );
+            }
+        }
+    }
+    let elapsed = t0.elapsed();
+    println!(
+        "stream smoke: 36 cells × {} jobs (×2 for replays) in {elapsed:?}",
+        config.jobs
+    );
+    assert!(
+        elapsed < Duration::from_secs(120),
+        "streaming grid took {elapsed:?} — scaling regression?"
+    );
+}

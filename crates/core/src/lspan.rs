@@ -66,6 +66,12 @@ impl Policy for LSpan {
             -((rt.remaining + child_span[rt.id.index()]) as f64)
         });
     }
+
+    fn detach_job(&mut self) {
+        // Session retirement: the child-span table indexes this job's task
+        // ids; drop the contents eagerly (capacity retained for reuse).
+        self.child_span.clear();
+    }
 }
 
 #[cfg(test)]

@@ -526,6 +526,23 @@ impl Policy for Mqb {
         self.cand_sorted.clear();
         self.best_sorted.clear();
     }
+
+    fn detach_job(&mut self) {
+        // Session retirement: drop this job's perturbed descendant tables
+        // and any candidate scratch eagerly (task ids and values are
+        // meaningless for the next job; `attach_job` rebuilds them).
+        // Capacity is retained for the recycle pool.
+        self.d.clear();
+        self.d_total.clear();
+        self.working.clear();
+        self.taken.clear();
+        self.snap.clear();
+        self.erows.clear();
+        self.row.clear();
+        self.best_row.clear();
+        self.cand_sorted.clear();
+        self.best_sorted.clear();
+    }
 }
 
 #[cfg(test)]

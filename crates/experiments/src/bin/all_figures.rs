@@ -5,7 +5,7 @@
 //! it, each figure uses its own default (see the individual binaries).
 
 use fhs_experiments::args::CommonArgs;
-use fhs_experiments::figures::{fig4, fig5, fig6, fig7, fig8, fig_util, lower_bound};
+use fhs_experiments::figures::{fig4, fig5, fig6, fig7, fig8, fig_stream, fig_util, lower_bound};
 
 fn main() {
     // Detect whether --instances was passed: parse with a sentinel.
@@ -35,5 +35,10 @@ fn main() {
     print!("{}", fig8::report(&with(fig8::DEFAULT_INSTANCES)));
     println!();
     print!("{}", fig_util::report(&with(fig_util::DEFAULT_INSTANCES)));
+    println!();
+    print!(
+        "{}",
+        fig_stream::report(&with(fig_stream::DEFAULT_INSTANCES))
+    );
     println!("\n(total wall time: {:.1?})", t0.elapsed());
 }

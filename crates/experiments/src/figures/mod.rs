@@ -5,6 +5,7 @@ pub mod fig5;
 pub mod fig6;
 pub mod fig7;
 pub mod fig8;
+pub mod fig_stream;
 pub mod fig_util;
 pub mod flex_binding;
 pub mod lower_bound;

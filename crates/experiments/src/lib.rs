@@ -25,9 +25,11 @@ pub mod figures;
 pub mod obsout;
 pub mod runner;
 pub mod stats;
+pub mod stream;
 pub mod table;
 
 pub use runner::{
     run_cell, run_sweep, run_sweep_observed, Cell, CellObs, SweepCell, SweepCellResult,
 };
 pub use stats::Summary;
+pub use stream::{run_stream, Arrivals, StreamCell, StreamConfig, StreamResult};

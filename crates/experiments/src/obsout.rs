@@ -116,6 +116,43 @@ pub fn metrics_line(
     out
 }
 
+/// One metrics-JSONL line for a **streaming** cell. Distinguished from
+/// the per-cell [`metrics_line`] by `"kind":"stream"`; carries the cell
+/// identity (algorithm, inter-job policy, workload, mode, job count,
+/// seed), the session makespan and sustained throughput, and the per-job
+/// response-time / queueing-delay / slowdown histograms (slowdown in
+/// milli-units: 1500 = 1.5×). Versioned and parseable like every other
+/// line of the schema.
+#[allow(clippy::too_many_arguments)]
+pub fn stream_line(
+    cell: &str,
+    inter: &str,
+    workload: &str,
+    mode: &str,
+    jobs: usize,
+    seed: u64,
+    makespan: u64,
+    stream: &fhs_obs::StreamStats,
+) -> String {
+    format!(
+        "{{\"version\":{METRICS_SCHEMA_VERSION},\"kind\":\"stream\",\"cell\":{},\"inter\":{},\
+         \"workload\":{},\"mode\":{},\"jobs\":{jobs},\"seed\":{seed},\"makespan\":{makespan},\
+         \"completed\":{},\"tasks\":{},\"work\":{},\"jobs_per_kilotime\":{},\
+         \"response\":{},\"queueing\":{},\"slowdown_milli\":{}}}",
+        json_string(cell),
+        json_string(inter),
+        json_string(workload),
+        json_string(mode),
+        stream.completed,
+        stream.tasks,
+        stream.work,
+        num(stream.jobs_per_kilotime(makespan)),
+        hist_json(&stream.response.snapshot()),
+        hist_json(&stream.queueing.snapshot()),
+        hist_json(&stream.slowdown_milli.snapshot()),
+    )
+}
+
 /// One-line latency appendix for a cell: assign / inter-epoch wall-time
 /// percentiles (µs) and ready-queue depth percentiles, from the merged
 /// histograms.
@@ -226,6 +263,48 @@ mod tests {
         assert!(v.get("latency").is_none());
         assert!(v.get("utilization").is_none());
         assert!(v.get("stats").is_some());
+    }
+
+    #[test]
+    fn stream_line_is_valid_versioned_json_with_percentiles() {
+        use crate::stream::{run_stream, Arrivals, StreamCell, StreamConfig};
+        use fhs_sim::InterJobPolicy;
+
+        let cfg = StreamConfig {
+            spec: WorkloadSpec::new(Family::Ir, Typing::Layered, SystemSize::Small, 4),
+            jobs: 6,
+            arrivals: Arrivals::Poisson { mean_gap: 5.0 },
+            seed: 3,
+        };
+        let r = run_stream(
+            &cfg,
+            &StreamCell::new(Algorithm::Mqb, InterJobPolicy::FairShare),
+        );
+        let line = stream_line(
+            "MQB",
+            "fair",
+            &cfg.spec.label(),
+            "np",
+            cfg.jobs,
+            cfg.seed,
+            r.makespan,
+            &r.stream,
+        );
+        assert!(!line.contains('\n'));
+        let v = parse(&line).expect("line parses");
+        assert_eq!(v.get("kind").and_then(|x| x.as_str()), Some("stream"));
+        assert_eq!(
+            v.get("version").and_then(|x| x.as_u64()),
+            Some(METRICS_SCHEMA_VERSION)
+        );
+        assert_eq!(v.get("completed").and_then(|x| x.as_u64()), Some(6));
+        assert!(v.get("jobs_per_kilotime").and_then(|x| x.as_f64()).unwrap() > 0.0);
+        let resp = v.get("response").expect("response histogram");
+        assert_eq!(resp.get("count").and_then(|x| x.as_u64()), Some(6));
+        assert!(resp.get("p99").and_then(|x| x.as_u64()).unwrap() >= 1);
+        let slow = v.get("slowdown_milli").expect("slowdown histogram");
+        // Slowdown ≥ 1× always; milli-units put p50 at ≥ 1000.
+        assert!(slow.get("p50").and_then(|x| x.as_u64()).unwrap() >= 1000);
     }
 
     #[test]

@@ -102,6 +102,23 @@ impl LogHist {
         self.max
     }
 
+    /// Merges another histogram in (exact: per-bucket count sums). Handles
+    /// unsized operands: merging an empty histogram is a no-op, and an
+    /// unsized receiver is sized on first merge.
+    pub fn merge(&mut self, other: &LogHist) {
+        if other.counts.is_empty() {
+            return;
+        }
+        if self.counts.is_empty() {
+            self.reset();
+        }
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.max = self.max.max(other.max);
+    }
+
     /// The sparse snapshot of the current counts.
     pub fn snapshot(&self) -> HistSnapshot {
         HistSnapshot {

@@ -1,0 +1,213 @@
+//! Per-job stream metrics for the session engine.
+//!
+//! A single-job run is summarized by its makespan ratio; a *stream* of
+//! jobs flowing through a shared machine is summarized by how each job
+//! experienced the service:
+//!
+//! * **response time** — retirement minus arrival: the latency the
+//!   submitting user observes;
+//! * **queueing delay** — first dispatch minus arrival: how long the job
+//!   waited before any of its tasks ran;
+//! * **slowdown** — response over the job's *isolated* lower bound
+//!   `L(J) = max(span, max_α T¹_α/P_α)`: the stretch contention imposed
+//!   relative to the best the job could do on an empty machine. Always
+//!   ≥ 1 (a job cannot finish faster than its lower bound from arrival).
+//!
+//! [`JobRecord`] captures one retired job; [`StreamStats`] folds records
+//! into mergeable [`LogHist`] histograms (same exact-merge property as the
+//! latency channel, so per-worker streams can be combined), with slowdown
+//! recorded in **milli-units** (slowdown × 1000) to fit the integer
+//! buckets.
+
+use crate::hist::LogHist;
+
+/// One retired job, as observed by a session.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JobRecord {
+    /// Session-unique job id, in admission order.
+    pub id: u64,
+    /// Simulation time the job was admitted.
+    pub arrival: u64,
+    /// First time any of its tasks was dispatched (`None` for empty jobs).
+    pub first_start: Option<u64>,
+    /// Time its last task completed (== arrival for empty jobs).
+    pub finish: u64,
+    /// Number of tasks in the job.
+    pub tasks: u64,
+    /// Total work across its tasks.
+    pub work: u64,
+    /// Isolated lower bound `L(J)` on the session's machine.
+    pub lower_bound: u64,
+}
+
+impl JobRecord {
+    /// Response time: retirement minus arrival.
+    pub fn response(&self) -> u64 {
+        self.finish - self.arrival
+    }
+
+    /// Queueing delay: first dispatch minus arrival (0 for empty jobs).
+    pub fn queueing(&self) -> u64 {
+        self.first_start.map_or(0, |s| s - self.arrival)
+    }
+
+    /// Slowdown: response over the isolated lower bound, ≥ 1.0. Zero-work
+    /// jobs (lower bound 0, response 0) report 1.0.
+    pub fn slowdown(&self) -> f64 {
+        self.response().max(1) as f64 / self.lower_bound.max(1) as f64
+    }
+
+    /// [`slowdown`](JobRecord::slowdown) in milli-units (×1000, rounded),
+    /// the integer form recorded into [`StreamStats`].
+    pub fn slowdown_milli(&self) -> u64 {
+        (self.slowdown() * 1000.0).round() as u64
+    }
+}
+
+/// Mergeable aggregate over a stream of retired jobs.
+#[derive(Clone, Debug)]
+pub struct StreamStats {
+    /// Jobs folded in.
+    pub completed: u64,
+    /// Total tasks across those jobs.
+    pub tasks: u64,
+    /// Total work across those jobs.
+    pub work: u64,
+    /// Response-time histogram (time units).
+    pub response: LogHist,
+    /// Queueing-delay histogram (time units).
+    pub queueing: LogHist,
+    /// Slowdown histogram in milli-units (1000 = no stretch).
+    pub slowdown_milli: LogHist,
+}
+
+impl Default for StreamStats {
+    fn default() -> Self {
+        // Histograms are pre-sized here so `record` stays allocation-free
+        // (`LogHist::record` requires a prior `reset`).
+        let mut response = LogHist::new();
+        let mut queueing = LogHist::new();
+        let mut slowdown_milli = LogHist::new();
+        response.reset();
+        queueing.reset();
+        slowdown_milli.reset();
+        StreamStats {
+            completed: 0,
+            tasks: 0,
+            work: 0,
+            response,
+            queueing,
+            slowdown_milli,
+        }
+    }
+}
+
+impl StreamStats {
+    /// An empty aggregate.
+    pub fn new() -> Self {
+        StreamStats::default()
+    }
+
+    /// Folds one retired job in.
+    pub fn record(&mut self, job: &JobRecord) {
+        self.completed += 1;
+        self.tasks += job.tasks;
+        self.work += job.work;
+        self.response.record(job.response());
+        self.queueing.record(job.queueing());
+        self.slowdown_milli.record(job.slowdown_milli());
+    }
+
+    /// Merges another aggregate in (exact: histograms are bucket sums).
+    pub fn merge(&mut self, other: &StreamStats) {
+        self.completed += other.completed;
+        self.tasks += other.tasks;
+        self.work += other.work;
+        self.response.merge(&other.response);
+        self.queueing.merge(&other.queueing);
+        self.slowdown_milli.merge(&other.slowdown_milli);
+    }
+
+    /// Sustained throughput in jobs per 1000 simulated time units over a
+    /// horizon of `makespan` (0 for an empty stream or zero horizon).
+    pub fn jobs_per_kilotime(&self, makespan: u64) -> f64 {
+        if makespan == 0 {
+            0.0
+        } else {
+            self.completed as f64 * 1000.0 / makespan as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(arrival: u64, first: u64, finish: u64, lb: u64) -> JobRecord {
+        JobRecord {
+            id: 0,
+            arrival,
+            first_start: Some(first),
+            finish,
+            tasks: 3,
+            work: 6,
+            lower_bound: lb,
+        }
+    }
+
+    #[test]
+    fn derived_metrics() {
+        let j = job(10, 12, 22, 6);
+        assert_eq!(j.response(), 12);
+        assert_eq!(j.queueing(), 2);
+        assert!((j.slowdown() - 2.0).abs() < 1e-12);
+        assert_eq!(j.slowdown_milli(), 2000);
+    }
+
+    #[test]
+    fn empty_job_is_neutral() {
+        let j = JobRecord {
+            id: 0,
+            arrival: 5,
+            first_start: None,
+            finish: 5,
+            tasks: 0,
+            work: 0,
+            lower_bound: 0,
+        };
+        assert_eq!(j.response(), 0);
+        assert_eq!(j.queueing(), 0);
+        assert_eq!(j.slowdown(), 1.0);
+    }
+
+    #[test]
+    fn stream_stats_fold_and_merge_exactly() {
+        let mut a = StreamStats::new();
+        let mut b = StreamStats::new();
+        let mut all = StreamStats::new();
+        for (i, j) in [job(0, 0, 6, 6), job(2, 4, 14, 6), job(9, 9, 30, 7)]
+            .iter()
+            .enumerate()
+        {
+            if i % 2 == 0 {
+                a.record(j);
+            } else {
+                b.record(j);
+            }
+            all.record(j);
+        }
+        a.merge(&b);
+        assert_eq!(a.completed, all.completed);
+        assert_eq!(a.work, all.work);
+        assert_eq!(
+            a.response.snapshot().percentiles(),
+            all.response.snapshot().percentiles()
+        );
+        assert_eq!(
+            a.slowdown_milli.snapshot().percentiles(),
+            all.slowdown_milli.snapshot().percentiles()
+        );
+        assert!(a.jobs_per_kilotime(30) > 0.0);
+        assert_eq!(StreamStats::new().jobs_per_kilotime(0), 0.0);
+    }
+}

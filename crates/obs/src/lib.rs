@@ -33,11 +33,13 @@
 
 pub mod events;
 pub mod hist;
+pub mod jobs;
 pub mod json;
 pub mod recorder;
 pub mod timeline;
 
 pub use events::{chrome_trace_json, events_jsonl, Event, EventBuf, EventKind, TraceCell, NONE};
 pub use hist::{bucket_high, bucket_index, HistSnapshot, LogHist, BUCKETS};
+pub use jobs::{JobRecord, StreamStats};
 pub use recorder::{ObsConfig, Recorder, RunObs};
 pub use timeline::{TypeUtilization, UtilSummary, UtilTimeline, UtilizationReport};

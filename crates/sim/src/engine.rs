@@ -20,18 +20,17 @@
 //! [`RunStats`] (epochs, assign wall time,
 //! transition counts, peak queue depth), surfaced on [`SimOutcome::stats`].
 
-use std::cmp::Reverse;
 use std::sync::Arc;
 use std::time::Instant;
 
 use kdag::precompute::Artifacts;
-use kdag::{KDag, TaskId, Work};
+use kdag::{KDag, Work};
 
 use crate::config::MachineConfig;
 use crate::instrument::RunStats;
-use crate::policy::{EpochView, Policy};
-use crate::state::JobState;
-use crate::trace::{Segment, Trace};
+use crate::policy::Policy;
+use crate::session::{self, DriveCtx, InterJobPolicy, SessionJob};
+use crate::trace::Trace;
 use crate::workspace::Workspace;
 use crate::Time;
 
@@ -272,11 +271,16 @@ pub fn run_per_step(
     out
 }
 
-/// The unified epoch/event loop, executing inside `ws`. Every per-run
-/// buffer lives in the [`Workspace`] (re-initialized by `begin_run`,
-/// capacity retained); mode-specific dispatch state is the workspace's
-/// non-preemptive (`busy`/`free_procs`/`proc_of`/`heap`) or preemptive
-/// (`last_proc`) field group, selected by the `preemptive` flag.
+/// The single-job engine entry: arms the workspace and recorder, then runs
+/// a **one-job session** — the unified epoch/event loop lives in
+/// [`session::drive`] and is shared verbatim with the multi-job
+/// [`crate::session::Session`]. The single job rides in the workspace's
+/// embedded [`JobRt`](crate::workspace::JobRt) under heap slot 0 (so event
+/// ordering is exactly the historical `(time, task)` key) with no stop
+/// horizon, which keeps this path bit-identical to the pre-session engine
+/// (pinned by the goldens and the workspace/session equivalence proptests)
+/// and allocation-free on a warm workspace (the session job array is on
+/// the stack).
 fn run_engine(
     ws: &mut Workspace,
     job: &KDag,
@@ -286,7 +290,6 @@ fn run_engine(
     opts: &RunOptions,
     quantum: Option<Work>,
 ) -> SimOutcome {
-    let k = config.num_types();
     let preemptive = mode == Mode::Preemptive;
     let reused = ws.begin_run(job, config, preemptive);
     let mut stats = RunStats::default();
@@ -314,243 +317,34 @@ fn run_engine(
             ws.obs.release(0, 0, v.index() as u32, job.rtype(v));
         }
     }
-    let latency_on = ws.obs.latency_on();
     let mut last_epoch_t: Option<Instant> = None;
     let mut now: Time = 0;
     // With a counting allocator registered, meter the whole loop below —
     // in steady state (warm workspace + warm policy) the delta is ~0.
     let alloc_at_entry = crate::instrument::alloc_probe();
 
-    while !ws.state.all_done(job) {
-        // --- shared: per-type slot counts; decide whether to consult. A
-        // non-preemptive epoch only happens when some type has both a free
-        // processor and a candidate; preemptive epochs always re-decide.
-        let consult = if preemptive {
-            for (alpha, slot) in ws.slots.iter_mut().enumerate() {
-                *slot = config.procs(alpha);
-            }
-            true
-        } else {
-            let mut any = false;
-            for alpha in 0..k {
-                ws.slots[alpha] = config.procs(alpha) - ws.busy[alpha];
-                if ws.slots[alpha] > 0 && !ws.state.queues()[alpha].is_empty() {
-                    any = true;
-                }
-            }
-            any
+    {
+        let done = ws.rt.state.all_done(job);
+        let mut jobs = [SessionJob {
+            job,
+            rt: &mut ws.rt,
+            policy,
+            slot: 0,
+            done,
+        }];
+        let mut cx = DriveCtx {
+            mach: &mut ws.mach,
+            obs: &mut ws.obs,
+            config,
+            preemptive,
+            quantum,
+            record_trace: opts.record_trace,
+            inter: InterJobPolicy::Fifo,
+            now: &mut now,
+            stats: &mut stats,
+            last_epoch_t: &mut last_epoch_t,
         };
-
-        if consult {
-            // --- shared: decision epoch. The epoch counter is monotonic
-            // across every run on this workspace (bumped eagerly, so a
-            // panicking run cannot leave stamps above it), which is what
-            // lets `begin_run` skip clearing the stamp table. ---
-            ws.epoch += 1;
-            stats.epochs += 1;
-            ws.out.reset(k);
-            if latency_on {
-                for alpha in 0..k {
-                    ws.obs.record_depth(ws.state.queues()[alpha].len() as u64);
-                }
-            }
-            let view = EpochView {
-                time: now,
-                job,
-                config,
-                queues: ws.state.queues(),
-                queue_work: ws.state.queue_work(),
-                slots: &ws.slots,
-                preemptive,
-            };
-            let assign_t = Instant::now();
-            policy.assign(&view, &mut ws.out);
-            let assign_ns = assign_t.elapsed().as_nanos() as u64;
-            stats.assign_nanos += assign_ns;
-            if latency_on {
-                ws.obs.record_assign_ns(assign_ns);
-                // Epoch duration = wall time between consecutive decision
-                // epochs (n epochs yield n−1 samples), sampled at the
-                // assign boundary the engine already timestamps — the
-                // latency channel adds no clock read of its own here.
-                if let Some(prev) = last_epoch_t.replace(assign_t) {
-                    ws.obs
-                        .record_epoch_ns(assign_t.duration_since(prev).as_nanos() as u64);
-                }
-            }
-            ws.obs.epoch_event(now, ws.epoch, ws.out.total() as u64);
-
-            let mut min_rem: Option<Work> = None;
-            for alpha in 0..k {
-                // Reusable copy of one type's chosen slice: reading it once
-                // per type ends the borrow of `ws.out` before the state
-                // mutations below.
-                ws.chosen_buf.clear();
-                ws.chosen_buf.extend_from_slice(ws.out.chosen(alpha));
-                // --- shared validation: capacity, type, duplicates. ---
-                assert!(
-                    ws.chosen_buf.len() <= ws.slots[alpha],
-                    "policy over-assigned type {alpha}: {} chosen for {} slots",
-                    ws.chosen_buf.len(),
-                    ws.slots[alpha]
-                );
-                for &v in &ws.chosen_buf {
-                    assert_eq!(
-                        job.rtype(v),
-                        alpha,
-                        "type mismatch for task {v}: type {} chosen for type-{alpha} processors",
-                        job.rtype(v)
-                    );
-                    assert_ne!(ws.stamp[v.index()], ws.epoch, "task {v} chosen twice");
-                    ws.stamp[v.index()] = ws.epoch;
-                }
-                stats.tasks_assigned += ws.chosen_buf.len() as u64;
-
-                // --- mode dispatch. ---
-                if preemptive {
-                    for &v in &ws.chosen_buf {
-                        let rem = ws
-                            .state
-                            .remaining(job, v)
-                            .unwrap_or_else(|| panic!("task {v} is not a candidate"));
-                        assert!(rem > 0, "task {v} already finished");
-                        min_rem = Some(min_rem.map_or(rem, |m| m.min(rem)));
-                    }
-                    // This epoch, type α runs exactly its chosen tasks.
-                    ws.obs.timeline_set(alpha, now, ws.chosen_buf.len() as u32);
-                } else {
-                    for &v in &ws.chosen_buf {
-                        let rem = ws.state.start(job, v); // panics if not ready
-                        ws.busy[alpha] += 1;
-                        ws.busy_time[alpha] += rem;
-                        let p = ws.free_procs[alpha].pop().expect("slot accounting");
-                        ws.proc_of[v.index()] = p;
-                        ws.heap.push(Reverse((now + rem, v)));
-                        ws.obs.start(
-                            now,
-                            ws.epoch,
-                            v.index() as u32,
-                            alpha,
-                            Some(p as usize),
-                            rem,
-                        );
-                        if opts.record_trace {
-                            ws.segments.push(Segment {
-                                task: v,
-                                rtype: alpha,
-                                proc: p,
-                                start: now,
-                                end: now + rem,
-                            });
-                        }
-                    }
-                    ws.obs.timeline_set(alpha, now, ws.busy[alpha] as u32);
-                }
-            }
-
-            // --- preemptive advance: progress everything chosen by dt. ---
-            if preemptive {
-                assert!(
-                    ws.out.total() > 0,
-                    "deadlock: policy assigned nothing with {} tasks incomplete",
-                    job.num_tasks() - ws.state.done_count()
-                );
-                let dt = match quantum {
-                    Some(q) => q.min(min_rem.expect("chosen non-empty")),
-                    None => min_rem.expect("chosen non-empty"),
-                };
-
-                // Trace segments with stable-ish processor ids: keep each
-                // task's previous processor where possible.
-                if opts.record_trace {
-                    for alpha in 0..k {
-                        let mut used = vec![false; config.procs(alpha)];
-                        let chosen = ws.out.chosen(alpha);
-                        let mut needs: Vec<TaskId> = Vec::new();
-                        for &v in chosen {
-                            match ws.last_proc[v.index()] {
-                                Some(p) if !used[p as usize] => used[p as usize] = true,
-                                _ => needs.push(v),
-                            }
-                        }
-                        let mut next_free = 0usize;
-                        for v in needs {
-                            while used[next_free] {
-                                next_free += 1;
-                            }
-                            used[next_free] = true;
-                            ws.last_proc[v.index()] = Some(next_free as u32);
-                        }
-                        for &v in chosen {
-                            ws.segments.push(Segment {
-                                task: v,
-                                rtype: alpha,
-                                proc: ws.last_proc[v.index()].expect("assigned above"),
-                                start: now,
-                                end: now + dt,
-                            });
-                        }
-                    }
-                }
-
-                now += dt;
-                for alpha in 0..k {
-                    ws.chosen_buf.clear();
-                    ws.chosen_buf.extend_from_slice(ws.out.chosen(alpha));
-                    ws.busy_time[alpha] += ws.chosen_buf.len() as u64 * dt;
-                    for &v in &ws.chosen_buf {
-                        if ws.state.progress(job, v, dt) == 0 {
-                            ws.obs
-                                .complete(now, ws.epoch, v.index() as u32, alpha, None);
-                            ws.state
-                                .complete_obs(job, v, now, ws.epoch, Some(&mut ws.obs));
-                            ws.last_proc[v.index()] = None;
-                        }
-                    }
-                }
-                continue;
-            }
-        }
-
-        // --- non-preemptive advance: jump to the next completion event and
-        // drain every completion at that time before the next epoch. ---
-        if !preemptive {
-            let Some(Reverse((t, first))) = ws.heap.pop() else {
-                panic!(
-                    "deadlock: no running tasks but {} tasks incomplete",
-                    job.num_tasks() - ws.state.done_count()
-                );
-            };
-            now = t;
-            finish(
-                job,
-                &mut ws.state,
-                &mut ws.busy,
-                &mut ws.free_procs,
-                &ws.proc_of,
-                &mut ws.obs,
-                now,
-                ws.epoch,
-                first,
-            );
-            while let Some(&Reverse((t2, _))) = ws.heap.peek() {
-                if t2 != now {
-                    break;
-                }
-                let Reverse((_, v)) = ws.heap.pop().expect("peeked");
-                finish(
-                    job,
-                    &mut ws.state,
-                    &mut ws.busy,
-                    &mut ws.free_procs,
-                    &ws.proc_of,
-                    &mut ws.obs,
-                    now,
-                    ws.epoch,
-                    v,
-                );
-            }
-        }
+        session::drive(&mut cx, &mut jobs, None);
     }
 
     if let Some(at_entry) = alloc_at_entry {
@@ -560,52 +354,28 @@ fn run_engine(
     }
 
     // --- shared outcome assembly (past the probe: extraction may clone). ---
-    ws.obs.run_end(now, ws.epoch);
+    ws.obs.run_end(now, ws.mach.epoch);
     let obs = ws.obs.take_run(now);
     if preemptive && opts.record_trace {
-        crate::trace::coalesce(&mut ws.segments);
+        crate::trace::coalesce(&mut ws.mach.segments);
     }
-    stats.transitions = ws.state.transition_counts();
+    stats.transitions = ws.rt.state.transition_counts();
     SimOutcome {
         makespan: now,
         epochs: stats.epochs,
-        busy_time: ws.busy_time.clone(),
+        busy_time: ws.mach.busy_time.clone(),
         trace: opts
             .record_trace
-            .then(|| Trace::new(std::mem::take(&mut ws.segments), now)),
+            .then(|| Trace::new(std::mem::take(&mut ws.mach.segments), now)),
         stats,
         obs,
     }
 }
 
-/// Completes a non-preemptively running task, returning its processor to
-/// the free stack (and reporting the completion, child releases and new
-/// busy count to the recorder).
-#[allow(clippy::too_many_arguments)]
-fn finish(
-    job: &KDag,
-    state: &mut JobState,
-    busy: &mut [usize],
-    free_procs: &mut [Vec<u32>],
-    proc_of: &[u32],
-    obs: &mut fhs_obs::Recorder,
-    now: Time,
-    epoch: u64,
-    v: TaskId,
-) {
-    let alpha = job.rtype(v);
-    busy[alpha] -= 1;
-    let p = proc_of[v.index()];
-    free_procs[alpha].push(p);
-    obs.complete(now, epoch, v.index() as u32, alpha, Some(p as usize));
-    state.complete_obs(job, v, now, epoch, Some(obs));
-    obs.timeline_set(alpha, now, busy[alpha] as u32);
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::policy::{Assignments, FifoPolicy};
+    use crate::policy::{Assignments, EpochView, FifoPolicy};
     use kdag::KDagBuilder;
 
     fn opts_trace() -> RunOptions {

@@ -38,6 +38,15 @@
 //! the model's rules ([`trace::validate`]) and rendered as an ASCII Gantt
 //! chart ([`gantt`]).
 //!
+//! Beyond one job at a time: the [`session`] module hosts the **session
+//! engine** — a persistent [`Session`] that admits seeded jobs from a
+//! continuous arrival stream, schedules them all on the shared machine
+//! (with an [`InterJobPolicy`] ordering jobs within each epoch), and
+//! retires them as they drain, recording per-job response time, queueing
+//! delay and slowdown. [`engine::run`] itself executes as a one-job
+//! session over the same loop, bit-identical to the historical
+//! single-job engine.
+//!
 //! ```
 //! use kdag::KDagBuilder;
 //! use fhs_sim::{engine, MachineConfig, Mode, RunOptions};
@@ -68,6 +77,7 @@ pub mod metrics;
 pub mod policy;
 pub mod ready_queue;
 pub mod reference;
+pub mod session;
 pub mod state;
 pub mod svg;
 pub mod timeline;
@@ -83,6 +93,9 @@ pub use fhs_obs::{HistSnapshot, ObsConfig, RunObs, UtilSummary, UtilizationRepor
 pub use instrument::{RunStats, TransitionCounts};
 pub use policy::{Assignments, EpochView, Policy, ReadyTask};
 pub use ready_queue::ReadyQueue;
+pub use session::{
+    InterJobPolicy, JobId, Session, SessionOptions, SessionOutcome, ALL_INTER_JOB_POLICIES,
+};
 pub use workspace::Workspace;
 
 /// Simulator clock value, in discrete time units.

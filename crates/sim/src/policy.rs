@@ -167,6 +167,39 @@ pub trait Policy: Send {
     /// (but wastes processors); choosing tasks not present in the queue or
     /// duplicates is an error the engine panics on.
     fn assign(&mut self, view: &EpochView<'_>, out: &mut Assignments);
+
+    /// Job-scoped attach hook for the session engine: called by
+    /// [`crate::session::Session::admit`] when this policy value takes on a
+    /// (new) job mid-session, possibly after having served earlier jobs.
+    /// `artifacts`, when present, carries the job's shared precompute
+    /// bundle.
+    ///
+    /// The contract extends `init_with_artifacts`: after `attach_job`, the
+    /// policy's observable behavior on this job must be **bit-identical**
+    /// to a fresh policy value cold-`init`ed for it — that's what lets
+    /// sessions recycle policy values (warm tables, zero reallocation)
+    /// across a job stream. The default delegates to
+    /// [`Policy::init`]/[`Policy::init_with_artifacts`], whose contracts
+    /// already require full per-job re-initialization.
+    fn attach_job(
+        &mut self,
+        job: &KDag,
+        config: &MachineConfig,
+        seed: u64,
+        artifacts: Option<&Arc<Artifacts>>,
+    ) {
+        match artifacts {
+            Some(a) => self.init_with_artifacts(job, config, seed, a),
+            None => self.init(job, config, seed),
+        }
+    }
+
+    /// Job-scoped detach hook: called when the session retires this
+    /// policy's job, before the value is parked in the recycle pool.
+    /// Policies holding per-job derived tables may drop or shrink them
+    /// here; behavior of a later [`Policy::attach_job`] must not depend on
+    /// whether `detach_job` ran. The default is a no-op.
+    fn detach_job(&mut self) {}
 }
 
 impl<P: Policy + ?Sized> Policy for Box<P> {
@@ -190,6 +223,18 @@ impl<P: Policy + ?Sized> Policy for Box<P> {
     }
     fn assign(&mut self, view: &EpochView<'_>, out: &mut Assignments) {
         (**self).assign(view, out)
+    }
+    fn attach_job(
+        &mut self,
+        job: &KDag,
+        config: &MachineConfig,
+        seed: u64,
+        artifacts: Option<&Arc<Artifacts>>,
+    ) {
+        (**self).attach_job(job, config, seed, artifacts)
+    }
+    fn detach_job(&mut self) {
+        (**self).detach_job()
     }
 }
 

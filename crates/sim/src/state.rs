@@ -70,7 +70,17 @@ impl JobState {
             counts: TransitionCounts::default(),
         }
     }
+}
 
+impl Default for JobState {
+    /// A zero-capacity state (as [`JobState::empty`]); must be
+    /// [`reset`](JobState::reset) before use.
+    fn default() -> Self {
+        JobState::empty()
+    }
+}
+
+impl JobState {
     /// Re-initializes for `job` in place, retaining allocated capacity, and
     /// releases the roots — observationally identical to a fresh
     /// [`new`](JobState::new) (property-tested via workspace reuse).

@@ -36,6 +36,7 @@
 #![warn(missing_docs)]
 
 pub mod adversarial;
+pub mod arrivals;
 pub mod ep;
 pub mod flexgen;
 pub mod ir;
@@ -44,6 +45,7 @@ pub mod scope;
 pub mod spec;
 pub mod tree;
 
+pub use arrivals::{ArrivalPlan, JobArrival};
 pub use spec::{Family, Typing, WorkloadSpec};
 
 use rand::Rng;
