@@ -17,14 +17,21 @@ fn mqb_variants() -> Vec<(&'static str, MqbTuning)> {
             "min_only_balance",
             MqbTuning {
                 balance: BalanceMetric::MinOnly,
-                subtract_own_work: true,
+                ..MqbTuning::default()
             },
         ),
         (
             "no_own_work_subtraction",
             MqbTuning {
-                balance: BalanceMetric::SortedLexicographic,
                 subtract_own_work: false,
+                ..MqbTuning::default()
+            },
+        ),
+        (
+            "approx_cap_64",
+            MqbTuning {
+                max_candidates: Some(fhs_core::registry::DEFAULT_APPROX_CAP),
+                ..MqbTuning::default()
             },
         ),
     ]

@@ -60,6 +60,7 @@ struct StageTimes {
     shiftbt_init_ns: u128,
     kgreedy_ns: u128,
     mqb_ns: u128,
+    mqb_approx_ns: u128,
 }
 
 /// Measures every pipeline stage on the fixed instance of `size`.
@@ -99,6 +100,7 @@ fn measure(size: SystemSize, samples: usize) -> StageTimes {
     };
     let kgreedy_ns = run_stage(Algorithm::KGreedy);
     let mqb_ns = run_stage(Algorithm::Mqb);
+    let mqb_approx_ns = run_stage(Algorithm::MqbApprox);
     StageTimes {
         label: size.label(),
         tasks: job.num_tasks(),
@@ -109,6 +111,7 @@ fn measure(size: SystemSize, samples: usize) -> StageTimes {
         shiftbt_init_ns,
         kgreedy_ns,
         mqb_ns,
+        mqb_approx_ns,
     }
 }
 
@@ -133,7 +136,8 @@ fn write_baseline(path: &str) {
             let row = measure(size, samples);
             println!(
                 "{:<7} {:>7} tasks {:>8} edges | gen {:>12} reduce {:>12} \
-                 artifacts {:>12} shiftbt {:>12} kgreedy {:>12} mqb {:>12} ns",
+                 artifacts {:>12} shiftbt {:>12} kgreedy {:>12} mqb {:>12} \
+                 mqb-approx {:>12} ns",
                 row.label,
                 row.tasks,
                 row.edges,
@@ -142,7 +146,8 @@ fn write_baseline(path: &str) {
                 row.artifacts_ns,
                 row.shiftbt_init_ns,
                 row.kgreedy_ns,
-                row.mqb_ns
+                row.mqb_ns,
+                row.mqb_approx_ns
             );
             row
         })
@@ -195,7 +200,7 @@ fn write_baseline(path: &str) {
              \"edges\": {},\n      \"generate_ns\": {},\n      \
              \"reduce_ns\": {},\n      \"artifacts_ns\": {},\n      \
              \"shiftbt_init_ns\": {},\n      \"kgreedy_run_ns\": {},\n      \
-             \"mqb_run_ns\": {}\n    }}",
+             \"mqb_run_ns\": {},\n      \"mqb_approx_run_ns\": {}\n    }}",
             r.label,
             r.tasks,
             r.edges,
@@ -204,7 +209,8 @@ fn write_baseline(path: &str) {
             r.artifacts_ns,
             r.shiftbt_init_ns,
             r.kgreedy_ns,
-            r.mqb_ns
+            r.mqb_ns,
+            r.mqb_approx_ns
         ));
     }
     let json = format!(
@@ -234,6 +240,15 @@ fn write_baseline(path: &str) {
         shiftbt_speedup >= 3.0,
         "acceptance criterion: incremental ShiftBT init must be ≥3× the \
          from-scratch oracle on Large (got {shiftbt_speedup:.2}×)"
+    );
+    // PR-7 acceptance: the incremental, index-pruned selection keeps an
+    // *exact* MQB run on the ≥100k-task rung under one second — the
+    // pre-index quadratic scan sat at ~11 s on the same instance.
+    assert!(
+        huge.mqb_ns < 1_000_000_000,
+        "acceptance criterion: exact MQB on the Huge rung must finish \
+         under 1 s (got {:.2} s)",
+        huge.mqb_ns as f64 / 1e9
     );
 }
 

@@ -300,6 +300,92 @@ fn observed_epoch_loop_is_also_allocation_free_when_warm() {
 }
 
 #[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "allocation accounting is asserted in --release (its own CI step)"
+)]
+fn warm_indexed_mqb_epoch_loop_allocates_zero_bytes() {
+    use fhs_core::mqb::{InfoModel, Mqb, MqbTuning};
+    use fhs_core::registry::DEFAULT_APPROX_CAP;
+    use fhs_sim::MachineConfig;
+    use kdag::KDagBuilder;
+
+    // A two-type instance whose type-0 ready queue starts ~3× above the
+    // flat/indexed crossover (64), so the incremental dominance index —
+    // group slab, frontier, key map, journal cursors — is genuinely
+    // exercised, not just the flat scan. The second wave of type-1
+    // children keeps the journal replaying inserts mid-run.
+    let mut b = KDagBuilder::new(2);
+    let mut roots = Vec::new();
+    for i in 0..200u64 {
+        roots.push(b.add_task(0, 1 + (i * 7 + 3) % 5));
+    }
+    for i in 0..90u64 {
+        let t = b.add_task(1, 1 + (i * 5 + 1) % 4);
+        let p1 = (i % 200) as usize;
+        let p2 = ((i * 3 + 1) % 200) as usize;
+        b.add_edge(roots[p1], t).unwrap();
+        if p2 != p1 {
+            b.add_edge(roots[p2], t).unwrap();
+        }
+    }
+    let job = b.build().unwrap();
+    let cfg = MachineConfig::new(vec![2, 2]);
+
+    fhs_sim::instrument::register_alloc_probe(probe);
+    let variants: [(&str, MqbTuning); 2] = [
+        ("MQB-indexed", MqbTuning::default()),
+        (
+            "MQB-Approx",
+            MqbTuning {
+                max_candidates: Some(DEFAULT_APPROX_CAP),
+                ..MqbTuning::default()
+            },
+        ),
+    ];
+    for (name, tuning) in variants {
+        for (mode, quantum) in [
+            (Mode::NonPreemptive, None),
+            (Mode::Preemptive, None),
+            (Mode::Preemptive, Some(1)),
+        ] {
+            let mut ws = Workspace::new();
+            let mut policy = Mqb::with_tuning(InfoModel::default(), tuning);
+            let mut opts = RunOptions::seeded(2);
+            opts.quantum = quantum;
+            let cold = engine::run_in(&mut ws, &job, &cfg, &mut policy, mode, &opts);
+            let sel = cold.stats.selection;
+            if tuning.max_candidates.is_none() {
+                assert!(
+                    sel.candidates_pruned > 0 && sel.cold_snapshots == 1,
+                    "{name} {mode:?} q={quantum:?}: indexed path never engaged \
+                     (pruned {}, rebuilds {})",
+                    sel.candidates_pruned,
+                    sel.cold_snapshots
+                );
+            } else {
+                assert!(
+                    sel.candidates_pruned > 0,
+                    "{name} {mode:?} q={quantum:?}: cap never bit on a 200-wide queue"
+                );
+            }
+            for rerun in 0..3 {
+                let warm = engine::run_in(&mut ws, &job, &cfg, &mut policy, mode, &opts);
+                assert_eq!(
+                    warm.makespan, cold.makespan,
+                    "{name} {mode:?} q={quantum:?}"
+                );
+                assert_eq!(
+                    warm.stats.epoch_bytes, 0,
+                    "{name} {mode:?} q={quantum:?} rerun {rerun}: incremental-state \
+                     epoch loop allocated on a warm workspace",
+                );
+            }
+        }
+    }
+}
+
+#[test]
 fn probe_counts_this_threads_allocations() {
     // Sanity for the harness itself (runs in every profile): allocating
     // must advance the thread's byte count by at least the requested size.

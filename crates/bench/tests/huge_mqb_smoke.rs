@@ -1,0 +1,147 @@
+//! Release-only smoke test for the PR-7 tentpole: **exact MQB on a
+//! ~110k-task Huge instance in well under a second**, via the incremental
+//! dominance-pruned selection index (DESIGN.md §14).
+//!
+//! Guards, in order of what they'd catch:
+//!
+//! * **Wall clock**: the cold run must clear 10 s — measured ~0.33 s on a
+//!   shared CI core, while the pre-index quadratic scan took ~11 s; a
+//!   selection-layer regression toward O(m²) trips this immediately.
+//! * **Pruning effectiveness**: the selection counters must show the
+//!   index discarding the overwhelming majority of candidate evaluations
+//!   (pruned ≫ evaluated) and maintaining itself by journal diffs
+//!   (exactly one cold snapshot, nonzero diff events). A bug that
+//!   silently re-routed contested rounds to the flat scan would keep the
+//!   schedule correct but fail here long before the wall-clock budget.
+//! * **Allocation**: a warm rerun on the reused workspace allocates zero
+//!   bytes — the index's slab, frontier, key map and journal cursors all
+//!   run out of retained capacity (same contract as `alloc_regression`,
+//!   asserted here at the scale where a per-pick or per-group allocation
+//!   would actually hurt).
+//!
+//! Debug builds skip this; CI runs it as its own `--release` step.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::time::{Duration, Instant};
+
+use fhs_core::{make_policy, Algorithm};
+use fhs_sim::{engine, Mode, RunOptions, Workspace};
+use fhs_workloads::{resources::SystemSize, Family, Typing, WorkloadSpec};
+
+thread_local! {
+    static BYTES: Cell<u64> = const { Cell::new(0) };
+}
+
+/// [`System`] plus a per-thread count of bytes requested (growth
+/// included, frees never subtracted) — same probe as `alloc_regression`.
+struct CountingAlloc;
+
+// SAFETY: delegates every operation verbatim to `System`; the
+// bookkeeping allocates nothing itself and `try_with` tolerates
+// thread-teardown allocations.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let _ = BYTES.try_with(|b| b.set(b.get() + layout.size() as u64));
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        let _ = BYTES.try_with(|b| b.set(b.get() + layout.size() as u64));
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let grown = new_size.saturating_sub(layout.size()) as u64;
+        let _ = BYTES.try_with(|b| b.set(b.get() + grown));
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn probe() -> u64 {
+    BYTES.with(|b| b.get())
+}
+
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "Huge instances are exercised in --release (its own CI step)"
+)]
+fn huge_exact_mqb_is_subsecond_pruned_and_warm_allocation_free() {
+    fhs_sim::instrument::register_alloc_probe(probe);
+    // The scale bench's Huge rung: layered IR, K = 4, seed 2 → ~110k tasks.
+    let spec = WorkloadSpec::new(Family::Ir, Typing::Layered, SystemSize::Huge, 4);
+    let (job, cfg) = spec.sample(2);
+    assert!(
+        job.num_tasks() >= 100_000,
+        "Huge rung must be a ≥100k-task instance, got {}",
+        job.num_tasks()
+    );
+
+    let mut ws = Workspace::new();
+    let mut policy = make_policy(Algorithm::Mqb);
+    let t0 = Instant::now();
+    let cold = engine::run_in(
+        &mut ws,
+        &job,
+        &cfg,
+        policy.as_mut(),
+        Mode::NonPreemptive,
+        &RunOptions::seeded(2),
+    );
+    let cold_t = t0.elapsed();
+
+    let sel = cold.stats.selection;
+    println!(
+        "huge mqb smoke: {} tasks | cold {cold_t:?} | evaluated {} pruned {} \
+         ({}x) | diffs {} rebuilds {}",
+        job.num_tasks(),
+        sel.candidates_evaluated,
+        sel.candidates_pruned,
+        sel.candidates_pruned / sel.candidates_evaluated.max(1),
+        sel.diff_events,
+        sel.cold_snapshots,
+    );
+
+    // Wall clock: ~0.33 s measured; 10 s is CI headroom, the old
+    // quadratic scan's ~11 s cannot clear it.
+    assert!(
+        cold_t < Duration::from_secs(10),
+        "exact MQB took {cold_t:?} on Huge — selection scaling regression?"
+    );
+    // The index must carry the run: one cold snapshot at attach, journal
+    // diffs from then on, and the dominance frontier discarding the
+    // overwhelming majority of the quadratic scan's candidate visits.
+    assert_eq!(sel.cold_snapshots, 1, "index was rebuilt mid-run");
+    assert!(sel.diff_events > 0, "journal replay never ran");
+    assert!(sel.candidates_evaluated > 0);
+    assert!(
+        sel.candidates_pruned > 50 * sel.candidates_evaluated,
+        "index pruned only {}× the evaluated candidates on Huge — \
+         dominance frontier degenerating?",
+        sel.candidates_pruned / sel.candidates_evaluated.max(1)
+    );
+
+    // Warm rerun: identical schedule, zero bytes through the epoch loop.
+    let warm = engine::run_in(
+        &mut ws,
+        &job,
+        &cfg,
+        policy.as_mut(),
+        Mode::NonPreemptive,
+        &RunOptions::seeded(2),
+    );
+    assert_eq!(warm.makespan, cold.makespan, "warm replay diverged");
+    assert_eq!(warm.stats.workspace_reuses, 1);
+    assert_eq!(
+        warm.stats.epoch_bytes, 0,
+        "warm Huge MQB epoch loop allocated on a reused workspace"
+    );
+}

@@ -27,13 +27,27 @@
 //! [`InfoModel`]: one-step vs full lookahead, and precise vs
 //! exponentially-distributed vs noisy descendant estimates.
 
+use std::collections::HashMap;
 use std::sync::Arc;
 
-use fhs_sim::{Assignments, EpochView, MachineConfig, Policy, ReadyTask};
+use fhs_sim::{
+    Assignments, EpochView, MachineConfig, Policy, QueueEvent, ReadyTask, SelectionStats,
+};
 use kdag::precompute::Artifacts;
 use kdag::{descendants::DescendantValues, KDag, TaskId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// Sentinel for "no task / no group / not linked" in the index's u32 links.
+const NONE: u32 = u32::MAX;
+
+/// Contested rounds with at most this many candidates use the flat full
+/// scan instead of the dominance-pruned index: below this size the scan's
+/// streaming loop beats the index walk, and the small-queue regime is where
+/// almost all *jobs* (not picks) live. Above it the index path takes over.
+/// Both paths select bit-identical tasks (see DESIGN.md §14), so the
+/// crossover is purely a performance knob.
+const INDEX_CROSSOVER: usize = 64;
 
 /// How much of the K-DAG's future MQB may look at (paper §V-G).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
@@ -136,6 +150,12 @@ pub struct MqbTuning {
     /// literal queue semantics. On by default; the ablation bench
     /// measures how much it matters.
     pub subtract_own_work: bool,
+    /// Bounded-candidate approximation (`MQB-Approx`): when set, each
+    /// contested pick evaluates at most this many candidates — the top-`c`
+    /// untaken by the cheap priority (total descendant value descending,
+    /// then arrival) — instead of the exact dominance-pruned selection.
+    /// `None` (the default) is the exact algorithm.
+    pub max_candidates: Option<usize>,
 }
 
 impl Default for MqbTuning {
@@ -143,7 +163,337 @@ impl Default for MqbTuning {
         MqbTuning {
             balance: BalanceMetric::SortedLexicographic,
             subtract_own_work: true,
+            max_candidates: None,
         }
+    }
+}
+
+/// One candidate-equivalence group of the incremental index: all queued
+/// candidates of one type with a bitwise-identical descendant row
+/// (`class`) and the same dominance remaining-work key (`rem_key`). Such
+/// candidates produce bitwise-identical projected rows at every working
+/// state, so only the group's earliest-arrived member (`head`) can ever
+/// win a pick; groups, not members, are what the dominance frontier
+/// relates (DESIGN.md §14).
+#[derive(Clone, Debug, Default)]
+struct Group {
+    /// Row-class id (index into `Mqb::class_rep`).
+    class: u32,
+    /// Remaining work when `subtract_own_work` is on, 0 otherwise (then
+    /// the projected row doesn't depend on remaining work at all).
+    rem_key: u64,
+    /// Earliest-arrived member (task index); the group's only possible
+    /// winner.
+    head: u32,
+    /// Latest-arrived member: fast path for seq-ascending insertion.
+    tail: u32,
+    /// Member count.
+    len: u32,
+    /// A live group whose key dominates this one (`NONE` when this group
+    /// is on the frontier). The witness's existence is what proves this
+    /// group can be pruned; it is *not* required to be on the frontier
+    /// itself — chains of witnesses end at a frontier group by induction.
+    witness: u32,
+    /// Intrusive list of groups this one witnesses.
+    child_head: u32,
+    /// Sibling links within the witness's child list.
+    sib_prev: u32,
+    /// See `sib_prev`.
+    sib_next: u32,
+    /// Position in `TypeIndex::frontier` (`NONE` when dominated).
+    frontier_pos: u32,
+}
+
+/// Per-type incremental selection index: the groups of one ready queue and
+/// their dominance frontier. Maintained by queue-journal diffs between
+/// epochs; rebuilt from a queue snapshot on attach or journal
+/// discontinuity.
+#[derive(Clone, Debug, Default)]
+struct TypeIndex {
+    /// Group slab; freed ids are recycled through `free`.
+    groups: Vec<Group>,
+    /// Free list into `groups`.
+    free: Vec<u32>,
+    /// Groups with no known dominator — the only groups whose heads a pick
+    /// must evaluate. (A superset of the true Pareto frontier: a group
+    /// placed before its would-be dominator stays until a later sweep
+    /// demotes it, which costs evaluations but never correctness.)
+    frontier: Vec<u32>,
+    /// `(class, rem_key)` → group id. Never iterated, so the std
+    /// HashMap's nondeterministic order can't leak into selection.
+    map: HashMap<(u32, u64), u32>,
+    /// Live member (queued candidate) count across all groups; checked
+    /// against the queue length as a rebuild trigger for hand-built views.
+    live: usize,
+}
+
+impl TypeIndex {
+    fn clear(&mut self) {
+        self.groups.clear();
+        self.free.clear();
+        self.frontier.clear();
+        self.map.clear();
+        self.live = 0;
+    }
+}
+
+/// Split-borrow view over one type's index plus the policy-wide member
+/// arrays and (immutable) descendant tables: the index operations need all
+/// of these at once while `Mqb::assign` concurrently mutates disjoint
+/// scratch fields (`working`, `row`, …).
+struct IndexCtx<'a> {
+    k: usize,
+    subtract_own: bool,
+    d: &'a [f64],
+    d_total: &'a [f64],
+    row_class: &'a [u32],
+    class_rep: &'a [u32],
+    ix: &'a mut TypeIndex,
+    m_group: &'a mut [u32],
+    m_prev: &'a mut [u32],
+    m_next: &'a mut [u32],
+    m_seq: &'a mut [u64],
+    m_rem: &'a mut [u64],
+}
+
+impl IndexCtx<'_> {
+    /// `true` iff group `f`'s key dominates group `g`'s: every descendant-
+    /// row entry at least as large, remaining-work key no larger, and total
+    /// descendant value **strictly** larger. Because IEEE add/subtract/
+    /// divide-by-positive are monotone, the first two conditions force
+    /// `f`'s projected row ≥ `g`'s pointwise at *every* working state —
+    /// `f`'s head then beats every member of `g` on the min and sorted-lex
+    /// keys, and the strict `d_total` settles any full bitwise row tie
+    /// before the seq tie-break could go the wrong way. State-free and
+    /// member-free: a domination, once established, holds for the groups'
+    /// whole lifetime.
+    fn dominates(&self, f: u32, g: u32) -> bool {
+        let gf = &self.ix.groups[f as usize];
+        let gg = &self.ix.groups[g as usize];
+        if gf.rem_key > gg.rem_key {
+            return false;
+        }
+        let rf = self.class_rep[gf.class as usize] as usize;
+        let rg = self.class_rep[gg.class as usize] as usize;
+        if self.d_total[rf] <= self.d_total[rg] {
+            return false;
+        }
+        let ef = &self.d[rf * self.k..rf * self.k + self.k];
+        let eg = &self.d[rg * self.k..rg * self.k + self.k];
+        ef.iter().zip(eg).all(|(x, y)| x >= y)
+    }
+
+    fn new_group(&mut self, class: u32, rem_key: u64) -> u32 {
+        let gid = match self.ix.free.pop() {
+            Some(g) => g,
+            None => {
+                self.ix.groups.push(Group::default());
+                (self.ix.groups.len() - 1) as u32
+            }
+        };
+        self.ix.groups[gid as usize] = Group {
+            class,
+            rem_key,
+            head: NONE,
+            tail: NONE,
+            len: 0,
+            witness: NONE,
+            child_head: NONE,
+            sib_prev: NONE,
+            sib_next: NONE,
+            frontier_pos: NONE,
+        };
+        // Keep `capacity ≥ 2 × len` so hashbrown's tombstone handling can
+        // always rehash in place instead of resizing: insert/remove churn
+        // then never allocates once the table has ratcheted to twice the
+        // live-group peak, which makes warm reruns allocation-free (the
+        // alloc-regression contract) instead of depending on where growth
+        // triggers land relative to retained capacity.
+        let need = 2 * (self.ix.map.len() + 1);
+        if self.ix.map.capacity() < need {
+            self.ix.map.reserve(need - self.ix.map.len());
+        }
+        self.ix.map.insert((class, rem_key), gid);
+        gid
+    }
+
+    /// Inserts queued candidate `t` into its group (creating and placing
+    /// the group if its key is new), keeping the member list seq-ordered.
+    fn insert_member(&mut self, t: usize, seq: u64, rem: u64) {
+        debug_assert_eq!(self.m_group[t], NONE, "task {t} inserted twice");
+        self.m_seq[t] = seq;
+        self.m_rem[t] = rem;
+        let class = self.row_class[t];
+        let rem_key = if self.subtract_own { rem } else { 0 };
+        let (gid, fresh) = match self.ix.map.get(&(class, rem_key)) {
+            Some(&g) => (g, false),
+            None => (self.new_group(class, rem_key), true),
+        };
+        let g = &self.ix.groups[gid as usize];
+        if g.len == 0 {
+            self.ix.groups[gid as usize].head = t as u32;
+            self.ix.groups[gid as usize].tail = t as u32;
+            self.m_prev[t] = NONE;
+            self.m_next[t] = NONE;
+        } else if seq >= self.m_seq[g.tail as usize] {
+            // Releases and rebuilds arrive seq-ascending: tail append.
+            let tail = g.tail as usize;
+            self.m_prev[t] = tail as u32;
+            self.m_next[t] = NONE;
+            self.m_next[tail] = t as u32;
+            self.ix.groups[gid as usize].tail = t as u32;
+        } else {
+            // Round-end reinsertion of a picked head (or a regrouped
+            // update): walk to the first member arriving after us.
+            let mut c = g.head as usize;
+            while self.m_seq[c] < seq {
+                c = self.m_next[c] as usize;
+            }
+            let p = self.m_prev[c];
+            self.m_prev[t] = p;
+            self.m_next[t] = c as u32;
+            self.m_prev[c] = t as u32;
+            if p == NONE {
+                self.ix.groups[gid as usize].head = t as u32;
+            } else {
+                self.m_next[p as usize] = t as u32;
+            }
+        }
+        self.ix.groups[gid as usize].len += 1;
+        self.m_group[t] = gid;
+        self.ix.live += 1;
+        if fresh {
+            self.place_group(gid);
+        }
+    }
+
+    /// Removes queued candidate `t` from its group; a group left empty
+    /// dies (and its witnessed children are re-homed).
+    fn remove_member(&mut self, t: usize) {
+        let gid = self.m_group[t];
+        debug_assert_ne!(gid, NONE, "task {t} not in the index");
+        self.m_group[t] = NONE;
+        let (p, n) = (self.m_prev[t], self.m_next[t]);
+        if p == NONE {
+            self.ix.groups[gid as usize].head = n;
+        } else {
+            self.m_next[p as usize] = n;
+        }
+        if n == NONE {
+            self.ix.groups[gid as usize].tail = p;
+        } else {
+            self.m_prev[n as usize] = p;
+        }
+        self.ix.groups[gid as usize].len -= 1;
+        self.ix.live -= 1;
+        if self.ix.groups[gid as usize].len == 0 {
+            self.remove_group(gid);
+        }
+    }
+
+    fn attach_child(&mut self, w: u32, c: u32) {
+        let old_head = self.ix.groups[w as usize].child_head;
+        {
+            let gc = &mut self.ix.groups[c as usize];
+            gc.witness = w;
+            gc.frontier_pos = NONE;
+            gc.sib_prev = NONE;
+            gc.sib_next = old_head;
+        }
+        if old_head != NONE {
+            self.ix.groups[old_head as usize].sib_prev = c;
+        }
+        self.ix.groups[w as usize].child_head = c;
+    }
+
+    fn detach_child(&mut self, c: u32) {
+        let (w, sp, sn) = {
+            let gc = &self.ix.groups[c as usize];
+            (gc.witness, gc.sib_prev, gc.sib_next)
+        };
+        if sp == NONE {
+            self.ix.groups[w as usize].child_head = sn;
+        } else {
+            self.ix.groups[sp as usize].sib_next = sn;
+        }
+        if sn != NONE {
+            self.ix.groups[sn as usize].sib_prev = sp;
+        }
+        let gc = &mut self.ix.groups[c as usize];
+        gc.witness = NONE;
+        gc.sib_prev = NONE;
+        gc.sib_next = NONE;
+    }
+
+    fn frontier_swap_remove(&mut self, pos: usize) {
+        self.ix.frontier.swap_remove(pos);
+        if pos < self.ix.frontier.len() {
+            let moved = self.ix.frontier[pos];
+            self.ix.groups[moved as usize].frontier_pos = pos as u32;
+        }
+    }
+
+    /// Places a detached group: under the first frontier dominator found,
+    /// else onto the frontier — demoting any frontier groups the newcomer
+    /// dominates (they keep their own children; a demoted group's witness
+    /// chain stays valid because every witness stays live).
+    fn place_group(&mut self, gid: u32) {
+        for pos in 0..self.ix.frontier.len() {
+            let f = self.ix.frontier[pos];
+            if self.dominates(f, gid) {
+                // Transitivity: dominated by `f` means `gid` cannot
+                // dominate anything `f` doesn't already — no sweep needed.
+                self.attach_child(f, gid);
+                return;
+            }
+        }
+        self.ix.groups[gid as usize].frontier_pos = self.ix.frontier.len() as u32;
+        self.ix.frontier.push(gid);
+        let mut i = 0;
+        while i < self.ix.frontier.len() {
+            let f = self.ix.frontier[i];
+            if f != gid && self.dominates(gid, f) {
+                self.frontier_swap_remove(i);
+                self.attach_child(gid, f);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Retires an empty group. Frontier death re-places each witnessed
+    /// child from scratch; interior death splices the children to the dead
+    /// group's own witness (valid by transitivity through the dead group's
+    /// frozen keys).
+    fn remove_group(&mut self, gid: u32) {
+        let (class, rem_key, fpos, witness, mut c) = {
+            let g = &self.ix.groups[gid as usize];
+            (g.class, g.rem_key, g.frontier_pos, g.witness, g.child_head)
+        };
+        self.ix.map.remove(&(class, rem_key));
+        if fpos != NONE {
+            self.frontier_swap_remove(fpos as usize);
+            while c != NONE {
+                let next = self.ix.groups[c as usize].sib_next;
+                {
+                    let gc = &mut self.ix.groups[c as usize];
+                    gc.witness = NONE;
+                    gc.sib_prev = NONE;
+                    gc.sib_next = NONE;
+                }
+                self.place_group(c);
+                c = next;
+            }
+        } else {
+            self.detach_child(gid);
+            while c != NONE {
+                let next = self.ix.groups[c as usize].sib_next;
+                self.attach_child(witness, c);
+                c = next;
+            }
+        }
+        self.ix.groups[gid as usize].child_head = NONE;
+        self.ix.free.push(gid);
     }
 }
 
@@ -175,6 +525,39 @@ pub struct Mqb {
     cand_sorted: Vec<f64>,
     /// Ascending-sorted balance vector of the current best (built lazily).
     best_sorted: Vec<f64>,
+    // --- Incremental dominance-pruned index (DESIGN.md §14). ---
+    /// Row-class of each task: tasks with bitwise-identical descendant
+    /// rows share a class.
+    row_class: Vec<u32>,
+    /// One representative task per class (for reading the class's row and
+    /// `d_total` — identical bits for every member by construction).
+    class_rep: Vec<u32>,
+    /// Task-index scratch for the class-table sort.
+    class_scratch: Vec<u32>,
+    /// Per-type index over the queued candidates.
+    idx: Vec<TypeIndex>,
+    /// Member state, task-indexed: owning group (`NONE` = not queued),
+    /// seq-ordered intrusive list links, and the queue entry's seq /
+    /// remaining (mirrors of the journal, so picks don't re-touch queues).
+    m_group: Vec<u32>,
+    m_prev: Vec<u32>,
+    m_next: Vec<u32>,
+    m_seq: Vec<u64>,
+    m_rem: Vec<u64>,
+    /// Per-type journal cursor `(journal_gen, offset)` — how far into each
+    /// queue's change-journal the index has replayed.
+    cursor: Vec<(u64, usize)>,
+    /// Forces a cold index rebuild from the queues at the next `assign`
+    /// (set on init/attach/reset; cleared by the rebuild).
+    need_rebuild: bool,
+    /// Selection-work counters, harvested via
+    /// [`Policy::take_selection_stats`].
+    sel: SelectionStats,
+    /// Tasks picked this round (preemptive indexed path: they stay queued,
+    /// so they re-enter the index at round end).
+    picked: Vec<u32>,
+    /// Candidate order for the bounded-candidate approximation.
+    approx_order: Vec<u32>,
 }
 
 impl Default for Mqb {
@@ -206,6 +589,20 @@ impl Mqb {
             best_row: Vec::new(),
             cand_sorted: Vec::new(),
             best_sorted: Vec::new(),
+            row_class: Vec::new(),
+            class_rep: Vec::new(),
+            class_scratch: Vec::new(),
+            idx: Vec::new(),
+            m_group: Vec::new(),
+            m_prev: Vec::new(),
+            m_next: Vec::new(),
+            m_seq: Vec::new(),
+            m_rem: Vec::new(),
+            cursor: Vec::new(),
+            need_rebuild: true,
+            sel: SelectionStats::default(),
+            picked: Vec::new(),
+            approx_order: Vec::new(),
         }
     }
 
@@ -282,6 +679,163 @@ impl Mqb {
         self.d_total.extend(
             (0..job.num_tasks()).map(|i| self.d[i * self.k..(i + 1) * self.k].iter().sum::<f64>()),
         );
+
+        // Class table for the incremental index: tasks with bitwise-
+        // identical descendant rows share a class (and therefore identical
+        // projected rows at every working state — the grouping the index's
+        // dominance frontier is built over).
+        let n = job.num_tasks();
+        let k = self.k;
+        let d = &self.d;
+        let row_bits = |t: u32| {
+            d[t as usize * k..t as usize * k + k]
+                .iter()
+                .map(|x| x.to_bits())
+        };
+        self.class_scratch.clear();
+        self.class_scratch.extend(0..n as u32);
+        self.class_scratch
+            .sort_unstable_by(|&a, &b| row_bits(a).cmp(row_bits(b)));
+        self.row_class.clear();
+        self.row_class.resize(n, 0);
+        self.class_rep.clear();
+        let mut prev: Option<u32> = None;
+        for &t in &self.class_scratch {
+            if prev.is_none_or(|p| !row_bits(p).eq(row_bits(t))) {
+                self.class_rep.push(t);
+            }
+            self.row_class[t as usize] = (self.class_rep.len() - 1) as u32;
+            prev = Some(t);
+        }
+
+        self.need_rebuild = true;
+        self.sel = SelectionStats::default();
+    }
+
+    /// Brings the incremental index up to date with this epoch's queues:
+    /// replays each queue's change-journal from the remembered cursor, or
+    /// rebuilds cold from queue snapshots when the policy was (re)attached
+    /// or the journal doesn't account for the queues (hand-built views).
+    fn sync_index(&mut self, view: &EpochView<'_>) {
+        let k = self.k;
+        if !self.need_rebuild {
+            let subtract_own = self.tuning.subtract_own_work;
+            for alpha in 0..k {
+                let q = &view.queues[alpha];
+                let (gen, off) = self.cursor[alpha];
+                let start = if q.journal_gen() == gen { off } else { 0 };
+                let events = &q.journal()[start..];
+                if !events.is_empty() {
+                    self.sel.diff_events += events.len() as u64;
+                    let mut cx = IndexCtx {
+                        k,
+                        subtract_own,
+                        d: &self.d,
+                        d_total: &self.d_total,
+                        row_class: &self.row_class,
+                        class_rep: &self.class_rep,
+                        ix: &mut self.idx[alpha],
+                        m_group: &mut self.m_group,
+                        m_prev: &mut self.m_prev,
+                        m_next: &mut self.m_next,
+                        m_seq: &mut self.m_seq,
+                        m_rem: &mut self.m_rem,
+                    };
+                    for ev in events {
+                        match *ev {
+                            QueueEvent::Pushed(rt) => {
+                                cx.insert_member(rt.id.index(), rt.seq, rt.remaining);
+                            }
+                            QueueEvent::Removed(id) => {
+                                // Skip-if-absent: picks on the indexed path
+                                // already removed their member.
+                                let t = id.index();
+                                if cx.m_group[t] != NONE {
+                                    cx.remove_member(t);
+                                }
+                            }
+                            QueueEvent::Updated { id, remaining } => {
+                                let t = id.index();
+                                if cx.m_group[t] == NONE {
+                                    continue;
+                                }
+                                if subtract_own {
+                                    // Remaining work is part of the group
+                                    // key: regroup under the new value.
+                                    let seq = cx.m_seq[t];
+                                    cx.remove_member(t);
+                                    cx.insert_member(t, seq, remaining);
+                                } else {
+                                    cx.m_rem[t] = remaining;
+                                }
+                            }
+                        }
+                    }
+                }
+                self.cursor[alpha] = (q.journal_gen(), q.journal().len());
+            }
+            // Defense-in-depth: a view whose queues the journal doesn't
+            // explain (hand-built in tests) forces a cold rebuild.
+            if (0..k).any(|a| self.idx[a].live != view.queues[a].len()) {
+                self.need_rebuild = true;
+            }
+        }
+        if self.need_rebuild {
+            self.rebuild_index(view);
+            self.need_rebuild = false;
+        }
+    }
+
+    /// Cold rebuild: resets the member arrays and every type's index, then
+    /// reinserts all queued candidates from the view's queues.
+    fn rebuild_index(&mut self, view: &EpochView<'_>) {
+        self.sel.cold_snapshots += 1;
+        let k = self.k;
+        let n = view.job.num_tasks();
+        self.m_group.clear();
+        self.m_group.resize(n, NONE);
+        self.m_prev.clear();
+        self.m_prev.resize(n, NONE);
+        self.m_next.clear();
+        self.m_next.resize(n, NONE);
+        self.m_seq.clear();
+        self.m_seq.resize(n, 0);
+        self.m_rem.clear();
+        self.m_rem.resize(n, 0);
+        for ix in &mut self.idx {
+            ix.clear();
+        }
+        // Never shrink `idx`/`cursor`: truncating would drop warm capacity
+        // (the alloc-regression contract covers machine-shape hopping).
+        if self.idx.len() < k {
+            self.idx.resize_with(k, TypeIndex::default);
+        }
+        if self.cursor.len() < k {
+            self.cursor.resize(k, (0, 0));
+        }
+        for alpha in 0..k {
+            let q = &view.queues[alpha];
+            {
+                let mut cx = IndexCtx {
+                    k,
+                    subtract_own: self.tuning.subtract_own_work,
+                    d: &self.d,
+                    d_total: &self.d_total,
+                    row_class: &self.row_class,
+                    class_rep: &self.class_rep,
+                    ix: &mut self.idx[alpha],
+                    m_group: &mut self.m_group,
+                    m_prev: &mut self.m_prev,
+                    m_next: &mut self.m_next,
+                    m_seq: &mut self.m_seq,
+                    m_rem: &mut self.m_rem,
+                };
+                for rt in q.iter() {
+                    cx.insert_member(rt.id.index(), rt.seq, rt.remaining);
+                }
+            }
+            self.cursor[alpha] = (q.journal_gen(), q.journal().len());
+        }
     }
 }
 
@@ -299,6 +853,114 @@ pub fn cmp_balance(a: &[f64], b: &[f64]) -> std::cmp::Ordering {
     std::cmp::Ordering::Equal
 }
 
+/// Scratch for one pick's selection ladder: the incumbent's projected row,
+/// the lazily built ascending sorts, and the incumbent's tie-break keys.
+/// Shared by the flat scan, the indexed path, and the approximation so a
+/// single comparison sequence decides every duel — the paths are
+/// bit-identical by construction, not by parallel maintenance.
+struct Duel<'a> {
+    row: &'a mut Vec<f64>,
+    best_row: &'a mut Vec<f64>,
+    cand_sorted: &'a mut Vec<f64>,
+    best_sorted: &'a mut Vec<f64>,
+    best_sorted_valid: bool,
+    min_only: bool,
+    best_min: f64,
+    best_dt: f64,
+    best_seq: u64,
+    /// Winner so far (caller-defined identifier); `NONE` before the first
+    /// challenger.
+    best: u32,
+}
+
+impl<'a> Duel<'a> {
+    fn new(
+        row: &'a mut Vec<f64>,
+        best_row: &'a mut Vec<f64>,
+        cand_sorted: &'a mut Vec<f64>,
+        best_sorted: &'a mut Vec<f64>,
+        min_only: bool,
+    ) -> Duel<'a> {
+        Duel {
+            row,
+            best_row,
+            cand_sorted,
+            best_sorted,
+            best_sorted_valid: false,
+            min_only,
+            best_min: 0.0,
+            best_dt: 0.0,
+            best_seq: 0,
+            best: NONE,
+        }
+    }
+
+    /// Challenges the incumbent with the candidate whose projected row is
+    /// currently in `self.row` (its minimum pre-computed as `mn`), with
+    /// tie-break keys `dt` (total descendant value) and `seq`. On a win the
+    /// candidate (identified by `who`) becomes the incumbent. The
+    /// comparison sequence — min via `total_cmp`, sorted-lex on bitwise
+    /// min-ties (skipped under MinOnly), then larger `d_total`, then
+    /// earlier arrival — is exactly the naive algorithm's.
+    fn challenge(&mut self, who: u32, mn: f64, dt: f64, seq: u64) {
+        let mut cand_sorted_built = false;
+        let better = if self.best == NONE {
+            true
+        } else {
+            match mn.total_cmp(&self.best_min) {
+                std::cmp::Ordering::Less => false,
+                std::cmp::Ordering::Greater => true,
+                std::cmp::Ordering::Equal => {
+                    // Sorted-lex vectors agree at position 0 (total_cmp
+                    // equality is bitwise). Compare the rest — or go
+                    // straight to the tie-break under the MinOnly ablation.
+                    let rest = if self.min_only {
+                        std::cmp::Ordering::Equal
+                    } else {
+                        if !self.best_sorted_valid {
+                            self.best_sorted.clear();
+                            self.best_sorted.extend_from_slice(self.best_row);
+                            self.best_sorted.sort_unstable_by(f64::total_cmp);
+                            self.best_sorted_valid = true;
+                        }
+                        self.cand_sorted.clear();
+                        self.cand_sorted.extend_from_slice(self.row);
+                        self.cand_sorted.sort_unstable_by(f64::total_cmp);
+                        cand_sorted_built = true;
+                        cmp_balance(self.cand_sorted, self.best_sorted)
+                    };
+                    match rest {
+                        std::cmp::Ordering::Greater => true,
+                        std::cmp::Ordering::Less => false,
+                        std::cmp::Ordering::Equal => {
+                            // Tie-break: larger total descendant value,
+                            // then earlier arrival.
+                            match dt.total_cmp(&self.best_dt) {
+                                std::cmp::Ordering::Greater => true,
+                                std::cmp::Ordering::Less => false,
+                                std::cmp::Ordering::Equal => seq < self.best_seq,
+                            }
+                        }
+                    }
+                }
+            }
+        };
+        if better {
+            self.best = who;
+            self.best_min = mn;
+            self.best_dt = dt;
+            self.best_seq = seq;
+            std::mem::swap(self.best_row, self.row);
+            if cand_sorted_built {
+                std::mem::swap(self.best_sorted, self.cand_sorted);
+                self.best_sorted_valid = true;
+            } else {
+                self.best_sorted_valid = false;
+            }
+        }
+    }
+}
+
 /// One-step descendant values: type-`α` work of immediate children only,
 /// split across their parents.
 fn one_step_descendants(job: &KDag) -> Vec<f64> {
@@ -314,8 +976,283 @@ fn one_step_descendants(job: &KDag) -> Vec<f64> {
     d
 }
 
+impl Mqb {
+    /// Contested round, flat path: evaluates every untaken candidate per
+    /// pick. Exact, and fastest below [`INDEX_CROSSOVER`].
+    ///
+    /// Gather the candidates' descendant rows contiguously once (a pure
+    /// copy, so every value is bit-identical to indexing `d` directly),
+    /// then evaluate each pick by streaming over `erows`: a candidate's
+    /// projected row is recomputed fresh from the current working vector —
+    /// the exact computation the naive algorithm performs — and the
+    /// lexicographic comparison short-circuits on the sorted vectors'
+    /// *first* element (the minimum), which decides almost every duel.
+    /// Full ascending sorts are built only on bitwise min-ties.
+    fn assign_flat(
+        &mut self,
+        view: &EpochView<'_>,
+        alpha: usize,
+        slots: usize,
+        out: &mut Assignments,
+    ) {
+        let k = self.k;
+        let procs = view.config.procs_per_type();
+        view.queues[alpha].collect_into(&mut self.snap);
+        let m = self.snap.len();
+        self.taken.clear();
+        self.taken.resize(m, false);
+        self.erows.clear();
+        for qi in 0..m {
+            let row_start = self.snap[qi].id.index() * k;
+            self.erows
+                .extend_from_slice(&self.d[row_start..row_start + k]);
+        }
+        let min_only = matches!(self.tuning.balance, BalanceMetric::MinOnly);
+        let subtract_own = self.tuning.subtract_own_work;
+        self.row.clear();
+        self.row.resize(k, 0.0);
+        self.best_row.clear();
+        self.best_row.resize(k, 0.0);
+
+        for _ in 0..slots {
+            let mut duel = Duel::new(
+                &mut self.row,
+                &mut self.best_row,
+                &mut self.cand_sorted,
+                &mut self.best_sorted,
+                min_only,
+            );
+            let mut evaluated = 0u64;
+            for qi in 0..m {
+                if self.taken[qi] {
+                    continue;
+                }
+                let rt = self.snap[qi];
+                evaluated += 1;
+                // The candidate's projected x-utilization row: working
+                // value plus its descendant promise, minus its own work
+                // leaving its queue, over the processor count. The
+                // floating-point operation order here is load-bearing —
+                // it reproduces the naive per-pick evaluation bit for
+                // bit (and the indexed path reproduces it in turn).
+                let ebase = qi * k;
+                for (beta, &p) in procs.iter().enumerate() {
+                    let mut l = self.working[beta] + self.erows[ebase + beta];
+                    if beta == alpha && subtract_own {
+                        l -= rt.remaining as f64;
+                    }
+                    duel.row[beta] = l / p as f64;
+                }
+                let mut mn = duel.row[0];
+                for &x in &duel.row[1..] {
+                    if x.total_cmp(&mn).is_lt() {
+                        mn = x;
+                    }
+                }
+                duel.challenge(qi as u32, mn, self.d_total[rt.id.index()], rt.seq);
+            }
+            assert_ne!(duel.best, NONE, "queue longer than slots");
+            let bqi = duel.best as usize;
+            self.taken[bqi] = true;
+            let rt = self.snap[bqi];
+            out.push(alpha, rt.id);
+            self.sel.candidates_evaluated += evaluated;
+            self.apply_projection(alpha, &rt);
+        }
+    }
+
+    /// Contested round, indexed path: evaluates only the dominance-frontier
+    /// group heads — provably the only candidates that can win the pick
+    /// (DESIGN.md §14) — with the same ladder as the flat scan, so the
+    /// chosen task is bit-identical. Picks update the index directly (the
+    /// queue itself is untouched until the engine acts on the choices).
+    fn assign_indexed(
+        &mut self,
+        view: &EpochView<'_>,
+        alpha: usize,
+        slots: usize,
+        out: &mut Assignments,
+    ) {
+        let k = self.k;
+        let procs = view.config.procs_per_type();
+        let min_only = matches!(self.tuning.balance, BalanceMetric::MinOnly);
+        let subtract_own = self.tuning.subtract_own_work;
+        self.row.clear();
+        self.row.resize(k, 0.0);
+        self.best_row.clear();
+        self.best_row.resize(k, 0.0);
+        self.picked.clear();
+        let mut cx = IndexCtx {
+            k,
+            subtract_own,
+            d: &self.d,
+            d_total: &self.d_total,
+            row_class: &self.row_class,
+            class_rep: &self.class_rep,
+            ix: &mut self.idx[alpha],
+            m_group: &mut self.m_group,
+            m_prev: &mut self.m_prev,
+            m_next: &mut self.m_next,
+            m_seq: &mut self.m_seq,
+            m_rem: &mut self.m_rem,
+        };
+
+        for _ in 0..slots {
+            let mut duel = Duel::new(
+                &mut self.row,
+                &mut self.best_row,
+                &mut self.cand_sorted,
+                &mut self.best_sorted,
+                min_only,
+            );
+            let mut evaluated = 0u64;
+            for fi in 0..cx.ix.frontier.len() {
+                let head = cx.ix.groups[cx.ix.frontier[fi] as usize].head as usize;
+                let rem = cx.m_rem[head];
+                evaluated += 1;
+                // Same fp operation order as the flat scan — load-bearing.
+                let ebase = head * k;
+                for (beta, &p) in procs.iter().enumerate() {
+                    let mut l = self.working[beta] + cx.d[ebase + beta];
+                    if beta == alpha && subtract_own {
+                        l -= rem as f64;
+                    }
+                    duel.row[beta] = l / p as f64;
+                }
+                let mut mn = duel.row[0];
+                for &x in &duel.row[1..] {
+                    if x.total_cmp(&mn).is_lt() {
+                        mn = x;
+                    }
+                }
+                duel.challenge(head as u32, mn, cx.d_total[head], cx.m_seq[head]);
+            }
+            assert_ne!(duel.best, NONE, "queue longer than slots");
+            let t = duel.best as usize;
+            out.push(alpha, TaskId::from_index(t));
+            self.sel.candidates_evaluated += evaluated;
+            self.sel.candidates_pruned += cx.ix.live as u64 - evaluated;
+            // The projection, inlined (`apply_projection` would re-borrow
+            // all of `self` while `cx` holds the index).
+            self.working[alpha] -= cx.m_rem[t] as f64;
+            let row_start = t * k;
+            for (beta, w) in self.working.iter_mut().enumerate() {
+                *w += cx.d[row_start + beta];
+            }
+            if view.preemptive {
+                self.picked.push(t as u32);
+            }
+            cx.remove_member(t);
+        }
+        // Preemptive picks stay queued (the engine progresses rather than
+        // starts them): they re-enter the index for the next epoch. Their
+        // queue entries are untouched, so seq/rem mirrors are still valid.
+        for i in 0..self.picked.len() {
+            let t = self.picked[i] as usize;
+            let (seq, rem) = (cx.m_seq[t], cx.m_rem[t]);
+            cx.insert_member(t, seq, rem);
+        }
+    }
+
+    /// Contested round, bounded-candidate approximation (`MQB-Approx`):
+    /// ranks the round's candidates once by the cheap priority — total
+    /// descendant value descending, then arrival — and evaluates at most
+    /// `cap` untaken candidates per pick with the exact selection ladder.
+    fn assign_approx(
+        &mut self,
+        view: &EpochView<'_>,
+        alpha: usize,
+        slots: usize,
+        cap: usize,
+        out: &mut Assignments,
+    ) {
+        let k = self.k;
+        let cap = cap.max(1) as u64;
+        let procs = view.config.procs_per_type();
+        view.queues[alpha].collect_into(&mut self.snap);
+        let m = self.snap.len();
+        self.taken.clear();
+        self.taken.resize(m, false);
+        self.erows.clear();
+        for qi in 0..m {
+            let row_start = self.snap[qi].id.index() * k;
+            self.erows
+                .extend_from_slice(&self.d[row_start..row_start + k]);
+        }
+        self.approx_order.clear();
+        self.approx_order.extend(0..m as u32);
+        {
+            let (snap, d_total) = (&self.snap, &self.d_total);
+            self.approx_order.sort_unstable_by(|&a, &b| {
+                let (ra, rb) = (&snap[a as usize], &snap[b as usize]);
+                d_total[rb.id.index()]
+                    .total_cmp(&d_total[ra.id.index()])
+                    .then_with(|| ra.seq.cmp(&rb.seq))
+            });
+        }
+        let min_only = matches!(self.tuning.balance, BalanceMetric::MinOnly);
+        let subtract_own = self.tuning.subtract_own_work;
+        self.row.clear();
+        self.row.resize(k, 0.0);
+        self.best_row.clear();
+        self.best_row.resize(k, 0.0);
+
+        let mut left = m as u64;
+        for _ in 0..slots {
+            let mut duel = Duel::new(
+                &mut self.row,
+                &mut self.best_row,
+                &mut self.cand_sorted,
+                &mut self.best_sorted,
+                min_only,
+            );
+            let mut evaluated = 0u64;
+            for &qi32 in self.approx_order.iter() {
+                let qi = qi32 as usize;
+                if self.taken[qi] {
+                    continue;
+                }
+                let rt = self.snap[qi];
+                evaluated += 1;
+                let ebase = qi * k;
+                for (beta, &p) in procs.iter().enumerate() {
+                    let mut l = self.working[beta] + self.erows[ebase + beta];
+                    if beta == alpha && subtract_own {
+                        l -= rt.remaining as f64;
+                    }
+                    duel.row[beta] = l / p as f64;
+                }
+                let mut mn = duel.row[0];
+                for &x in &duel.row[1..] {
+                    if x.total_cmp(&mn).is_lt() {
+                        mn = x;
+                    }
+                }
+                duel.challenge(qi as u32, mn, self.d_total[rt.id.index()], rt.seq);
+                if evaluated >= cap {
+                    break;
+                }
+            }
+            assert_ne!(duel.best, NONE, "queue longer than slots");
+            let bqi = duel.best as usize;
+            self.taken[bqi] = true;
+            let rt = self.snap[bqi];
+            out.push(alpha, rt.id);
+            self.sel.candidates_evaluated += evaluated;
+            self.sel.candidates_pruned += left - evaluated;
+            left -= 1;
+            self.apply_projection(alpha, &rt);
+        }
+    }
+}
+
 impl Policy for Mqb {
     fn name(&self) -> &str {
+        // The bounded-candidate variant is a first-class policy of its own
+        // (`Algorithm::MqbApprox`); its name must match that label.
+        if self.tuning.max_candidates.is_some() {
+            return "MQB-Approx";
+        }
         // The plain name for the default model; experiments use
         // `InfoModel::label` for the §V-G variants.
         match (self.info.lookahead, self.info.accuracy) {
@@ -356,7 +1293,15 @@ impl Policy for Mqb {
     fn assign(&mut self, view: &EpochView<'_>, out: &mut Assignments) {
         let k = self.k;
         debug_assert_eq!(k, view.config.num_types());
-        let procs = view.config.procs_per_type();
+
+        let approx_cap = self.tuning.max_candidates;
+        if approx_cap.is_none() {
+            // Exact mode keeps the incremental index current every epoch —
+            // journal diffs are O(changes) even in epochs the flat path
+            // serves, and the index must be ready when a round crosses the
+            // size threshold.
+            self.sync_index(view);
+        }
 
         // Working queue-work vector, updated as selections are made.
         self.working.clear();
@@ -369,11 +1314,10 @@ impl Policy for Mqb {
             if slots == 0 || queue.is_empty() {
                 continue;
             }
-            // Repeated random access below: snapshot the live queue once.
-            queue.collect_into(&mut self.snap);
-            if self.snap.len() <= slots {
+            if queue.len() <= slots {
                 // Run them all; still project their effect for the types
                 // not yet processed in this epoch.
+                queue.collect_into(&mut self.snap);
                 for qi in 0..self.snap.len() {
                     let rt = self.snap[qi];
                     out.push(alpha, rt.id);
@@ -381,132 +1325,12 @@ impl Policy for Mqb {
                 }
                 continue;
             }
-
-            let m = self.snap.len();
-            self.taken.clear();
-            self.taken.resize(m, false);
-
-            // Fused selection fast path. Gather the candidates' descendant
-            // rows contiguously once (a pure copy, so every value is
-            // bit-identical to indexing `d` directly), then evaluate each
-            // pick by streaming over `erows`: a candidate's projected row
-            // is recomputed fresh from the current working vector — the
-            // exact computation the naive algorithm performs — and the
-            // lexicographic comparison short-circuits on the sorted
-            // vectors' *first* element (the minimum), which decides almost
-            // every duel. Full ascending sorts are built only on bitwise
-            // min-ties. This removes the per-pick cache-repair sweep (an
-            // O(m·K log K) re-sort whenever a projection dirties several
-            // working entries, i.e. always for dense descendant rows).
-            self.erows.clear();
-            for qi in 0..m {
-                let row_start = self.snap[qi].id.index() * k;
-                self.erows
-                    .extend_from_slice(&self.d[row_start..row_start + k]);
-            }
-            let min_only = matches!(self.tuning.balance, BalanceMetric::MinOnly);
-            let subtract_own = self.tuning.subtract_own_work;
-            self.row.clear();
-            self.row.resize(k, 0.0);
-            self.best_row.clear();
-            self.best_row.resize(k, 0.0);
-
-            for _ in 0..slots {
-                let mut best_qi: Option<usize> = None;
-                let mut best_min = 0.0f64;
-                let mut best_sorted_valid = false;
-                for qi in 0..m {
-                    if self.taken[qi] {
-                        continue;
-                    }
-                    let rt = self.snap[qi];
-                    // The candidate's projected x-utilization row: working
-                    // value plus its descendant promise, minus its own work
-                    // leaving its queue, over the processor count. The
-                    // floating-point operation order here is load-bearing —
-                    // it reproduces the naive per-pick evaluation bit for
-                    // bit.
-                    let ebase = qi * k;
-                    for (beta, &p) in procs.iter().enumerate() {
-                        let mut l = self.working[beta] + self.erows[ebase + beta];
-                        if beta == alpha && subtract_own {
-                            l -= rt.remaining as f64;
-                        }
-                        self.row[beta] = l / p as f64;
-                    }
-                    let mut mn = self.row[0];
-                    for &x in &self.row[1..] {
-                        if x.total_cmp(&mn).is_lt() {
-                            mn = x;
-                        }
-                    }
-
-                    // `true` once this candidate's full sorted vector has
-                    // been materialized (only happens on min-ties).
-                    let mut cand_sorted_built = false;
-                    let better = match best_qi {
-                        None => true,
-                        Some(bqi) => match mn.total_cmp(&best_min) {
-                            std::cmp::Ordering::Less => false,
-                            std::cmp::Ordering::Greater => true,
-                            std::cmp::Ordering::Equal => {
-                                // Sorted-lex vectors agree at position 0
-                                // (total_cmp equality is bitwise). Compare
-                                // the rest — or go straight to the
-                                // tie-break under the MinOnly ablation.
-                                let rest = if min_only {
-                                    std::cmp::Ordering::Equal
-                                } else {
-                                    if !best_sorted_valid {
-                                        self.best_sorted.clear();
-                                        self.best_sorted.extend_from_slice(&self.best_row);
-                                        self.best_sorted.sort_unstable_by(f64::total_cmp);
-                                        best_sorted_valid = true;
-                                    }
-                                    self.cand_sorted.clear();
-                                    self.cand_sorted.extend_from_slice(&self.row);
-                                    self.cand_sorted.sort_unstable_by(f64::total_cmp);
-                                    cand_sorted_built = true;
-                                    cmp_balance(&self.cand_sorted, &self.best_sorted)
-                                };
-                                match rest {
-                                    std::cmp::Ordering::Greater => true,
-                                    std::cmp::Ordering::Less => false,
-                                    std::cmp::Ordering::Equal => {
-                                        // Tie-break: larger total descendant
-                                        // value, then earlier arrival.
-                                        let brt = self.snap[bqi];
-                                        let (dt_c, dt_b) = (
-                                            self.d_total[rt.id.index()],
-                                            self.d_total[brt.id.index()],
-                                        );
-                                        match dt_c.total_cmp(&dt_b) {
-                                            std::cmp::Ordering::Greater => true,
-                                            std::cmp::Ordering::Less => false,
-                                            std::cmp::Ordering::Equal => rt.seq < brt.seq,
-                                        }
-                                    }
-                                }
-                            }
-                        },
-                    };
-                    if better {
-                        best_qi = Some(qi);
-                        best_min = mn;
-                        std::mem::swap(&mut self.best_row, &mut self.row);
-                        if cand_sorted_built {
-                            std::mem::swap(&mut self.best_sorted, &mut self.cand_sorted);
-                            best_sorted_valid = true;
-                        } else {
-                            best_sorted_valid = false;
-                        }
-                    }
+            match approx_cap {
+                Some(cap) => self.assign_approx(view, alpha, slots, cap, out),
+                None if queue.len() > INDEX_CROSSOVER => {
+                    self.assign_indexed(view, alpha, slots, out)
                 }
-                let bqi = best_qi.expect("queue longer than slots");
-                self.taken[bqi] = true;
-                let rt = self.snap[bqi];
-                out.push(alpha, rt.id);
-                self.apply_projection(alpha, &rt);
+                None => self.assign_flat(view, alpha, slots, out),
             }
         }
     }
@@ -525,6 +1349,9 @@ impl Policy for Mqb {
         self.best_row.clear();
         self.cand_sorted.clear();
         self.best_sorted.clear();
+        self.picked.clear();
+        self.approx_order.clear();
+        self.need_rebuild = true;
     }
 
     fn detach_job(&mut self) {
@@ -542,6 +1369,23 @@ impl Policy for Mqb {
         self.best_row.clear();
         self.cand_sorted.clear();
         self.best_sorted.clear();
+        self.row_class.clear();
+        self.class_rep.clear();
+        self.m_group.clear();
+        self.m_prev.clear();
+        self.m_next.clear();
+        self.m_seq.clear();
+        self.m_rem.clear();
+        for ix in &mut self.idx {
+            ix.clear();
+        }
+        self.picked.clear();
+        self.approx_order.clear();
+        self.need_rebuild = true;
+    }
+
+    fn take_selection_stats(&mut self) -> Option<SelectionStats> {
+        Some(std::mem::take(&mut self.sel))
     }
 }
 

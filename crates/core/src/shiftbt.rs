@@ -24,7 +24,7 @@
 //!
 //! A literal implementation runs K(K+1)/2 full relaxation simulations
 //! from scratch. The production path here (bit-identical to the retained
-//! [`reference`] loop, proptested) cuts that three ways:
+//! [`mod@reference`] loop, proptested) cuts that three ways:
 //!
 //! * **Cached relaxations.** A type's relaxation from an earlier round
 //!   stays valid after type `β` is fixed as long as the cached simulation
@@ -51,7 +51,7 @@
 //!   per-epoch full sort selects. Completion events live in a circular
 //!   calendar sized by the job's largest work value (production work
 //!   values are 1–2; a binary heap covers pathological jobs). All of it
-//!   sits in a per-policy [`RelaxScratch`] sized once per job and reused
+//!   sits in a per-policy `RelaxScratch` sized once per job and reused
 //!   across rounds and — on a warm policy — across instances, in the
 //!   spirit of the PR-3 steady-state layer.
 

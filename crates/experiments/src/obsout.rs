@@ -74,7 +74,7 @@ pub fn metrics_line(
         num(summary.p95),
     ));
     out.push_str(&format!(
-        ",\"stats\":{{\"epochs\":{},\"tasks_assigned\":{},\"releases\":{},\"starts\":{},\"completions\":{},\"progress_updates\":{},\"peak_queue_depth\":{},\"assign_nanos\":{},\"engine_nanos\":{},\"workspace_reuses\":{},\"workspace_cold_inits\":{}}}",
+        ",\"stats\":{{\"epochs\":{},\"tasks_assigned\":{},\"releases\":{},\"starts\":{},\"completions\":{},\"progress_updates\":{},\"peak_queue_depth\":{},\"assign_nanos\":{},\"engine_nanos\":{},\"workspace_reuses\":{},\"workspace_cold_inits\":{},\"selection\":{{\"candidates_evaluated\":{},\"candidates_pruned\":{},\"diff_events\":{},\"cold_snapshots\":{}}}}}",
         stats.epochs,
         stats.tasks_assigned,
         stats.transitions.releases,
@@ -86,6 +86,10 @@ pub fn metrics_line(
         stats.engine_nanos,
         stats.workspace_reuses,
         stats.workspace_cold_inits,
+        stats.selection.candidates_evaluated,
+        stats.selection.candidates_pruned,
+        stats.selection.diff_events,
+        stats.selection.cold_snapshots,
     ));
     if let Some(o) = obs {
         out.push_str(&format!(
@@ -237,6 +241,19 @@ mod tests {
         assert_eq!(v.get("instances").and_then(|x| x.as_u64()), Some(6));
         let ratio = v.get("ratio").expect("ratio block");
         assert!(ratio.get("mean").and_then(|x| x.as_f64()).unwrap() >= 1.0);
+        let sel = v
+            .get("stats")
+            .and_then(|s| s.get("selection"))
+            .expect("selection block");
+        // MQB evaluates at least one candidate per assigned task and
+        // rebuilds its index once per instance (cold attach).
+        assert!(
+            sel.get("candidates_evaluated")
+                .and_then(|x| x.as_u64())
+                .unwrap()
+                > 0
+        );
+        assert!(sel.get("cold_snapshots").and_then(|x| x.as_u64()).unwrap() >= 1);
         let lat = v.get("latency").expect("latency block");
         assert!(
             lat.get("assign_ns")

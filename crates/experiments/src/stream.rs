@@ -7,7 +7,7 @@
 //! per-job **response time** (finish − arrival), **slowdown** (response
 //! over the job's isolated lower bound), and sustained **throughput**.
 //!
-//! [`run_stream`] drives one [`Session`](fhs_sim::Session) per
+//! [`run_stream`] drives one [`Session`] per
 //! `(algorithm, cadence, inter-job policy)` cell: the machine is sampled
 //! once from the spec, jobs are admitted at the times of a seeded
 //! [`ArrivalPlan`] (Poisson or random-order), policy values and job

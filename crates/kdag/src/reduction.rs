@@ -39,7 +39,7 @@ use crate::types::TaskId;
 /// sensitive — O(Σ_u cone(u)) where `cone(u)` is the pruned descendant
 /// cone walked below `u`'s children; on the generator families here the
 /// windows are shallow and the walk is near-linear in |E|, where the
-/// dense-bitset [`reference`] needs O(|V|²/64) words no matter what.
+/// dense-bitset [`mod@reference`] needs O(|V|²/64) words no matter what.
 pub fn transitive_reduction(dag: &KDag) -> KDag {
     let n = dag.num_tasks();
     let order = topological_order(dag).expect("KDag invariant violated: cycle");

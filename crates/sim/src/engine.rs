@@ -2,7 +2,7 @@
 //! non-preemptive and preemptive modes.
 //!
 //! Every iteration runs the same three shared phases — compute per-type
-//! slots, consult the policy on an [`EpochView`], validate its selection
+//! slots, consult the policy on an [`EpochView`](crate::policy::EpochView), validate its selection
 //! (slot capacity, task type, duplicate stamps) — and then branches on the
 //! mode only for dispatch and clock advance:
 //!
@@ -13,7 +13,7 @@
 //!   clock advances by the smallest chosen remaining work (or the quantum,
 //!   if one is set) and every chosen task progresses by that amount.
 //!
-//! State transitions go through the indexed [`JobState`] (O(1) amortized
+//! State transitions go through the indexed [`JobState`](crate::state::JobState) (O(1) amortized
 //! per operation); the pre-indexed linear-scan implementation survives as
 //! [`crate::reference`] and the two are property-tested to produce
 //! bit-identical schedules. Each run also collects a
@@ -360,6 +360,9 @@ fn run_engine(
         crate::trace::coalesce(&mut ws.mach.segments);
     }
     stats.transitions = ws.rt.state.transition_counts();
+    if let Some(sel) = policy.take_selection_stats() {
+        stats.selection = sel;
+    }
     SimOutcome {
         makespan: now,
         epochs: stats.epochs,

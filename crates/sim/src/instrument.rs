@@ -48,6 +48,39 @@ pub struct TransitionCounts {
     pub peak_queue_depth: usize,
 }
 
+/// Candidate-selection counters reported by policies that maintain an
+/// incremental selection index (MQB's dominance-pruned path; see
+/// [`crate::policy::Policy::take_selection_stats`]).
+///
+/// All four counters sum under [`merge`](SelectionStats::merge): the
+/// pruning effectiveness of a run is read as `candidates_pruned /
+/// (candidates_evaluated + candidates_pruned)`, and the incremental-state
+/// health as `diff_events` (cheap) vs `cold_snapshots` (full rebuilds).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SelectionStats {
+    /// Candidates actually scored by the selection comparator.
+    pub candidates_evaluated: u64,
+    /// Queued candidates skipped by dominance pruning (they provably could
+    /// not win the pick that skipped them).
+    pub candidates_pruned: u64,
+    /// Queue-journal diff events applied to the incremental index instead
+    /// of re-snapshotting the queues.
+    pub diff_events: u64,
+    /// Cold full rebuilds of the incremental index (first epoch after
+    /// attach, or a detected journal discontinuity).
+    pub cold_snapshots: u64,
+}
+
+impl SelectionStats {
+    /// Sums another policy's selection counters into this one.
+    pub fn merge(&mut self, other: &SelectionStats) {
+        self.candidates_evaluated += other.candidates_evaluated;
+        self.candidates_pruned += other.candidates_pruned;
+        self.diff_events += other.diff_events;
+        self.cold_snapshots += other.cold_snapshots;
+    }
+}
+
 /// Counters for one engine run, surfaced on
 /// [`crate::engine::SimOutcome::stats`].
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -77,6 +110,9 @@ pub struct RunStats {
     /// 0 otherwise. In steady state (reused workspace, warm policy) this
     /// should be ~0 — asserted by the allocation-regression test.
     pub epoch_bytes: u64,
+    /// Candidate-selection counters from the run's policy, when the policy
+    /// reports them (all zero otherwise).
+    pub selection: SelectionStats,
 }
 
 impl RunStats {
@@ -98,6 +134,7 @@ impl RunStats {
         self.workspace_reuses += other.workspace_reuses;
         self.workspace_cold_inits += other.workspace_cold_inits;
         self.epoch_bytes += other.epoch_bytes;
+        self.selection.merge(&other.selection);
     }
 }
 
@@ -107,7 +144,8 @@ impl fmt::Display for RunStats {
             f,
             "epochs {} | assigned {} | released {} | started {} | completed {} \
              | progressed {} | peak queue {} | assign {:.3} ms | engine {:.3} ms \
-             | ws {} warm / {} cold | epoch alloc {} B",
+             | ws {} warm / {} cold | epoch alloc {} B \
+             | sel eval {} / pruned {} | diffs {} / rebuilds {}",
             self.epochs,
             self.tasks_assigned,
             self.transitions.releases,
@@ -120,6 +158,10 @@ impl fmt::Display for RunStats {
             self.workspace_reuses,
             self.workspace_cold_inits,
             self.epoch_bytes,
+            self.selection.candidates_evaluated,
+            self.selection.candidates_pruned,
+            self.selection.diff_events,
+            self.selection.cold_snapshots,
         )
     }
 }
@@ -145,6 +187,12 @@ mod tests {
             workspace_reuses: 1,
             workspace_cold_inits: 0,
             epoch_bytes: 64,
+            selection: SelectionStats {
+                candidates_evaluated: 10,
+                candidates_pruned: 90,
+                diff_events: 5,
+                cold_snapshots: 1,
+            },
         };
         let b = RunStats {
             epochs: 1,
@@ -161,6 +209,12 @@ mod tests {
             workspace_reuses: 0,
             workspace_cold_inits: 1,
             epoch_bytes: 32,
+            selection: SelectionStats {
+                candidates_evaluated: 1,
+                candidates_pruned: 2,
+                diff_events: 3,
+                cold_snapshots: 0,
+            },
         };
         a.merge(&b);
         assert_eq!(a.epochs, 3);
@@ -173,6 +227,10 @@ mod tests {
         assert_eq!(a.workspace_reuses, 1);
         assert_eq!(a.workspace_cold_inits, 1);
         assert_eq!(a.epoch_bytes, 96);
+        assert_eq!(a.selection.candidates_evaluated, 11);
+        assert_eq!(a.selection.candidates_pruned, 92);
+        assert_eq!(a.selection.diff_events, 8);
+        assert_eq!(a.selection.cold_snapshots, 1);
     }
 
     #[test]

@@ -90,9 +90,9 @@ pub use engine::{Mode, RunOptions, SimOutcome};
 // trace) lives in the dependency-free `fhs-obs` crate; re-export the
 // handles engine callers need.
 pub use fhs_obs::{HistSnapshot, ObsConfig, RunObs, UtilSummary, UtilizationReport};
-pub use instrument::{RunStats, TransitionCounts};
+pub use instrument::{RunStats, SelectionStats, TransitionCounts};
 pub use policy::{Assignments, EpochView, Policy, ReadyTask};
-pub use ready_queue::ReadyQueue;
+pub use ready_queue::{QueueEvent, ReadyQueue};
 pub use session::{
     InterJobPolicy, JobId, Session, SessionOptions, SessionOutcome, ALL_INTER_JOB_POLICIES,
 };

@@ -200,6 +200,16 @@ pub trait Policy: Send {
     /// here; behavior of a later [`Policy::attach_job`] must not depend on
     /// whether `detach_job` ran. The default is a no-op.
     fn detach_job(&mut self) {}
+
+    /// Takes (and resets) the policy's candidate-selection counters, when
+    /// it maintains any (see
+    /// [`SelectionStats`](crate::instrument::SelectionStats)). The engine
+    /// harvests this once per run (and the session engine once per retired
+    /// job) into [`RunStats::selection`](crate::instrument::RunStats). The
+    /// default returns `None` — most policies don't track selection work.
+    fn take_selection_stats(&mut self) -> Option<crate::instrument::SelectionStats> {
+        None
+    }
 }
 
 impl<P: Policy + ?Sized> Policy for Box<P> {
@@ -235,6 +245,9 @@ impl<P: Policy + ?Sized> Policy for Box<P> {
     }
     fn detach_job(&mut self) {
         (**self).detach_job()
+    }
+    fn take_selection_stats(&mut self) -> Option<crate::instrument::SelectionStats> {
+        (**self).take_selection_stats()
     }
 }
 

@@ -15,13 +15,40 @@
 //! `2·live + MIN_COMPACT_SLACK` entries — iteration stays O(live) and each
 //! entry is moved O(1) amortized times over its queue lifetime.
 
-use kdag::TaskId;
+use kdag::{TaskId, Work};
 
 use crate::policy::ReadyTask;
 
 /// Tombstone slack below which compaction is never triggered; keeps tiny
 /// queues from compacting on every removal.
 const MIN_COMPACT_SLACK: usize = 8;
+
+/// One membership or remaining-work change to a [`ReadyQueue`], recorded in
+/// the queue's change-journal.
+///
+/// Policies that maintain incremental per-candidate state (the indexed MQB
+/// selection path) subscribe to the journal instead of re-snapshotting the
+/// queue every epoch: they remember how far into [`ReadyQueue::journal`]
+/// they have read (together with [`ReadyQueue::journal_gen`], which detects
+/// truncation) and replay only the suffix. Compaction is *not* journaled —
+/// it moves slots, never membership — so journal consumers must key their
+/// state by task, not by slot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QueueEvent {
+    /// A candidate entered the queue (task release, or a preempted task
+    /// re-queued by the engine).
+    Pushed(ReadyTask),
+    /// A candidate left the queue (started non-preemptively, completed, or
+    /// unqueued by the engine).
+    Removed(TaskId),
+    /// A queued candidate's remaining work changed (preemptive progress).
+    Updated {
+        /// The task whose queue entry changed.
+        id: TaskId,
+        /// Its new remaining work.
+        remaining: Work,
+    },
+}
 
 /// One type's candidate queue: arrival-ordered storage with tombstoned
 /// removal and amortized compaction.
@@ -35,6 +62,8 @@ pub struct ReadyQueue {
     entries: Vec<ReadyTask>,
     live: Vec<bool>,
     live_count: usize,
+    journal: Vec<QueueEvent>,
+    journal_gen: u64,
 }
 
 impl ReadyQueue {
@@ -53,7 +82,34 @@ impl ReadyQueue {
             entries: tasks,
             live: vec![true; n],
             live_count: n,
+            ..ReadyQueue::default()
         }
+    }
+
+    /// The change-journal: every membership/remaining change since the last
+    /// [`journal_gen`](Self::journal_gen) bump, in application order.
+    ///
+    /// The engine truncates the journal once per epoch, after policies have
+    /// consumed it; hand-built queues (tests) never truncate, so consumers
+    /// must tolerate an ever-growing journal.
+    #[inline]
+    pub fn journal(&self) -> &[QueueEvent] {
+        &self.journal
+    }
+
+    /// Generation counter for the journal: bumped every time the journal is
+    /// truncated. A consumer that remembers `(journal_gen, offset)` replays
+    /// `journal()[offset..]` when the generation still matches, and
+    /// `journal()[0..]` when it advanced.
+    #[inline]
+    pub fn journal_gen(&self) -> u64 {
+        self.journal_gen
+    }
+
+    /// Truncates the journal and bumps the generation (capacity retained).
+    pub(crate) fn clear_journal(&mut self) {
+        self.journal.clear();
+        self.journal_gen += 1;
     }
 
     /// Number of live candidates.
@@ -99,6 +155,7 @@ impl ReadyQueue {
         self.entries.clear();
         self.live.clear();
         self.live_count = 0;
+        self.clear_journal();
     }
 
     /// Appends a candidate, returning its slot for the position map.
@@ -106,6 +163,7 @@ impl ReadyQueue {
         self.entries.push(rt);
         self.live.push(true);
         self.live_count += 1;
+        self.journal.push(QueueEvent::Pushed(rt));
         self.entries.len() - 1
     }
 
@@ -116,20 +174,34 @@ impl ReadyQueue {
         &self.entries[slot]
     }
 
-    /// Mutable access to the candidate at `slot` (must be live).
-    #[inline]
-    pub(crate) fn slot_mut(&mut self, slot: usize) -> &mut ReadyTask {
-        debug_assert!(self.live[slot], "slot {slot} is tombstoned");
-        &mut self.entries[slot]
-    }
-
     /// Tombstones `slot` and returns its candidate. O(1); storage is
     /// reclaimed later by [`compact`](Self::compact).
     pub(crate) fn remove_slot(&mut self, slot: usize) -> ReadyTask {
         debug_assert!(self.live[slot], "slot {slot} already tombstoned");
         self.live[slot] = false;
         self.live_count -= 1;
+        self.journal
+            .push(QueueEvent::Removed(self.entries[slot].id));
         self.entries[slot]
+    }
+
+    /// Subtracts `dt` from the remaining work of the (live) candidate at
+    /// `slot`, journaling the update; returns the new remaining work.
+    pub(crate) fn progress_slot(&mut self, slot: usize, dt: Work) -> Work {
+        debug_assert!(self.live[slot], "slot {slot} is tombstoned");
+        let rt = &mut self.entries[slot];
+        assert!(
+            rt.remaining >= dt,
+            "task {} overran its remaining work",
+            rt.id
+        );
+        rt.remaining -= dt;
+        let remaining = rt.remaining;
+        self.journal.push(QueueEvent::Updated {
+            id: rt.id,
+            remaining,
+        });
+        remaining
     }
 
     /// Number of tombstoned slots awaiting compaction.
@@ -172,6 +244,7 @@ impl ReadyQueue {
             .position(|(rt, &alive)| alive && rt.id == id)?;
         self.live.remove(at);
         self.live_count -= 1;
+        self.journal.push(QueueEvent::Removed(id));
         Some(self.entries.remove(at))
     }
 
@@ -180,12 +253,16 @@ impl ReadyQueue {
         self.iter().find(|rt| rt.id == id)
     }
 
-    /// Linear-scan mutable lookup (reference engine).
-    pub(crate) fn scan_find_mut(&mut self, id: TaskId) -> Option<&mut ReadyTask> {
-        self.entries
-            .iter_mut()
+    /// Linear-scan progress (reference engine): subtracts `dt` from `id`'s
+    /// remaining work, journaling the update; returns the new remaining
+    /// work, or `None` when `id` is not queued.
+    pub(crate) fn scan_progress(&mut self, id: TaskId, dt: Work) -> Option<Work> {
+        let at = self
+            .entries
+            .iter()
             .zip(&self.live)
-            .find_map(|(rt, &alive)| (alive && rt.id == id).then_some(rt))
+            .position(|(rt, &alive)| alive && rt.id == id)?;
+        Some(self.progress_slot(at, dt))
     }
 }
 
@@ -246,8 +323,42 @@ mod tests {
         assert_eq!(q.len(), 2);
         assert_eq!(q.dead(), 0, "scan removal shifts; no tombstones");
         assert_eq!(q.scan_find(TaskId::from_index(2)).unwrap().remaining, 3);
-        q.scan_find_mut(TaskId::from_index(2)).unwrap().remaining = 7;
-        assert_eq!(q.scan_find(TaskId::from_index(2)).unwrap().remaining, 7);
+        assert_eq!(q.scan_progress(TaskId::from_index(2), 1), Some(2));
+        assert_eq!(q.scan_find(TaskId::from_index(2)).unwrap().remaining, 2);
+        assert_eq!(q.scan_progress(TaskId::from_index(9), 1), None);
+    }
+
+    #[test]
+    fn journal_records_membership_and_progress_in_order() {
+        let mut q = ReadyQueue::new();
+        assert_eq!(q.journal_gen(), 0);
+        let s0 = q.push(rt(0, 0, 4));
+        q.push(rt(1, 1, 2));
+        q.progress_slot(s0, 1);
+        q.remove_slot(s0);
+        q.scan_remove(TaskId::from_index(1));
+        assert_eq!(
+            q.journal(),
+            &[
+                QueueEvent::Pushed(rt(0, 0, 4)),
+                QueueEvent::Pushed(rt(1, 1, 2)),
+                QueueEvent::Updated {
+                    id: TaskId::from_index(0),
+                    remaining: 3
+                },
+                QueueEvent::Removed(TaskId::from_index(0)),
+                QueueEvent::Removed(TaskId::from_index(1)),
+            ]
+        );
+        q.clear_journal();
+        assert!(q.journal().is_empty());
+        assert_eq!(q.journal_gen(), 1);
+        // Compaction moves slots but not membership: nothing journaled.
+        q.compact(|_, _| {});
+        assert!(q.journal().is_empty());
+        // Full clears bump the generation so stale cursors can't alias.
+        q.clear();
+        assert_eq!(q.journal_gen(), 2);
     }
 
     #[test]

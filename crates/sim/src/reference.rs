@@ -132,12 +132,9 @@ impl RefState {
             "progressing task {v} which is not a candidate"
         );
         let alpha = job.rtype(v);
-        let rt = self.queues[alpha]
-            .scan_find_mut(v)
+        let rem = self.queues[alpha]
+            .scan_progress(v, dt)
             .expect("ready task must be queued");
-        assert!(rt.remaining >= dt, "task {v} overran its remaining work");
-        rt.remaining -= dt;
-        let rem = rt.remaining;
         self.queue_work[alpha] -= dt;
         rem
     }

@@ -6,24 +6,24 @@
 //! admit → step → retire lifecycle:
 //!
 //! * **admit** — [`Session::admit`] attaches a seeded job at the current
-//!   simulation time: a recycled [`JobRt`] is reset for its shape, the
+//!   simulation time: a recycled `JobRt` is reset for its shape, the
 //!   per-job policy is attached via
-//!   [`Policy::attach_job`](crate::policy::Policy::attach_job) (artifacts
+//!   [`Policy::attach_job`] (artifacts
 //!   optional), and its roots join the shared ready state.
 //! * **step** — [`Session::run_until`] advances the shared epoch/event
-//!   loop ([`drive`]) to a target time, stopping exactly at the horizon so
+//!   loop (`drive`) to a target time, stopping exactly at the horizon so
 //!   arrivals interleave deterministically with completions. Every epoch,
 //!   an [`InterJobPolicy`] orders the active jobs and each job's *intra*-job
 //!   policy fills its assignment against the slots earlier jobs left.
 //! * **retire** — jobs whose last task drained are detached
-//!   ([`Policy::detach_job`](crate::policy::Policy::detach_job)), their
+//!   ([`Policy::detach_job`]), their
 //!   runtimes and policy values returned to spare pools, and a
 //!   [`JobRecord`](fhs_obs::JobRecord) (response time, queueing delay,
 //!   slowdown vs the isolated lower bound) is folded into the session's
 //!   [`StreamStats`](fhs_obs::StreamStats).
 //!
 //! The single-job engine is a one-job session: [`crate::engine::run`]
-//! calls the same [`drive`] loop with one [`SessionJob`] and no horizon,
+//! calls the same `drive` loop with one `SessionJob` and no horizon,
 //! which is why the session refactor is pinned **bit-identical** to the
 //! historical engine by the golden and property tests (and by the
 //! `session_equivalence` proptest in `fhs-core`, which replays one-job
@@ -174,7 +174,7 @@ pub struct SessionOutcome {
     pub obs: Option<Box<fhs_obs::RunObs>>,
 }
 
-/// One active job as seen by the [`drive`] loop: the job graph, its
+/// One active job as seen by the `drive` loop: the job graph, its
 /// runtime, its policy, and its stable heap slot.
 pub(crate) struct SessionJob<'a> {
     pub(crate) job: &'a KDag,
@@ -187,7 +187,7 @@ pub(crate) struct SessionJob<'a> {
     pub(crate) done: bool,
 }
 
-/// Why [`drive`] returned.
+/// Why `drive` returned.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub(crate) enum DriveEnd {
     /// Every job in the slice has drained.
@@ -196,7 +196,7 @@ pub(crate) enum DriveEnd {
     Reached,
 }
 
-/// Borrowed context threaded through one [`drive`] call: machine state,
+/// Borrowed context threaded through one `drive` call: machine state,
 /// recorder, config, cadence, and the accumulators that persist across
 /// calls within a session.
 pub(crate) struct DriveCtx<'a> {
@@ -328,6 +328,11 @@ pub(crate) fn drive(
                     }
                 }
                 first_in_epoch = false;
+                // The policy has consumed this epoch's queue diffs; truncate
+                // the change-journals so the post-assign transitions below
+                // (starts, progress, releases) accumulate into a fresh
+                // journal for the next epoch.
+                j.rt.state.clear_journals();
                 epoch_total += j.rt.out.total() as u64;
 
                 for alpha in 0..k {
@@ -709,7 +714,7 @@ impl Session {
     }
 
     /// A policy value recycled from a retired job, if any — warm buffers
-    /// included. [`Policy::attach_job`](crate::policy::Policy::attach_job)
+    /// included. [`Policy::attach_job`]
     /// guarantees re-attachment is bit-identical to a fresh policy, so
     /// single-algorithm streams can run allocation-light by re-admitting
     /// these.
@@ -874,6 +879,7 @@ impl Session {
             self.jobs.push(record);
             self.stats.merge(&RunStats {
                 transitions: a.rt.state.transition_counts(),
+                selection: a.policy.take_selection_stats().unwrap_or_default(),
                 ..RunStats::default()
             });
             a.policy.detach_job();

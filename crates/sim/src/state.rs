@@ -73,7 +73,7 @@ impl JobState {
 }
 
 impl Default for JobState {
-    /// A zero-capacity state (as [`JobState::empty`]); must be
+    /// A zero-capacity state (as `JobState::empty`); must be
     /// [`reset`](JobState::reset) before use.
     fn default() -> Self {
         JobState::empty()
@@ -251,13 +251,18 @@ impl JobState {
             "progressing task {v} which is not a candidate"
         );
         let alpha = job.rtype(v);
-        let rt = self.queues[alpha].slot_mut(self.pos[v.index()] as usize);
-        assert!(rt.remaining >= dt, "task {v} overran its remaining work");
-        rt.remaining -= dt;
-        let rem = rt.remaining;
+        let rem = self.queues[alpha].progress_slot(self.pos[v.index()] as usize, dt);
         self.queue_work[alpha] -= dt;
         self.counts.progress_updates += 1;
         rem
+    }
+
+    /// Truncates every queue's change-journal (and bumps its generation),
+    /// once per epoch after policies have consumed the diffs.
+    pub fn clear_journals(&mut self) {
+        for q in &mut self.queues {
+            q.clear_journal();
+        }
     }
 
     /// Remaining work of a queued candidate (preemptive engines).

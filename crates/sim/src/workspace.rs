@@ -10,12 +10,12 @@
 //! A [`Workspace`] owns all of it once, split along the session engine's
 //! ownership seam (PR 6):
 //!
-//! * [`JobRt`] — the runtime of **one job**: its [`JobState`], assignment
+//! * `JobRt` — the runtime of **one job**: its [`JobState`], assignment
 //!   lanes, duplicate-selection stamps, processor maps, and stream
 //!   metadata (arrival/first-start/finish times). The single-job engine
 //!   uses the workspace's own `rt`; a [`crate::session::Session`] owns one
 //!   `JobRt` per in-flight job and recycles them through a spare pool.
-//! * [`MachState`] — the **machine-side** state shared by every job in a
+//! * `MachState` — the **machine-side** state shared by every job in a
 //!   session: per-type busy counts and busy time, the free-processor
 //!   stacks, the completion min-heap (keyed `(time, job slot, task)`), the
 //!   per-epoch slot counts, and the monotonic epoch counter.
@@ -34,7 +34,7 @@
 //! invariants make that safe:
 //!
 //! * Every buffer is fully re-initialized for the incoming `(job, config)`
-//!   shape by [`Workspace::begin_run`]; capacity is retained, contents are
+//!   shape by `Workspace::begin_run`; capacity is retained, contents are
 //!   not.
 //! * The duplicate-selection stamps are *not* cleared — instead the epoch
 //!   counter is monotonic across all runs on one workspace, so a stale
@@ -180,7 +180,7 @@ impl MachState {
 
 /// Owns every per-run allocation of the engine, reusable across runs of
 /// arbitrary `(job, config)` shapes. See the module docs for the reuse
-/// contract and the [`JobRt`]/[`MachState`] split.
+/// contract and the `JobRt`/`MachState` split.
 #[derive(Debug)]
 pub struct Workspace {
     /// The single-job runtime (job slot 0 of a one-job session).
