@@ -20,8 +20,12 @@
 //! ```
 
 use criterion::{black_box, criterion_group, Criterion};
+use fhs_core::{make_policy, Algorithm};
 use fhs_sim::policy::FifoPolicy;
-use fhs_sim::{engine, reference, Assignments, EpochView, MachineConfig, Mode, Policy, RunOptions};
+use fhs_sim::{
+    engine, reference, Assignments, EpochView, MachineConfig, Mode, Policy, RunOptions, Workspace,
+};
+use fhs_workloads::{resources::SystemSize, Family, Typing, WorkloadSpec};
 use kdag::{KDag, KDagBuilder};
 use std::time::Instant;
 
@@ -95,6 +99,37 @@ fn bench_engines(c: &mut Criterion) {
         });
     }
     g.finish();
+
+    // Huge rung: the epoch loop at the scale the fast-forward / dirty-set
+    // / hot-state work targets (DESIGN.md §15) — the same ~110k-task
+    // layered IR instance the scale bench's Huge rung records, driven by
+    // KGreedy so the measurement is the engine, not selection. The
+    // reference engines are skipped here: their per-transition queue
+    // scans are quadratic at this width and would take minutes.
+    let (hjob, hcfg) = huge_instance();
+    let mut g = c.benchmark_group("engine/huge");
+    g.sample_size(10);
+    g.bench_function("indexed/kgreedy/np", |b| {
+        let mut ws = Workspace::new();
+        let mut policy = make_policy(Algorithm::KGreedy);
+        b.iter(|| {
+            engine::run_in(
+                &mut ws,
+                &hjob,
+                &hcfg,
+                policy.as_mut(),
+                Mode::NonPreemptive,
+                &RunOptions::seeded(2),
+            )
+            .makespan
+        })
+    });
+    g.finish();
+}
+
+/// The scale bench's Huge instance: layered IR, K = 4, seed 2, ~110k tasks.
+fn huge_instance() -> (KDag, MachineConfig) {
+    WorkloadSpec::new(Family::Ir, Typing::Layered, SystemSize::Huge, 4).sample(2)
 }
 
 criterion_group!(benches, bench_engines);
@@ -132,18 +167,50 @@ fn write_baseline(path: &str) {
     });
     let speedup = refr as f64 / indexed as f64;
 
+    // Huge rung (reference engines excluded — quadratic at this width):
+    // the post-§15 epoch loop on the ~110k-task instance, warm workspace.
+    let (hjob, hcfg) = huge_instance();
+    let huge_tasks = hjob.num_tasks();
+    let mut ws = Workspace::new();
+    let mut policy = make_policy(Algorithm::KGreedy);
+    let huge_kgreedy = median_nanos(samples, || {
+        black_box(
+            engine::run_in(
+                &mut ws,
+                &hjob,
+                &hcfg,
+                policy.as_mut(),
+                Mode::NonPreemptive,
+                &RunOptions::seeded(2),
+            )
+            .makespan,
+        );
+    });
+
     let json = format!(
         "{{\n  \"bench\": \"engine/flat{N_TASKS}\",\n  \"workload\": {{\n    \
          \"tasks\": {N_TASKS},\n    \"k\": {K},\n    \"procs_per_type\": {PROCS_PER_TYPE},\n    \
          \"mode\": \"preemptive\",\n    \"policy\": \"BackOfQueue\"\n  }},\n  \
          \"samples\": {samples},\n  \"indexed_median_ns\": {indexed},\n  \
-         \"reference_median_ns\": {refr},\n  \"speedup\": {speedup:.2}\n}}\n"
+         \"reference_median_ns\": {refr},\n  \"speedup\": {speedup:.2},\n  \
+         \"huge\": {{\n    \"tasks\": {huge_tasks},\n    \"k\": 4,\n    \
+         \"mode\": \"non_preemptive\",\n    \"policy\": \"KGreedy\",\n    \
+         \"kgreedy_median_ns\": {huge_kgreedy}\n  }}\n}}\n"
     );
     std::fs::write(path, &json).expect("write baseline");
-    println!("wrote {path}: indexed {indexed} ns, reference {refr} ns, speedup {speedup:.2}x");
+    println!(
+        "wrote {path}: indexed {indexed} ns, reference {refr} ns, speedup {speedup:.2}x, \
+         huge kgreedy {huge_kgreedy} ns"
+    );
     assert!(
         speedup >= 2.0,
         "acceptance criterion: indexed engine must be ≥2× faster (got {speedup:.2}×)"
+    );
+    // §15 budget, same bar the scale-bench recording enforces.
+    assert!(
+        huge_kgreedy < 27_000_000,
+        "acceptance criterion: Huge KGreedy epoch loop must stay under \
+         27 ms (got {huge_kgreedy} ns)"
     );
 }
 

@@ -250,6 +250,28 @@ fn write_baseline(path: &str) {
          under 1 s (got {:.2} s)",
         huge.mqb_ns as f64 / 1e9
     );
+    // PR-8 acceptance: the bounded-candidate approximation must actually
+    // be cheaper than the exact selection it approximates, at every rung.
+    // (It once inverted at scale: its per-round full sort + row mirror of
+    // the whole queue cost more than the exact path's incremental index.)
+    for r in &rows {
+        assert!(
+            r.mqb_approx_ns <= r.mqb_ns,
+            "acceptance criterion: MQB-Approx must not cost more than \
+             exact MQB ({}: approx {} ns > exact {} ns)",
+            r.label,
+            r.mqb_approx_ns,
+            r.mqb_ns
+        );
+    }
+    // PR-8 acceptance: epoch fast-forward + cache-conscious hot state keep
+    // a Huge KGreedy run under 27 ms (the seed sat at ~48 ms).
+    assert!(
+        huge.kgreedy_ns < 27_000_000,
+        "acceptance criterion: KGreedy on the Huge rung must finish under \
+         27 ms (got {:.1} ms)",
+        huge.kgreedy_ns as f64 / 1e6
+    );
 }
 
 fn bench_scale(c: &mut Criterion) {

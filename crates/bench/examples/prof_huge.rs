@@ -1,0 +1,50 @@
+//! Ad-hoc profiling harness for the Large/Huge-rung engine runs (not
+//! shipped in benches; run with
+//! `cargo run --release -p fhs-bench --example prof_huge`).
+
+use std::time::Instant;
+
+use fhs_core::{make_policy, Algorithm};
+use fhs_sim::{engine, Mode, RunOptions, Workspace};
+use fhs_workloads::{resources::SystemSize, Family, Typing, WorkloadSpec};
+
+fn main() {
+    for size in [SystemSize::Large, SystemSize::Huge] {
+        let s = WorkloadSpec::new(Family::Ir, Typing::Layered, size, 4);
+        let (job, cfg) = s.sample(2);
+        println!(
+            "{}: tasks {} edges {} procs {:?}",
+            size.label(),
+            job.num_tasks(),
+            job.num_edges(),
+            cfg.procs_per_type()
+        );
+        for algo in [Algorithm::KGreedy, Algorithm::Mqb, Algorithm::MqbApprox] {
+            let mut ws = Workspace::new();
+            let mut p = make_policy(algo);
+            let mut best = u128::MAX;
+            let mut stats = None;
+            for _ in 0..5 {
+                let t0 = Instant::now();
+                let out = engine::run_in(
+                    &mut ws,
+                    &job,
+                    &cfg,
+                    p.as_mut(),
+                    Mode::NonPreemptive,
+                    &RunOptions::seeded(2),
+                );
+                best = best.min(t0.elapsed().as_nanos());
+                stats = Some(out);
+            }
+            let out = stats.unwrap();
+            println!(
+                "{:<12} {:>10.3} ms | makespan {} | {}",
+                algo.label(),
+                best as f64 / 1e6,
+                out.makespan,
+                out.stats
+            );
+        }
+    }
+}

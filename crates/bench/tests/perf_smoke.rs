@@ -1,0 +1,82 @@
+//! Release-only perf smoke for the two budgets this repo's perf PRs
+//! pinned at the `SystemSize::Huge` rung:
+//!
+//! * **Epoch-loop budget** (DESIGN.md §15): a KGreedy run — a trivial
+//!   policy, so the measurement is the fast-forward/dirty-set/hot-state
+//!   engine itself — must stay far under the pre-§15 full-rescan cost.
+//!   Locally the warm loop sits at ~22 ms; the 150 ms bar is CI headroom
+//!   that a return to per-epoch `jobs × types` rescans (≈50 ms local,
+//!   growing with scale) or any quadratic regression blows through.
+//! * **Bounded-candidate invariant** (DESIGN.md §14): `MQB-Approx` must
+//!   never run slower than exact MQB — approximation is allowed to cost
+//!   accuracy, never time. Locally ~0.20 s vs ~0.33 s; the assert is the
+//!   plain inequality on min-of-N wall times, the same invariant the
+//!   scale-bench recording enforces per rung.
+//!
+//! Debug builds skip this (a Huge instance in debug takes minutes); CI
+//! runs it in the `--release` step alongside the other Huge smokes.
+
+use std::time::{Duration, Instant};
+
+use fhs_core::{make_policy, Algorithm};
+use fhs_sim::{engine, Mode, RunOptions, Workspace};
+use fhs_workloads::{resources::SystemSize, Family, Typing, WorkloadSpec};
+
+/// Minimum wall time of `samples` warm runs of `algo` on the instance.
+fn min_run_time(
+    job: &kdag::KDag,
+    cfg: &fhs_sim::MachineConfig,
+    algo: Algorithm,
+    samples: usize,
+) -> Duration {
+    let mut ws = Workspace::new();
+    let mut policy = make_policy(algo);
+    let mut best = Duration::MAX;
+    for _ in 0..samples {
+        let t0 = Instant::now();
+        let out = engine::run_in(
+            &mut ws,
+            job,
+            cfg,
+            policy.as_mut(),
+            Mode::NonPreemptive,
+            &RunOptions::seeded(2),
+        );
+        best = best.min(t0.elapsed());
+        assert!(out.makespan > 0, "{}", algo.label());
+    }
+    best
+}
+
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "Huge instances are exercised in --release (its own CI step)"
+)]
+fn huge_perf_budgets() {
+    // Same instance the scale bench's Huge rung records: layered IR,
+    // K = 4, seed 2 → ~110k tasks.
+    let spec = WorkloadSpec::new(Family::Ir, Typing::Layered, SystemSize::Huge, 4);
+    let (job, cfg) = spec.sample(2);
+    assert!(job.num_tasks() >= 100_000);
+
+    let kgreedy = min_run_time(&job, &cfg, Algorithm::KGreedy, 5);
+    let mqb = min_run_time(&job, &cfg, Algorithm::Mqb, 3);
+    let approx = min_run_time(&job, &cfg, Algorithm::MqbApprox, 3);
+    println!(
+        "huge perf smoke: kgreedy {kgreedy:?} | mqb {mqb:?} | mqb-approx {approx:?} \
+         ({} tasks)",
+        job.num_tasks()
+    );
+
+    assert!(
+        kgreedy < Duration::from_millis(150),
+        "Huge KGreedy epoch loop took {kgreedy:?} (local budget 27 ms, CI bar \
+         150 ms) — fast-forward / dirty-set / hot-state regression?"
+    );
+    assert!(
+        approx <= mqb,
+        "MQB-Approx ({approx:?}) ran slower than exact MQB ({mqb:?}) on Huge — \
+         the bounded-candidate path must never cost more time than the index"
+    );
+}

@@ -55,7 +55,13 @@ impl Policy for DType {
     fn assign(&mut self, view: &EpochView<'_>, out: &mut Assignments) {
         let dist = &self.dist;
         self.selector
-            .assign_by_key(view, out, |_, rt| dist[rt.id.index()]);
+            .assign_by_key(view, out, |_, rt| dist[rt.id.index()])
+    }
+
+    // Keys are fixed per task at init and ties break on (seq, id): the
+    // pick depends only on queue membership/order and the slot counts.
+    fn assign_stable(&self) -> bool {
+        true
     }
 }
 

@@ -25,19 +25,43 @@ use rand::{Rng, SeedableRng};
 pub use fhs_sim::policy::FifoPolicy as FifoGreedy;
 
 /// The online greedy scheduler with uniformly random tie-breaking.
+///
+/// The random choice is a *sparse* partial Fisher–Yates: instead of
+/// materializing the identity permutation (and a queue snapshot) every
+/// contested epoch — O(queue) writes for O(slots) picks — the permutation
+/// is virtual. A stamped override table records only the entries the
+/// shuffle actually displaced (`value(p) = p` unless stamped this round),
+/// and one generation bump replaces clearing it. The chosen *ranks* are
+/// then resolved to task ids in a single
+/// [`ReadyQueue::select_ranks`](fhs_sim::ReadyQueue) bitmap walk. The RNG
+/// call sequence and the emitted id order are bit-for-bit identical to the
+/// dense shuffle, so seeds reproduce the same schedules.
 #[derive(Clone, Debug)]
 pub struct KGreedy {
     rng: StdRng,
-    scratch: Vec<u32>,
-    tasks: Vec<fhs_sim::ReadyTask>,
+    /// Sparse permutation overrides: `over_val[p]` holds `value(p)` iff
+    /// `over_gen[p] == gen`; otherwise `value(p) = p`. Sized to the largest
+    /// queue seen, never cleared — the generation stamp invalidates stale
+    /// entries for free.
+    over_val: Vec<u32>,
+    over_gen: Vec<u64>,
+    gen: u64,
+    /// Picked (rank, emission position) pairs for the current type.
+    picks: Vec<(u32, u32)>,
+    ranks: Vec<u32>,
+    ids: Vec<kdag::TaskId>,
 }
 
 impl Default for KGreedy {
     fn default() -> Self {
         KGreedy {
             rng: StdRng::seed_from_u64(0),
-            scratch: Vec::new(),
-            tasks: Vec::new(),
+            over_val: Vec::new(),
+            over_gen: Vec::new(),
+            gen: 0,
+            picks: Vec::new(),
+            ranks: Vec::new(),
+            ids: Vec::new(),
         }
     }
 }
@@ -64,16 +88,48 @@ impl Policy for KGreedy {
                 }
                 continue;
             }
-            // Random index selection: snapshot the live queue once, then a
-            // partial Fisher–Yates chooses `slots` distinct indices
-            // uniformly at random.
-            queue.collect_into(&mut self.tasks);
-            self.scratch.clear();
-            self.scratch.extend(0..self.tasks.len() as u32);
+            // Partial Fisher–Yates over the virtual identity permutation of
+            // live ranks 0..n. Each pick reads/writes at most two override
+            // entries, so a contested epoch costs O(slots), not O(n).
+            let n = queue.len();
+            if self.over_val.len() < n {
+                self.over_val.resize(n, 0);
+                self.over_gen.resize(n, 0);
+            }
+            self.gen += 1;
+            let gen = self.gen;
+            self.picks.clear();
             for i in 0..slots {
-                let j = self.rng.gen_range(i..self.scratch.len());
-                self.scratch.swap(i, j);
-                out.push(alpha, self.tasks[self.scratch[i] as usize].id);
+                let j = self.rng.gen_range(i..n);
+                let vi = if self.over_gen[i] == gen {
+                    self.over_val[i]
+                } else {
+                    i as u32
+                };
+                let vj = if self.over_gen[j] == gen {
+                    self.over_val[j]
+                } else {
+                    j as u32
+                };
+                self.over_val[j] = vi;
+                self.over_gen[j] = gen;
+                self.over_val[i] = vj;
+                self.over_gen[i] = gen;
+                self.picks.push((vj, i as u32));
+            }
+            // Resolve the picked ranks to ids in one queue walk, then emit
+            // in the original pick order (it decides processor placement).
+            self.picks.sort_unstable();
+            self.ranks.clear();
+            self.ranks.extend(self.picks.iter().map(|&(rank, _)| rank));
+            self.ids.clear();
+            self.ids.resize(slots, kdag::TaskId::from_index(0));
+            let (picks, ids) = (&self.picks, &mut self.ids);
+            queue.select_ranks(&self.ranks, |ri, rt| {
+                ids[picks[ri].1 as usize] = rt.id;
+            });
+            for &id in self.ids.iter() {
+                out.push(alpha, id);
             }
         }
     }

@@ -49,6 +49,12 @@ impl Policy for MaxDP {
         self.selector
             .assign_by_key(view, out, |_, rt| -desc[rt.id.index()]);
     }
+
+    // Keys are fixed per task at init and ties break on (seq, id): the
+    // pick depends only on queue membership/order and the slot counts.
+    fn assign_stable(&self) -> bool {
+        true
+    }
 }
 
 #[cfg(test)]

@@ -558,6 +558,42 @@ pub struct Mqb {
     picked: Vec<u32>,
     /// Candidate order for the bounded-candidate approximation.
     approx_order: Vec<u32>,
+    /// Packed `(priority key, snapshot index)` scratch for ranking the
+    /// approximation's candidates: the key embeds the total-descendant
+    /// bits (descending) and the arrival seq so the partial selection
+    /// compares plain integers instead of chasing two indirections per
+    /// comparison.
+    approx_keys: Vec<(u128, u32)>,
+    /// Window-local group id of each window position: positions with the
+    /// same `(row class, dominance remaining-work key)` — bitwise-identical
+    /// projected rows at every working state — share a group, mirroring
+    /// the exact index's grouping (DESIGN.md §14) for one α-round.
+    approx_group: Vec<u32>,
+    /// Next window position in the same group (`NONE` at each group's
+    /// tail); members chain in window order, i.e. seq-ascending.
+    approx_next: Vec<u32>,
+    /// Each group's live head: its earliest untaken window position
+    /// (`NONE` once the group is exhausted). Only live heads duel.
+    approx_live: Vec<u32>,
+    /// Each group's dominating group (`NONE` on the frontier): a group
+    /// whose key pointwise-dominates this one's, so its live head beats
+    /// every member of this group in every duel of the round.
+    approx_gdom: Vec<u32>,
+    /// The frontier reps' window positions — the only candidates a new
+    /// group must be checked against when building `approx_gdom`.
+    approx_front: Vec<u32>,
+    /// Window positions taken so far this round, kept sorted; each pick
+    /// derives the scan horizon (the `cap`-th untaken position) from it.
+    approx_taken_pos: Vec<u32>,
+    /// Head of each group's dominated-children list (`NONE` when none):
+    /// the groups holding this one as their dominance witness, re-homed
+    /// in O(children) when the witness group exhausts.
+    approx_kid_head: Vec<u32>,
+    /// Sibling link of the children lists (each group has at most one
+    /// dominance parent, so one link per group suffices).
+    approx_kid_next: Vec<u32>,
+    /// Scratch worklist for draining a dead witness's children.
+    approx_orphans: Vec<u32>,
 }
 
 impl Default for Mqb {
@@ -603,6 +639,16 @@ impl Mqb {
             sel: SelectionStats::default(),
             picked: Vec::new(),
             approx_order: Vec::new(),
+            approx_keys: Vec::new(),
+            approx_group: Vec::new(),
+            approx_next: Vec::new(),
+            approx_live: Vec::new(),
+            approx_gdom: Vec::new(),
+            approx_front: Vec::new(),
+            approx_taken_pos: Vec::new(),
+            approx_kid_head: Vec::new(),
+            approx_kid_next: Vec::new(),
+            approx_orphans: Vec::new(),
         }
     }
 
@@ -1167,38 +1213,176 @@ impl Mqb {
         out: &mut Assignments,
     ) {
         let k = self.k;
-        let cap = cap.max(1) as u64;
+        let cap = cap.max(1);
         let procs = view.config.procs_per_type();
         view.queues[alpha].collect_into(&mut self.snap);
         let m = self.snap.len();
         self.taken.clear();
         self.taken.resize(m, false);
+        // Only the first `cap + slots - 1` candidates in priority order are
+        // ever reachable: pick `i` stops after `cap` untaken evaluations,
+        // and the `i` tasks taken before it all sit in that same prefix.
+        // So a partial selection of the prefix — instead of a full sort of
+        // the round's whole queue — is pick- and counter-identical, and
+        // the expanded descendant rows need mirroring only for the prefix.
+        // At Huge scale the queue dwarfs `cap + slots` by two orders of
+        // magnitude; the full sort/mirror was what made the "approximation"
+        // slower than the exact index.
+        //
+        // The ranking key is packed into one integer per candidate so the
+        // selection compares values in place of a `snap`/`d_total` pointer
+        // chase per comparison (the chase dominated the round cost at the
+        // Large rung, where the queue is hundreds long but `cap + slots`
+        // already covers a sixth of it). `to_bits` with the sign-fold
+        // reproduces `f64::total_cmp` exactly, complemented for descending
+        // total descendant value; the arrival seq in the low bits breaks
+        // ties ascending, and is unique per queued entry, so the packed
+        // order is bitwise the comparator's.
+        let l = m.min(cap + slots - 1);
+        self.approx_keys.clear();
+        self.approx_keys
+            .extend(self.snap.iter().enumerate().map(|(qi, rt)| {
+                let b = self.d_total[rt.id.index()].to_bits();
+                let asc = if b >> 63 == 1 { !b } else { b | (1 << 63) };
+                ((!asc as u128) << 64 | rt.seq as u128, qi as u32)
+            }));
+        if l > 0 && l < m {
+            self.approx_keys.select_nth_unstable(l - 1);
+        }
+        self.approx_keys[..l].sort_unstable();
+        self.approx_order.clear();
+        self.approx_order
+            .extend(self.approx_keys[..l].iter().map(|&(_, qi)| qi));
         self.erows.clear();
-        for qi in 0..m {
-            let row_start = self.snap[qi].id.index() * k;
+        for oi in 0..l {
+            let row_start = self.snap[self.approx_order[oi] as usize].id.index() * k;
             self.erows
                 .extend_from_slice(&self.d[row_start..row_start + k]);
         }
-        self.approx_order.clear();
-        self.approx_order.extend(0..m as u32);
-        {
-            let (snap, d_total) = (&self.snap, &self.d_total);
-            self.approx_order.sort_unstable_by(|&a, &b| {
-                let (ra, rb) = (&snap[a as usize], &snap[b as usize]);
-                d_total[rb.id.index()]
-                    .total_cmp(&d_total[ra.id.index()])
-                    .then_with(|| ra.seq.cmp(&rb.seq))
-            });
-        }
         let min_only = matches!(self.tuning.balance, BalanceMetric::MinOnly);
         let subtract_own = self.tuning.subtract_own_work;
+        // Window-local reconstruction of the exact index's pruning
+        // structure (DESIGN.md §14), built once per α-round from the
+        // state-free relations and consulted by every pick of the round.
+        //
+        // Grouping: window positions with the same `(row class, dominance
+        // remaining-work key)` project bitwise-identical rows at every
+        // working state, and the duel's final seq tie-break always favors
+        // the earliest untaken member — the group's *live head* — so only
+        // live heads ever duel. Groups are found exactly (same-group
+        // members interleave with other rem-variants of their class in the
+        // seq-ordered window) by sorting the positions on a packed key,
+        // reusing the ranking scratch.
+        //
+        // Group dominance: a group whose rep has a pointwise-`≥`
+        // descendant row, no larger remaining work, and strictly larger
+        // total descendant value projects a `≥` row at every working
+        // state, with the strict `d_total` settling full ties before seq
+        // — so its live head strictly beats every member of the dominated
+        // group in every duel, for as long as the dominating group has an
+        // untaken member in the window. Checked against the running
+        // frontier (the undominated reps), which stays small on layered
+        // workloads.
+        self.approx_keys.clear();
+        self.approx_keys.extend((0..l).map(|j| {
+            let rt = &self.snap[self.approx_order[j] as usize];
+            let rem_key = if subtract_own { rt.remaining } else { 0 };
+            (
+                ((self.row_class[rt.id.index()] as u128) << 64) | rem_key as u128,
+                j as u32,
+            )
+        }));
+        self.approx_keys.sort_unstable();
+        self.approx_group.clear();
+        self.approx_group.resize(l, 0);
+        self.approx_next.clear();
+        self.approx_next.resize(l, NONE);
+        self.approx_live.clear();
+        self.approx_gdom.clear();
+        let mut cur = NONE;
+        for i in 0..l {
+            let pos = self.approx_keys[i].1 as usize;
+            if i > 0 && self.approx_keys[i].0 == self.approx_keys[i - 1].0 {
+                // Members of a run sort pos-ascending, i.e. seq-ascending.
+                self.approx_next[self.approx_keys[i - 1].1 as usize] = pos as u32;
+            } else {
+                cur = self.approx_live.len() as u32;
+                self.approx_live.push(pos as u32);
+                self.approx_gdom.push(NONE);
+            }
+            self.approx_group[pos] = cur;
+        }
+        let num_groups = self.approx_live.len();
+        self.approx_kid_head.clear();
+        self.approx_kid_head.resize(num_groups, NONE);
+        self.approx_kid_next.clear();
+        self.approx_kid_next.resize(num_groups, NONE);
+        self.approx_front.clear();
+        for j in 0..l {
+            let g = self.approx_group[j] as usize;
+            if self.approx_live[g] as usize != j {
+                continue; // not its group's rep
+            }
+            let rtj = &self.snap[self.approx_order[j] as usize];
+            let dtj = self.d_total[rtj.id.index()];
+            let ej = &self.erows[j * k..j * k + k];
+            let mut dom = NONE;
+            for &i in &self.approx_front {
+                let rti = &self.snap[self.approx_order[i as usize] as usize];
+                if subtract_own && rti.remaining > rtj.remaining {
+                    continue;
+                }
+                if self.d_total[rti.id.index()] <= dtj {
+                    continue;
+                }
+                let ei = &self.erows[i as usize * k..i as usize * k + k];
+                if ei.iter().zip(ej).all(|(x, y)| x >= y) {
+                    dom = self.approx_group[i as usize];
+                    break;
+                }
+            }
+            if dom == NONE {
+                self.approx_front.push(j as u32);
+            } else {
+                self.approx_gdom[g] = dom;
+                self.approx_kid_next[g] = self.approx_kid_head[dom as usize];
+                self.approx_kid_head[dom as usize] = g as u32;
+            }
+        }
         self.row.clear();
         self.row.resize(k, 0.0);
         self.best_row.clear();
         self.best_row.resize(k, 0.0);
 
+        // Per pick, the bounded scan reaches exactly the first `cap`
+        // untaken window positions, and each reachable candidate is
+        // either a live undominated head or beaten by one at a strictly
+        // earlier position (a dominating group's members all have
+        // strictly larger `d_total`, so they all rank earlier; a group's
+        // live head is its earliest untaken member; a dead witness
+        // chain's replacement comes from the front, again earlier). The
+        // duel winner is the max of a strict total order — `seq` is
+        // unique, so there are no full ties — making challenge order
+        // immaterial: dueling just the live front heads inside the scan
+        // horizon is pick-identical to scanning the whole window, and
+        // the evaluation counters collapse to closed form (the scan
+        // always evaluates `min(cap, untaken positions in window)`).
+        //
+        // The horizon — the window position of the `cap`-th untaken
+        // entry — follows from the sorted positions taken so far: each
+        // taken position at or before it shifts it one right.
         let mut left = m as u64;
+        self.approx_taken_pos.clear();
         for _ in 0..slots {
+            let mut cutoff = cap - 1;
+            for &t in &self.approx_taken_pos {
+                if t as usize <= cutoff {
+                    cutoff += 1;
+                } else {
+                    break;
+                }
+            }
+            let cutoff = cutoff.min(l - 1);
             let mut duel = Duel::new(
                 &mut self.row,
                 &mut self.best_row,
@@ -1206,21 +1390,39 @@ impl Mqb {
                 &mut self.best_sorted,
                 min_only,
             );
-            let mut evaluated = 0u64;
-            for &qi32 in self.approx_order.iter() {
-                let qi = qi32 as usize;
-                if self.taken[qi] {
+            let mut best_oi = 0usize;
+            // The front is compacted in place as it is walked: a group
+            // with no live member left is dead for the rest of the
+            // round, so its entry is dropped — the walk stays
+            // proportional to the *live* undominated groups even as
+            // orphans keep joining the front over the round.
+            let mut w = 0usize;
+            let mut fi = 0usize;
+            while fi < self.approx_front.len() {
+                let fpos = self.approx_front[fi];
+                fi += 1;
+                let fg = self.approx_group[fpos as usize] as usize;
+                let lp = self.approx_live[fg];
+                if lp == NONE {
                     continue;
                 }
+                self.approx_front[w] = fpos;
+                w += 1;
+                if lp as usize > cutoff {
+                    continue;
+                }
+                let oi = lp as usize;
+                let qi = self.approx_order[oi] as usize;
                 let rt = self.snap[qi];
-                evaluated += 1;
-                let ebase = qi * k;
+                // Rows are mirrored in prefix (priority) order, not
+                // snapshot order.
+                let ebase = oi * k;
                 for (beta, &p) in procs.iter().enumerate() {
-                    let mut l = self.working[beta] + self.erows[ebase + beta];
+                    let mut load = self.working[beta] + self.erows[ebase + beta];
                     if beta == alpha && subtract_own {
-                        l -= rt.remaining as f64;
+                        load -= rt.remaining as f64;
                     }
-                    duel.row[beta] = l / p as f64;
+                    duel.row[beta] = load / p as f64;
                 }
                 let mut mn = duel.row[0];
                 for &x in &duel.row[1..] {
@@ -1229,13 +1431,85 @@ impl Mqb {
                     }
                 }
                 duel.challenge(qi as u32, mn, self.d_total[rt.id.index()], rt.seq);
-                if evaluated >= cap {
-                    break;
+                if duel.best == qi as u32 {
+                    best_oi = oi;
                 }
             }
+            self.approx_front.truncate(w);
             assert_ne!(duel.best, NONE, "queue longer than slots");
             let bqi = duel.best as usize;
             self.taken[bqi] = true;
+            let evaluated = (cap as u64).min((l - self.approx_taken_pos.len()) as u64);
+            let ins = self
+                .approx_taken_pos
+                .partition_point(|&t| (t as usize) < best_oi);
+            self.approx_taken_pos.insert(ins, best_oi as u32);
+            // The winner was its group's live head; the next member (if
+            // any) steps up, untaken by construction — only live heads
+            // are ever picked.
+            let bg = self.approx_group[best_oi] as usize;
+            self.approx_live[bg] = self.approx_next[best_oi];
+            if self.approx_live[bg] == NONE {
+                // The group is exhausted: re-home its dominated children
+                // now (the exact index re-parents orphans on group death
+                // the same way). Each child hunts for a live replacement
+                // witness on the front, and joins the front itself when
+                // no live front group dominates it — from the next pick
+                // on its live head duels like any other front head. A
+                // child that exhausted while beaten passes its own
+                // children up instead (defensive; beaten groups are
+                // never picked from, so it shouldn't occur).
+                self.approx_orphans.clear();
+                let mut kid = self.approx_kid_head[bg];
+                self.approx_kid_head[bg] = NONE;
+                while kid != NONE {
+                    self.approx_orphans.push(kid);
+                    kid = self.approx_kid_next[kid as usize];
+                }
+                while let Some(gi) = self.approx_orphans.pop() {
+                    let g = gi as usize;
+                    self.approx_kid_next[g] = NONE;
+                    if self.approx_live[g] == NONE {
+                        let mut kid = self.approx_kid_head[g];
+                        self.approx_kid_head[g] = NONE;
+                        while kid != NONE {
+                            self.approx_orphans.push(kid);
+                            kid = self.approx_kid_next[kid as usize];
+                        }
+                        continue;
+                    }
+                    let oj = self.approx_live[g] as usize;
+                    let rtj = self.snap[self.approx_order[oj] as usize];
+                    let dtj = self.d_total[rtj.id.index()];
+                    let ej = &self.erows[oj * k..oj * k + k];
+                    let mut dom = NONE;
+                    for &i in &self.approx_front {
+                        let fg = self.approx_group[i as usize] as usize;
+                        if self.approx_live[fg] == NONE {
+                            continue;
+                        }
+                        let rti = &self.snap[self.approx_order[i as usize] as usize];
+                        if subtract_own && rti.remaining > rtj.remaining {
+                            continue;
+                        }
+                        if self.d_total[rti.id.index()] <= dtj {
+                            continue;
+                        }
+                        let ei = &self.erows[i as usize * k..i as usize * k + k];
+                        if ei.iter().zip(ej).all(|(x, y)| x >= y) {
+                            dom = fg as u32;
+                            break;
+                        }
+                    }
+                    self.approx_gdom[g] = dom;
+                    if dom == NONE {
+                        self.approx_front.push(oj as u32);
+                    } else {
+                        self.approx_kid_next[g] = self.approx_kid_head[dom as usize];
+                        self.approx_kid_head[dom as usize] = gi;
+                    }
+                }
+            }
             let rt = self.snap[bqi];
             out.push(alpha, rt.id);
             self.sel.candidates_evaluated += evaluated;
@@ -1351,6 +1625,16 @@ impl Policy for Mqb {
         self.best_sorted.clear();
         self.picked.clear();
         self.approx_order.clear();
+        self.approx_keys.clear();
+        self.approx_group.clear();
+        self.approx_next.clear();
+        self.approx_live.clear();
+        self.approx_gdom.clear();
+        self.approx_front.clear();
+        self.approx_taken_pos.clear();
+        self.approx_kid_head.clear();
+        self.approx_kid_next.clear();
+        self.approx_orphans.clear();
         self.need_rebuild = true;
     }
 
@@ -1381,6 +1665,16 @@ impl Policy for Mqb {
         }
         self.picked.clear();
         self.approx_order.clear();
+        self.approx_keys.clear();
+        self.approx_group.clear();
+        self.approx_next.clear();
+        self.approx_live.clear();
+        self.approx_gdom.clear();
+        self.approx_front.clear();
+        self.approx_taken_pos.clear();
+        self.approx_kid_head.clear();
+        self.approx_kid_next.clear();
+        self.approx_orphans.clear();
         self.need_rebuild = true;
     }
 

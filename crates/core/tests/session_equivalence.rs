@@ -16,11 +16,61 @@ use std::sync::Arc;
 
 use fhs_core::{make_policy, ALL_ALGORITHMS};
 use fhs_sim::{
-    engine, MachineConfig, Mode, RunOptions, Session, SessionOptions, ALL_INTER_JOB_POLICIES,
+    engine, Assignments, EpochView, MachineConfig, Mode, Policy, RunOptions, Session,
+    SessionOptions, Workspace, ALL_INTER_JOB_POLICIES,
 };
 use kdag::precompute::Artifacts;
 use kdag::{KDag, KDagBuilder, TaskId};
 use proptest::prelude::*;
+
+/// Forwards every [`Policy`] method to the wrapped policy but *withdraws*
+/// the fast-forward stability certificate, so the session engine executes
+/// every per-quantum epoch literally. Comparing a plan run with plain
+/// policies (fast-forward eligible) against the same plan run under this
+/// wrapper pins the fast-forward path bitwise against stepping.
+struct Stepping(Box<dyn Policy>);
+
+impl Policy for Stepping {
+    fn name(&self) -> &str {
+        self.0.name()
+    }
+    fn init(&mut self, job: &KDag, config: &MachineConfig, seed: u64) {
+        self.0.init(job, config, seed)
+    }
+    fn init_with_artifacts(
+        &mut self,
+        job: &KDag,
+        config: &MachineConfig,
+        seed: u64,
+        artifacts: &Arc<Artifacts>,
+    ) {
+        self.0.init_with_artifacts(job, config, seed, artifacts)
+    }
+    fn reset_in(&mut self, workspace: &mut Workspace) {
+        self.0.reset_in(workspace)
+    }
+    fn assign(&mut self, view: &EpochView<'_>, out: &mut Assignments) {
+        self.0.assign(view, out)
+    }
+    fn attach_job(
+        &mut self,
+        job: &KDag,
+        config: &MachineConfig,
+        seed: u64,
+        artifacts: Option<&Arc<Artifacts>>,
+    ) {
+        self.0.attach_job(job, config, seed, artifacts)
+    }
+    fn detach_job(&mut self) {
+        self.0.detach_job()
+    }
+    fn take_selection_stats(&mut self) -> Option<fhs_sim::SelectionStats> {
+        self.0.take_selection_stats()
+    }
+    fn assign_stable(&self) -> bool {
+        false
+    }
+}
 
 fn arb_kdag(k: usize, max_tasks: usize, max_work: u64) -> impl Strategy<Value = KDag> {
     (1..=max_tasks).prop_flat_map(move |n| {
@@ -210,6 +260,77 @@ proptest! {
                 let a: Vec<(u64, u64)> = out.jobs.iter().map(|r| (r.id, r.finish)).collect();
                 let b: Vec<(u64, u64)> = replay.jobs.iter().map(|r| (r.id, r.finish)).collect();
                 prop_assert_eq!(a, b, "{:?} {:?}: replay diverged", mode, inter);
+            }
+        }
+    }
+
+    /// Epoch fast-forward is bitwise-invisible. A sparse, idle-heavy
+    /// multi-job plan (long gaps between arrivals, so spans are clamped at
+    /// horizons as well as at completions) is replayed twice per cell:
+    /// once with plain policies (fast-forward eligible) and once under the
+    /// [`Stepping`] wrapper, which forces every per-quantum epoch to
+    /// execute. Schedules, per-job records, and the synthesized counters
+    /// (epochs, assignments, progress updates) must all coincide — for
+    /// every scheduler, every cadence, every inter-job discipline.
+    #[test]
+    fn fast_forward_matches_stepping_on_sparse_streams(
+        (cfg, jobs) in arb_stream(),
+        gap in 5u64..40,
+    ) {
+        const FF_CADENCES: [(Mode, Option<u64>); 4] = [
+            (Mode::NonPreemptive, None),
+            (Mode::Preemptive, None),
+            (Mode::Preemptive, Some(1)),
+            (Mode::Preemptive, Some(3)),
+        ];
+        for algo in ALL_ALGORITHMS {
+            for (mode, quantum) in FF_CADENCES {
+                for inter in ALL_INTER_JOB_POLICIES {
+                    let run_plan = |stepping: bool| {
+                        let mut opts = SessionOptions::new(mode);
+                        opts.quantum = quantum;
+                        opts.inter = inter;
+                        let mut s = Session::new(cfg.clone(), opts);
+                        for (i, (dag, seed)) in jobs.iter().enumerate() {
+                            s.run_until(i as u64 * gap);
+                            let p = make_policy(algo);
+                            let p: Box<dyn fhs_sim::Policy> =
+                                if stepping { Box::new(Stepping(p)) } else { p };
+                            s.admit(Arc::new(dag.clone()), p, *seed);
+                        }
+                        let (out, _) = s.finish();
+                        out
+                    };
+                    let ff = run_plan(false);
+                    let st = run_plan(true);
+                    prop_assert_eq!(
+                        st.stats.epochs_skipped, 0,
+                        "{} {:?} q={:?} {:?}: wrapper failed to disable fast-forward",
+                        algo.label(), mode, quantum, inter
+                    );
+                    prop_assert_eq!(
+                        ff.makespan, st.makespan,
+                        "{} {:?} q={:?} {:?}: fast-forward changed the makespan",
+                        algo.label(), mode, quantum, inter
+                    );
+                    prop_assert_eq!(&ff.busy_time, &st.busy_time);
+                    prop_assert_eq!(ff.stats.epochs, st.stats.epochs);
+                    prop_assert_eq!(ff.stats.tasks_assigned, st.stats.tasks_assigned);
+                    prop_assert_eq!(ff.stats.transitions, st.stats.transitions);
+                    prop_assert_eq!(ff.stats.dirty_visits, st.stats.dirty_visits);
+                    prop_assert_eq!(ff.stats.full_rescans, st.stats.full_rescans);
+                    let a: Vec<_> = ff.jobs.iter()
+                        .map(|r| (r.id, r.arrival, r.first_start, r.finish))
+                        .collect();
+                    let b: Vec<_> = st.jobs.iter()
+                        .map(|r| (r.id, r.arrival, r.first_start, r.finish))
+                        .collect();
+                    prop_assert_eq!(
+                        a, b,
+                        "{} {:?} q={:?} {:?}: per-job records diverged",
+                        algo.label(), mode, quantum, inter
+                    );
+                }
             }
         }
     }

@@ -104,6 +104,52 @@ proptest! {
         }
     }
 
+    /// Fast-forward composes with workspace reuse: an *untraced*
+    /// per-quantum run on a dirty workspace (fast-forward eligible) must
+    /// reproduce the schedule — and, via counter synthesis, the exact
+    /// epoch and assignment counts — of a *traced* run, whose per-epoch
+    /// trace recording forces literal stepping.
+    #[test]
+    fn fast_forward_on_reused_workspace_matches_traced_stepping(
+        instances in arb_instances(),
+    ) {
+        for algo in ALL_ALGORITHMS {
+            for quantum in [1u64, 3] {
+                let mut ws = Workspace::new();
+                let mut warm_policy = make_policy(algo);
+                for (dag, cfg, seed) in &instances {
+                    let mut ff_opts = RunOptions::seeded(*seed);
+                    ff_opts.quantum = Some(quantum);
+                    let ff = engine::run_in(
+                        &mut ws, dag, cfg, warm_policy.as_mut(), Mode::Preemptive, &ff_opts,
+                    );
+                    let mut tr_opts = RunOptions::seeded(*seed).with_trace();
+                    tr_opts.quantum = Some(quantum);
+                    let stepped = engine::run(
+                        dag, cfg, make_policy(algo).as_mut(), Mode::Preemptive, &tr_opts,
+                    );
+                    prop_assert_eq!(
+                        stepped.stats.epochs_skipped, 0,
+                        "{} q={}: tracing failed to disable fast-forward",
+                        algo.label(), quantum
+                    );
+                    prop_assert_eq!(
+                        ff.makespan, stepped.makespan,
+                        "{} q={}: fast-forward changed the makespan",
+                        algo.label(), quantum
+                    );
+                    prop_assert_eq!(&ff.busy_time, &stepped.busy_time);
+                    prop_assert_eq!(ff.epochs, stepped.epochs);
+                    prop_assert_eq!(ff.stats.tasks_assigned, stepped.stats.tasks_assigned);
+                    prop_assert_eq!(
+                        ff.stats.transitions.progress_updates,
+                        stepped.stats.transitions.progress_updates
+                    );
+                }
+            }
+        }
+    }
+
     /// The steady-state sweep path proper: artifact-backed initialization
     /// *and* workspace/policy reuse together still replay cold runs.
     #[test]

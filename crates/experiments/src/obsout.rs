@@ -74,8 +74,11 @@ pub fn metrics_line(
         num(summary.p95),
     ));
     out.push_str(&format!(
-        ",\"stats\":{{\"epochs\":{},\"tasks_assigned\":{},\"releases\":{},\"starts\":{},\"completions\":{},\"progress_updates\":{},\"peak_queue_depth\":{},\"assign_nanos\":{},\"engine_nanos\":{},\"workspace_reuses\":{},\"workspace_cold_inits\":{},\"selection\":{{\"candidates_evaluated\":{},\"candidates_pruned\":{},\"diff_events\":{},\"cold_snapshots\":{}}}}}",
+        ",\"stats\":{{\"epochs\":{},\"epochs_skipped\":{},\"dirty_visits\":{},\"full_rescans\":{},\"tasks_assigned\":{},\"releases\":{},\"starts\":{},\"completions\":{},\"progress_updates\":{},\"peak_queue_depth\":{},\"assign_nanos\":{},\"engine_nanos\":{},\"workspace_reuses\":{},\"workspace_cold_inits\":{},\"selection\":{{\"candidates_evaluated\":{},\"candidates_pruned\":{},\"diff_events\":{},\"cold_snapshots\":{}}}}}",
         stats.epochs,
+        stats.epochs_skipped,
+        stats.dirty_visits,
+        stats.full_rescans,
         stats.tasks_assigned,
         stats.transitions.releases,
         stats.transitions.starts,
@@ -241,6 +244,19 @@ mod tests {
         assert_eq!(v.get("instances").and_then(|x| x.as_u64()), Some(6));
         let ratio = v.get("ratio").expect("ratio block");
         assert!(ratio.get("mean").and_then(|x| x.as_f64()).unwrap() >= 1.0);
+        let st = v.get("stats").expect("stats block");
+        // Non-preemptive single-job cells: no epoch is fast-forwarded, and
+        // every epoch consults the (only) job in a full rescan.
+        let epochs = st.get("epochs").and_then(|x| x.as_u64()).unwrap();
+        assert_eq!(st.get("epochs_skipped").and_then(|x| x.as_u64()), Some(0));
+        assert_eq!(
+            st.get("dirty_visits").and_then(|x| x.as_u64()),
+            Some(epochs)
+        );
+        assert_eq!(
+            st.get("full_rescans").and_then(|x| x.as_u64()),
+            Some(epochs)
+        );
         let sel = v
             .get("stats")
             .and_then(|s| s.get("selection"))

@@ -113,6 +113,20 @@ pub struct RunStats {
     /// Candidate-selection counters from the run's policy, when the policy
     /// reports them (all zero otherwise).
     pub selection: SelectionStats,
+    /// Decision epochs the session engine *fast-forwarded* over instead of
+    /// executing: per-quantum preemptive epochs proven decision-free (no
+    /// completion, no arrival, no queue churn, and a policy whose choice is
+    /// stable under unchanged queues). Counted inside `epochs`, so
+    /// `epochs - epochs_skipped` is the number of `assign` calls made.
+    pub epochs_skipped: u64,
+    /// Per-(job, epoch) policy consultations actually performed by the
+    /// non-preemptive epoch loop (the dirty-set scan skips jobs with no
+    /// ready work on any free type). Preemptive runs leave this 0.
+    pub dirty_visits: u64,
+    /// Non-preemptive epochs in which *every* active job was consulted —
+    /// the dirty-set skip found nothing to prune. Preemptive runs leave
+    /// this 0.
+    pub full_rescans: u64,
 }
 
 impl RunStats {
@@ -135,6 +149,9 @@ impl RunStats {
         self.workspace_cold_inits += other.workspace_cold_inits;
         self.epoch_bytes += other.epoch_bytes;
         self.selection.merge(&other.selection);
+        self.epochs_skipped += other.epochs_skipped;
+        self.dirty_visits += other.dirty_visits;
+        self.full_rescans += other.full_rescans;
     }
 }
 
@@ -145,7 +162,8 @@ impl fmt::Display for RunStats {
             "epochs {} | assigned {} | released {} | started {} | completed {} \
              | progressed {} | peak queue {} | assign {:.3} ms | engine {:.3} ms \
              | ws {} warm / {} cold | epoch alloc {} B \
-             | sel eval {} / pruned {} | diffs {} / rebuilds {}",
+             | sel eval {} / pruned {} | diffs {} / rebuilds {} \
+             | ff skipped {} | dirty visits {} / rescans {}",
             self.epochs,
             self.tasks_assigned,
             self.transitions.releases,
@@ -162,6 +180,9 @@ impl fmt::Display for RunStats {
             self.selection.candidates_pruned,
             self.selection.diff_events,
             self.selection.cold_snapshots,
+            self.epochs_skipped,
+            self.dirty_visits,
+            self.full_rescans,
         )
     }
 }
@@ -193,6 +214,9 @@ mod tests {
                 diff_events: 5,
                 cold_snapshots: 1,
             },
+            epochs_skipped: 1,
+            dirty_visits: 2,
+            full_rescans: 2,
         };
         let b = RunStats {
             epochs: 1,
@@ -215,6 +239,9 @@ mod tests {
                 diff_events: 3,
                 cold_snapshots: 0,
             },
+            epochs_skipped: 4,
+            dirty_visits: 1,
+            full_rescans: 0,
         };
         a.merge(&b);
         assert_eq!(a.epochs, 3);
@@ -231,6 +258,9 @@ mod tests {
         assert_eq!(a.selection.candidates_pruned, 92);
         assert_eq!(a.selection.diff_events, 8);
         assert_eq!(a.selection.cold_snapshots, 1);
+        assert_eq!(a.epochs_skipped, 5);
+        assert_eq!(a.dirty_visits, 3);
+        assert_eq!(a.full_rescans, 2);
     }
 
     #[test]

@@ -210,6 +210,25 @@ pub trait Policy: Send {
     fn take_selection_stats(&mut self) -> Option<crate::instrument::SelectionStats> {
         None
     }
+
+    /// Whether [`Policy::assign`] is a pure function of queue *membership
+    /// and order* plus the slot counts — independent of the epoch time,
+    /// candidates' remaining work, internal mutable state (RNG streams,
+    /// journal cursors, sequencing caches), and how many times it has been
+    /// called.
+    ///
+    /// Returning `true` certifies that two consecutive epochs presenting
+    /// the same queues (same tasks, same order) and the same slots receive
+    /// the **identical** assignment. The session engine uses this to
+    /// *fast-forward* per-quantum preemptive spans in which nothing
+    /// completes or arrives: the skipped epochs would all have re-made the
+    /// same decision, so the engine jumps the clock to the next real event
+    /// and synthesizes their counters instead. Claiming stability falsely
+    /// silently changes schedules; the default is the conservative `false`
+    /// (every epoch is executed).
+    fn assign_stable(&self) -> bool {
+        false
+    }
 }
 
 impl<P: Policy + ?Sized> Policy for Box<P> {
@@ -249,6 +268,9 @@ impl<P: Policy + ?Sized> Policy for Box<P> {
     fn take_selection_stats(&mut self) -> Option<crate::instrument::SelectionStats> {
         (**self).take_selection_stats()
     }
+    fn assign_stable(&self) -> bool {
+        (**self).assign_stable()
+    }
 }
 
 /// Greedy FIFO policy: per type, run the `slots[α]` earliest-arrived
@@ -274,6 +296,11 @@ impl Policy for FifoPolicy {
                 out.push(alpha, rt.id);
             }
         }
+    }
+
+    // A prefix take depends only on queue order and the slot count.
+    fn assign_stable(&self) -> bool {
+        true
     }
 }
 

@@ -10,6 +10,13 @@
 //! `Vec` with order-preserving removal would: FIFO and seq-sensitive
 //! policies observe bit-for-bit identical queues.
 //!
+//! Liveness is tracked in a *bitmap* (one `u64` word per 64 slots), so
+//! iteration skips tombstones 64 at a time with `trailing_zeros` instead of
+//! testing a `bool` per slot, and rank-indexed batch lookups
+//! ([`select_ranks`](ReadyQueue::select_ranks)) skip whole words with a
+//! popcount — the epoch loop touches O(live/64 + picks) cache lines per
+//! queue instead of O(capacity).
+//!
 //! Compaction runs when the tombstone count reaches
 //! `max(live, MIN_COMPACT_SLACK)`, which bounds the backing storage to
 //! `2·live + MIN_COMPACT_SLACK` entries — iteration stays O(live) and each
@@ -51,19 +58,51 @@ pub enum QueueEvent {
 }
 
 /// One type's candidate queue: arrival-ordered storage with tombstoned
-/// removal and amortized compaction.
+/// removal, bitmap liveness, and amortized compaction.
 ///
 /// Policies read it through [`len`](ReadyQueue::len),
-/// [`iter`](ReadyQueue::iter), [`first`](ReadyQueue::first) and
-/// [`collect_into`](ReadyQueue::collect_into); mutation is reserved to the
+/// [`iter`](ReadyQueue::iter), [`first`](ReadyQueue::first),
+/// [`collect_into`](ReadyQueue::collect_into) and
+/// [`select_ranks`](ReadyQueue::select_ranks); mutation is reserved to the
 /// simulator state (`crate`-internal).
 #[derive(Clone, Debug, Default)]
 pub struct ReadyQueue {
     entries: Vec<ReadyTask>,
-    live: Vec<bool>,
+    /// Liveness bitmap: bit `s & 63` of word `s >> 6` is set iff slot `s`
+    /// holds a live candidate. Bits past `entries.len()` are always clear.
+    live: Vec<u64>,
     live_count: usize,
     journal: Vec<QueueEvent>,
     journal_gen: u64,
+}
+
+/// Word-skipping iterator over the live candidates of a [`ReadyQueue`], in
+/// arrival order.
+pub struct QueueIter<'a> {
+    entries: &'a [ReadyTask],
+    words: &'a [u64],
+    wi: usize,
+    cur: u64,
+}
+
+impl<'a> Iterator for QueueIter<'a> {
+    type Item = &'a ReadyTask;
+
+    #[inline]
+    fn next(&mut self) -> Option<&'a ReadyTask> {
+        loop {
+            if self.cur != 0 {
+                let b = self.cur.trailing_zeros() as usize;
+                self.cur &= self.cur - 1;
+                return Some(&self.entries[(self.wi << 6) | b]);
+            }
+            self.wi += 1;
+            if self.wi >= self.words.len() {
+                return None;
+            }
+            self.cur = self.words[self.wi];
+        }
+    }
 }
 
 impl ReadyQueue {
@@ -78,12 +117,23 @@ impl ReadyQueue {
     /// [`crate::policy::EpochView`] by hand.
     pub fn from_tasks(tasks: Vec<ReadyTask>) -> Self {
         let n = tasks.len();
+        let mut live = vec![!0u64; n.div_ceil(64)];
+        if n & 63 != 0 {
+            if let Some(last) = live.last_mut() {
+                *last = (1u64 << (n & 63)) - 1;
+            }
+        }
         ReadyQueue {
             entries: tasks,
-            live: vec![true; n],
+            live,
             live_count: n,
             ..ReadyQueue::default()
         }
+    }
+
+    #[inline]
+    fn is_live(&self, slot: usize) -> bool {
+        self.live[slot >> 6] & (1u64 << (slot & 63)) != 0
     }
 
     /// The change-journal: every membership/remaining change since the last
@@ -124,19 +174,59 @@ impl ReadyQueue {
         self.live_count == 0
     }
 
-    /// Iterates the live candidates in arrival order, skipping tombstones.
+    /// Iterates the live candidates in arrival order, skipping tombstones a
+    /// word at a time.
     #[inline]
-    pub fn iter(&self) -> impl Iterator<Item = &ReadyTask> + '_ {
-        self.entries
-            .iter()
-            .zip(&self.live)
-            .filter_map(|(rt, &alive)| alive.then_some(rt))
+    pub fn iter(&self) -> QueueIter<'_> {
+        QueueIter {
+            entries: &self.entries,
+            words: &self.live,
+            wi: 0,
+            cur: self.live.first().copied().unwrap_or(0),
+        }
     }
 
     /// The earliest-arrived live candidate, if any.
     #[inline]
     pub fn first(&self) -> Option<&ReadyTask> {
         self.iter().next()
+    }
+
+    /// Visits the live candidates at the given arrival-order *ranks* (0 =
+    /// earliest live candidate), calling `emit(i, task)` for `ranks[i]`.
+    ///
+    /// `ranks` must be strictly increasing and every rank must be `<`
+    /// [`len`](Self::len). A single pass over the liveness bitmap skips
+    /// whole words by popcount, so a batch of `p` lookups costs
+    /// O(live/64 + p) instead of `p` independent O(live) scans — this is
+    /// what lets sampling policies (KGreedy's random picks) touch only
+    /// their chosen candidates rather than snapshotting the queue.
+    pub fn select_ranks(&self, ranks: &[u32], mut emit: impl FnMut(usize, &ReadyTask)) {
+        let mut ri = 0usize;
+        let mut passed = 0u32;
+        for (wi, &w) in self.live.iter().enumerate() {
+            if ri >= ranks.len() {
+                break;
+            }
+            let pc = w.count_ones();
+            if passed + pc <= ranks[ri] {
+                passed += pc;
+                continue;
+            }
+            let mut bits = w;
+            let mut rank = passed;
+            while bits != 0 && ri < ranks.len() {
+                let b = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                if rank == ranks[ri] {
+                    emit(ri, &self.entries[(wi << 6) | b]);
+                    ri += 1;
+                }
+                rank += 1;
+            }
+            passed += pc;
+        }
+        debug_assert_eq!(ri, ranks.len(), "a requested rank exceeds the live count");
     }
 
     /// Clears `buf` and fills it with the live candidates in arrival order.
@@ -160,25 +250,22 @@ impl ReadyQueue {
 
     /// Appends a candidate, returning its slot for the position map.
     pub(crate) fn push(&mut self, rt: ReadyTask) -> usize {
+        let slot = self.entries.len();
         self.entries.push(rt);
-        self.live.push(true);
+        if slot >> 6 >= self.live.len() {
+            self.live.push(0);
+        }
+        self.live[slot >> 6] |= 1u64 << (slot & 63);
         self.live_count += 1;
         self.journal.push(QueueEvent::Pushed(rt));
-        self.entries.len() - 1
-    }
-
-    /// The candidate at `slot` (must be live).
-    #[inline]
-    pub(crate) fn slot(&self, slot: usize) -> &ReadyTask {
-        debug_assert!(self.live[slot], "slot {slot} is tombstoned");
-        &self.entries[slot]
+        slot
     }
 
     /// Tombstones `slot` and returns its candidate. O(1); storage is
     /// reclaimed later by [`compact`](Self::compact).
     pub(crate) fn remove_slot(&mut self, slot: usize) -> ReadyTask {
-        debug_assert!(self.live[slot], "slot {slot} already tombstoned");
-        self.live[slot] = false;
+        debug_assert!(self.is_live(slot), "slot {slot} already tombstoned");
+        self.live[slot >> 6] &= !(1u64 << (slot & 63));
         self.live_count -= 1;
         self.journal
             .push(QueueEvent::Removed(self.entries[slot].id));
@@ -188,7 +275,7 @@ impl ReadyQueue {
     /// Subtracts `dt` from the remaining work of the (live) candidate at
     /// `slot`, journaling the update; returns the new remaining work.
     pub(crate) fn progress_slot(&mut self, slot: usize, dt: Work) -> Work {
-        debug_assert!(self.live[slot], "slot {slot} is tombstoned");
+        debug_assert!(self.is_live(slot), "slot {slot} is tombstoned");
         let rt = &mut self.entries[slot];
         assert!(
             rt.remaining >= dt,
@@ -222,30 +309,32 @@ impl ReadyQueue {
     pub(crate) fn compact(&mut self, mut on_move: impl FnMut(TaskId, usize)) {
         let mut w = 0usize;
         for r in 0..self.entries.len() {
-            if self.live[r] {
+            if self.is_live(r) {
                 self.entries[w] = self.entries[r];
                 on_move(self.entries[w].id, w);
                 w += 1;
             }
         }
         self.entries.truncate(w);
-        self.live.truncate(w);
-        self.live.fill(true);
+        self.live.truncate(w.div_ceil(64));
+        self.live.fill(!0);
+        if w & 63 != 0 {
+            if let Some(last) = self.live.last_mut() {
+                *last = (1u64 << (w & 63)) - 1;
+            }
+        }
     }
 
-    /// Linear-scan removal with element shifting — the pre-indexed
-    /// behaviour, kept for the [`crate::reference`] engine (its state holds
-    /// no position map).
+    /// Order-preserving removal with immediate storage reclamation — the
+    /// pre-indexed behaviour, kept for the [`crate::reference`] engine (its
+    /// state holds no position map, so shifted slots are harmless).
     pub(crate) fn scan_remove(&mut self, id: TaskId) -> Option<ReadyTask> {
-        let at = self
-            .entries
-            .iter()
-            .zip(&self.live)
-            .position(|(rt, &alive)| alive && rt.id == id)?;
-        self.live.remove(at);
-        self.live_count -= 1;
-        self.journal.push(QueueEvent::Removed(id));
-        Some(self.entries.remove(at))
+        let at = (0..self.entries.len()).find(|&i| self.is_live(i) && self.entries[i].id == id)?;
+        let rt = self.remove_slot(at);
+        // Reclaim eagerly: the reference engine expects `Vec::remove`
+        // semantics (no tombstones). Compaction is not journaled.
+        self.compact(|_, _| {});
+        Some(rt)
     }
 
     /// Linear-scan lookup (reference engine).
@@ -257,11 +346,7 @@ impl ReadyQueue {
     /// remaining work, journaling the update; returns the new remaining
     /// work, or `None` when `id` is not queued.
     pub(crate) fn scan_progress(&mut self, id: TaskId, dt: Work) -> Option<Work> {
-        let at = self
-            .entries
-            .iter()
-            .zip(&self.live)
-            .position(|(rt, &alive)| alive && rt.id == id)?;
+        let at = (0..self.entries.len()).find(|&i| self.is_live(i) && self.entries[i].id == id)?;
         Some(self.progress_slot(at, dt))
     }
 }
@@ -288,6 +373,38 @@ mod tests {
         let ids: Vec<usize> = q.iter().map(|r| r.id.index()).collect();
         assert_eq!(ids, vec![0, 2]);
         assert_eq!(q.first().unwrap().id.index(), 0);
+    }
+
+    #[test]
+    fn iteration_crosses_bitmap_word_boundaries() {
+        // 130 entries spans three bitmap words; tombstone a prefix band and
+        // both word boundaries to exercise the word-skipping iterator.
+        let n = 130;
+        let mut q = ReadyQueue::from_tasks((0..n).map(|i| rt(i, i as u64, 1)).collect());
+        for i in (0..64).chain([64, 127, 128]) {
+            q.remove_slot(i);
+        }
+        let ids: Vec<usize> = q.iter().map(|r| r.id.index()).collect();
+        let expect: Vec<usize> = (65..127).chain([129]).collect();
+        assert_eq!(ids, expect);
+        assert_eq!(q.len(), expect.len());
+        assert_eq!(q.first().unwrap().id.index(), 65);
+    }
+
+    #[test]
+    fn select_ranks_visits_exactly_the_requested_live_ranks() {
+        let n = 200;
+        let mut q = ReadyQueue::from_tasks((0..n).map(|i| rt(i, i as u64, 1)).collect());
+        // Tombstone every third slot so live ranks diverge from slots.
+        for i in (0..n).step_by(3) {
+            q.remove_slot(i);
+        }
+        let live: Vec<usize> = q.iter().map(|r| r.id.index()).collect();
+        let ranks: Vec<u32> = vec![0, 1, 7, 63, 64, live.len() as u32 - 1];
+        let mut got = vec![usize::MAX; ranks.len()];
+        q.select_ranks(&ranks, |i, rt| got[i] = rt.id.index());
+        let expect: Vec<usize> = ranks.iter().map(|&r| live[r as usize]).collect();
+        assert_eq!(got, expect);
     }
 
     #[test]
@@ -321,7 +438,7 @@ mod tests {
         let got = q.scan_remove(TaskId::from_index(1)).unwrap();
         assert_eq!(got.remaining, 2);
         assert_eq!(q.len(), 2);
-        assert_eq!(q.dead(), 0, "scan removal shifts; no tombstones");
+        assert_eq!(q.dead(), 0, "scan removal reclaims eagerly; no tombstones");
         assert_eq!(q.scan_find(TaskId::from_index(2)).unwrap().remaining, 3);
         assert_eq!(q.scan_progress(TaskId::from_index(2), 1), Some(2));
         assert_eq!(q.scan_find(TaskId::from_index(2)).unwrap().remaining, 2);

@@ -31,7 +31,7 @@
 //!
 //! Multi-job invariants (vs the single-job engine):
 //!
-//! * The completion heap is keyed `(time, job slot, task)`; slots are
+//! * Completion events drain in `(time, job slot, task)` order; slots are
 //!   stable for the life of a job and 0 for single runs, so single-job
 //!   event order is unchanged.
 //! * The epoch counter stays monotonic across jobs and sessions, so
@@ -42,7 +42,6 @@
 //!   single-job sessions; streaming sessions record per-job metrics
 //!   instead.
 
-use std::cmp::Reverse;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -180,7 +179,7 @@ pub(crate) struct SessionJob<'a> {
     pub(crate) job: &'a KDag,
     pub(crate) rt: &'a mut JobRt,
     pub(crate) policy: &'a mut dyn Policy,
-    /// Stable id carried by this job's completion-heap entries; 0 for
+    /// Stable id carried by this job's completion-calendar entries; 0 for
     /// single-job runs.
     pub(crate) slot: u32,
     /// Cached `state.all_done` (maintained at completion points).
@@ -276,6 +275,26 @@ pub(crate) fn drive(
                 cx.mach.running_now[..k].fill(0);
             }
 
+            // Dirty-set scan (non-preemptive): a job whose every non-empty
+            // queue faces a fully-busy pool cannot legally receive a task
+            // this epoch, so its policy need not be consulted at all. The
+            // per-type masks make that test one AND: `free_mask` tracks
+            // types with free processors (cleared below as jobs consume the
+            // last slot of a type), `ready_mask` tracks the job's non-empty
+            // queues. Skipping is gated off when the latency channel is on
+            // (it samples queue depths per consultation) and for machines
+            // wider than the 128-bit masks.
+            let dirty_set = !cx.preemptive && !latency_on && k <= 128;
+            let mut free_mask: u128 = 0;
+            if !cx.preemptive {
+                for alpha in 0..k.min(128) {
+                    if cx.mach.slots[alpha] > 0 {
+                        free_mask |= 1 << alpha;
+                    }
+                }
+            }
+            let mut skipped_any = false;
+
             let mut min_rem: Option<Work> = None;
             let mut epoch_total: u64 = 0;
             let mut first_in_epoch = true;
@@ -294,6 +313,16 @@ pub(crate) fn drive(
                 let j = &mut jobs[ji];
                 if j.done {
                     continue;
+                }
+                if !cx.preemptive {
+                    if dirty_set && j.rt.state.ready_mask() & free_mask == 0 {
+                        // Stale `out`/journals are safe: the non-preemptive
+                        // advance never reads `out`, and journal consumers
+                        // track their own cursors across unconsulted epochs.
+                        skipped_any = true;
+                        continue;
+                    }
+                    cx.stats.dirty_visits += 1;
                 }
                 j.rt.out.reset(k);
                 if latency_on {
@@ -349,6 +378,11 @@ pub(crate) fn drive(
                         cx.mach.slots[alpha]
                     );
                     cx.mach.slots[alpha] -= cx.mach.chosen_buf.len();
+                    if alpha < 128 && cx.mach.slots[alpha] == 0 {
+                        // Later (lower-priority) jobs skip types this job
+                        // just saturated.
+                        free_mask &= !(1u128 << alpha);
+                    }
                     for &v in &cx.mach.chosen_buf {
                         assert_eq!(
                             j.job.rtype(v),
@@ -390,7 +424,7 @@ pub(crate) fn drive(
                             if j.rt.first_start.is_none() {
                                 j.rt.first_start = Some(*cx.now);
                             }
-                            cx.mach.heap.push(Reverse((*cx.now + rem, j.slot, v)));
+                            cx.mach.cal.push(*cx.now + rem, j.slot, v, *cx.now);
                             cx.obs.start(
                                 *cx.now,
                                 cx.mach.epoch,
@@ -419,6 +453,8 @@ pub(crate) fn drive(
                     cx.obs
                         .timeline_set(alpha, *cx.now, cx.mach.running_now[alpha]);
                 }
+            } else if !skipped_any {
+                cx.stats.full_rescans += 1;
             }
             cx.obs.epoch_event(*cx.now, cx.mach.epoch, epoch_total);
 
@@ -429,16 +465,57 @@ pub(crate) fn drive(
                     "deadlock: policy assigned nothing with {} tasks incomplete",
                     incomplete_tasks(jobs)
                 );
-                let mut dt = match cx.quantum {
-                    Some(q) => q.min(min_rem.expect("chosen non-empty")),
-                    None => min_rem.expect("chosen non-empty"),
-                };
+                // `span` is the distance to the next *real* event: the
+                // earliest chosen task's completion, clamped at the arrival
+                // horizon (a newly admitted job deserves a re-decision at
+                // its arrival instant).
+                let mut span = min_rem.expect("chosen non-empty");
                 if let Some(s) = stop_at {
-                    // Clamp at the arrival horizon: the newly admitted job
-                    // deserves a re-decision at its arrival instant.
-                    dt = dt.min(s - *cx.now);
+                    span = span.min(s - *cx.now);
                 }
+                let mut dt = match cx.quantum {
+                    Some(q) => q.min(span),
+                    None => span,
+                };
                 debug_assert!(dt > 0);
+
+                // Epoch fast-forward: when the quantum chops `span` into
+                // several epochs, nothing changes between them — no task
+                // completes or arrives, un-chosen tasks make no progress,
+                // so every queue keeps its membership and order and every
+                // type offers the same (full) slot count. If each job's
+                // policy certifies its choice is a pure function of exactly
+                // that view ([`Policy::assign_stable`]) — and the inter-job
+                // order cannot flip mid-span (FairShare keys on attained
+                // service, which grows between epochs, so it is excluded) —
+                // the skipped epochs would reproduce this epoch's
+                // assignment verbatim. Jump straight to `span` and
+                // synthesize the skipped epochs' counters; per-epoch
+                // observability (events, latency samples, utilization
+                // points) and trace segments disable the jump because they
+                // record each epoch individually.
+                if dt < span
+                    && !cx.record_trace
+                    && !cx.obs.events_on()
+                    && !latency_on
+                    && !cx.obs.utilization_on()
+                    && (jobs.len() <= 1 || cx.inter != InterJobPolicy::FairShare)
+                    && jobs.iter().all(|j| j.done || j.policy.assign_stable())
+                {
+                    let q = cx.quantum.expect("dt < span only under a quantum");
+                    let skipped = span.div_ceil(q) - 1;
+                    cx.mach.epoch += skipped;
+                    cx.stats.epochs += skipped;
+                    cx.stats.epochs_skipped += skipped;
+                    cx.stats.tasks_assigned += skipped * epoch_total;
+                    for j in jobs.iter_mut() {
+                        if !j.done {
+                            j.rt.state
+                                .add_progress_updates(skipped * j.rt.out.total() as u64);
+                        }
+                    }
+                    dt = span;
+                }
 
                 // Trace segments with stable-ish processor ids: keep each
                 // task's previous processor where possible. (Single-job
@@ -512,17 +589,17 @@ pub(crate) fn drive(
         // --- non-preemptive advance: jump to the next completion event and
         // drain every completion at that time before the next epoch. ---
         if !cx.preemptive {
-            match cx.mach.heap.peek() {
-                Some(&Reverse((t, _, _))) if stop_at.is_none_or(|s| t <= s) => {
-                    let Reverse((t, slot, v)) = cx.mach.heap.pop().expect("peeked");
+            match cx.mach.cal.next_time(*cx.now) {
+                Some(t) if stop_at.is_none_or(|s| t <= s) => {
+                    cx.mach.events_buf.clear();
+                    cx.mach.cal.claim_into(t, *cx.now, &mut cx.mach.events_buf);
+                    // Sorting by (slot, task) reproduces the historical
+                    // heap's (time, slot, task) pop order within one time.
+                    cx.mach.events_buf.sort_unstable();
                     *cx.now = t;
-                    finish_task(cx, jobs, slot, v);
-                    while let Some(&Reverse((t2, _, _))) = cx.mach.heap.peek() {
-                        if t2 != t {
-                            break;
-                        }
-                        let Reverse((_, slot2, v2)) = cx.mach.heap.pop().expect("peeked");
-                        finish_task(cx, jobs, slot2, v2);
+                    for i in 0..cx.mach.events_buf.len() {
+                        let (slot, v) = cx.mach.events_buf[i];
+                        finish_task(cx, jobs, slot, v);
                     }
                 }
                 Some(_) => return DriveEnd::Reached,
@@ -1077,6 +1154,77 @@ mod tests {
         assert_eq!(j1.queueing(), 0);
         // Interleaving stretches the incumbent past its isolated finish.
         assert!(j0.response() > 6);
+    }
+
+    #[test]
+    fn fast_forward_skips_decision_free_quantum_epochs() {
+        // One 10-work task under quantum 1: stepping would execute 10
+        // epochs; fast-forward executes the first and synthesizes the
+        // other 9 (counters included), landing on the same schedule.
+        let mut b = KDagBuilder::new(1);
+        b.add_task(0, 10);
+        let job = b.build().unwrap();
+        let cfg = MachineConfig::uniform(1, 1);
+        let mut s = Session::new(cfg, SessionOptions::new(Mode::Preemptive).with_quantum(1));
+        s.admit(Arc::new(job), Box::new(FifoPolicy), 0);
+        let (out, _) = s.finish();
+        assert_eq!(out.makespan, 10);
+        assert_eq!(out.stats.epochs, 10);
+        assert_eq!(out.stats.epochs_skipped, 9);
+        assert_eq!(out.stats.tasks_assigned, 10);
+        assert_eq!(out.stats.transitions.progress_updates, 10);
+    }
+
+    #[test]
+    fn fast_forward_counts_partial_trailing_quantum() {
+        // 7 work at quantum 3 steps 3 + 3 + 1: three epochs, two skipped.
+        let mut b = KDagBuilder::new(1);
+        b.add_task(0, 7);
+        let job = b.build().unwrap();
+        let cfg = MachineConfig::uniform(1, 1);
+        let mut s = Session::new(cfg, SessionOptions::new(Mode::Preemptive).with_quantum(3));
+        s.admit(Arc::new(job), Box::new(FifoPolicy), 0);
+        let (out, _) = s.finish();
+        assert_eq!(out.makespan, 7);
+        assert_eq!(out.stats.epochs, 3);
+        assert_eq!(out.stats.epochs_skipped, 2);
+        assert_eq!(out.stats.transitions.progress_updates, 3);
+    }
+
+    #[test]
+    fn dirty_set_counters_track_np_consultations() {
+        // A single job is never skippable: an epoch only fires when some
+        // type has both a free slot and one of its candidates.
+        let cfg = MachineConfig::uniform(2, 2);
+        let mut s = Session::new(cfg, SessionOptions::new(Mode::NonPreemptive));
+        s.admit(Arc::new(chain_job()), Box::new(FifoPolicy), 0);
+        let (out, _) = s.finish();
+        assert!(out.stats.epochs > 0);
+        assert_eq!(out.stats.dirty_visits, out.stats.epochs);
+        assert_eq!(out.stats.full_rescans, out.stats.epochs);
+        assert_eq!(out.stats.epochs_skipped, 0);
+    }
+
+    #[test]
+    fn dirty_set_skips_jobs_with_no_eligible_work() {
+        // Job A: two type-0 tasks on one type-0 processor; job B: one
+        // long type-1 task. When A's first task completes at t=3, the
+        // epoch consults A (free type-0 slot, ready type-0 task) but
+        // skips B, whose only task is already running.
+        let cfg = MachineConfig::new(vec![1, 1]);
+        let mut s = Session::new(cfg, SessionOptions::new(Mode::NonPreemptive));
+        let mut ba = KDagBuilder::new(2);
+        ba.add_task(0, 3);
+        ba.add_task(0, 3);
+        let mut bb = KDagBuilder::new(2);
+        bb.add_task(1, 7);
+        s.admit(Arc::new(ba.build().unwrap()), Box::new(FifoPolicy), 0);
+        s.admit(Arc::new(bb.build().unwrap()), Box::new(FifoPolicy), 0);
+        let (out, _) = s.finish();
+        assert_eq!(out.makespan, 7);
+        assert_eq!(out.stats.epochs, 2);
+        assert_eq!(out.stats.dirty_visits, 3);
+        assert_eq!(out.stats.full_rescans, 1);
     }
 
     #[test]

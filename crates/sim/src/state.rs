@@ -34,17 +34,49 @@ pub enum TaskStatus {
 /// [`remaining`](JobState::remaining) O(1) amortized — removal tombstones
 /// the slot and an amortized compaction pass (see [`ReadyQueue`]) reclaims
 /// storage without disturbing arrival order.
+///
+/// The per-task records are a structure-of-arrays *hot band* sized to what
+/// the epoch loop touches: one packed `word` per task (status in the low 2
+/// bits, resource type above — one load answers both questions the engine
+/// asks on every transition, with no `KDag` indirection), and a dense
+/// `rem` mirror of remaining work so preemptive `remaining()` probes never
+/// chase `pos → queue → slot`. A `ready_mask` summarizes per-type queue
+/// non-emptiness for the session engine's dirty-set skip.
 #[derive(Debug)]
 pub struct JobState {
-    status: Vec<TaskStatus>,
+    /// Hot per-task word: bits 0–1 hold the status code, bits 2+ the
+    /// resource type.
+    word: Vec<u32>,
+    /// Dense remaining-work mirror; authoritative while a task is `Ready`
+    /// (kept in sync with its queue entry), stale otherwise.
+    rem: Vec<Work>,
     indeg: Vec<u32>,
     queues: Vec<ReadyQueue>,
     queue_work: Vec<Work>,
     /// Slot of each task in its type's queue; valid only while `Ready`.
     pos: Vec<u32>,
+    /// Bit `α` set iff `queues[α]` is non-empty (maintained for `α` < 128;
+    /// machines with more types fall back to scanning the queues).
+    ready_mask: u128,
     next_seq: u64,
     done: usize,
     counts: TransitionCounts,
+}
+
+/// Status codes packed into the low 2 bits of [`JobState`]'s task word.
+const ST_BLOCKED: u32 = 0;
+const ST_READY: u32 = 1;
+const ST_RUNNING: u32 = 2;
+const ST_DONE: u32 = 3;
+
+#[inline]
+fn decode_status(code: u32) -> TaskStatus {
+    match code {
+        ST_BLOCKED => TaskStatus::Blocked,
+        ST_READY => TaskStatus::Ready,
+        ST_RUNNING => TaskStatus::Running,
+        _ => TaskStatus::Done,
+    }
 }
 
 impl JobState {
@@ -60,11 +92,13 @@ impl JobState {
     /// [`reset`](JobState::reset) before use.
     pub(crate) fn empty() -> Self {
         JobState {
-            status: Vec::new(),
+            word: Vec::new(),
+            rem: Vec::new(),
             indeg: Vec::new(),
             queues: Vec::new(),
             queue_work: Vec::new(),
             pos: Vec::new(),
+            ready_mask: 0,
             next_seq: 0,
             done: 0,
             counts: TransitionCounts::default(),
@@ -87,8 +121,12 @@ impl JobState {
     pub fn reset(&mut self, job: &KDag) {
         let n = job.num_tasks();
         let k = job.num_types();
-        self.status.clear();
-        self.status.resize(n, TaskStatus::Blocked);
+        self.word.clear();
+        self.word
+            .extend((0..n).map(|i| (job.rtype(TaskId::from_index(i)) as u32) << 2));
+        self.rem.clear();
+        self.rem.resize(n, 0);
+        self.ready_mask = 0;
         self.indeg.clear();
         self.indeg
             .extend((0..n).map(|i| job.num_parents(TaskId::from_index(i)) as u32));
@@ -124,7 +162,29 @@ impl JobState {
     /// Current status of `v`.
     #[inline]
     pub fn status(&self, v: TaskId) -> TaskStatus {
-        self.status[v.index()]
+        decode_status(self.word[v.index()] & 3)
+    }
+
+    /// Resource type of `v`, read from the hot task word (no `KDag`
+    /// indirection).
+    #[inline]
+    pub fn rtype_of(&self, v: TaskId) -> usize {
+        (self.word[v.index()] >> 2) as usize
+    }
+
+    /// Per-type queue non-emptiness, bit `α` set iff `queues[α]` has a
+    /// candidate. Only the low 128 types are tracked; engines on larger
+    /// machines must scan the queues instead.
+    #[inline]
+    pub(crate) fn ready_mask(&self) -> u128 {
+        self.ready_mask
+    }
+
+    /// Folds `n` synthesized progress updates into the transition counters
+    /// (the session engine's epoch fast-forward replays the counters of the
+    /// epochs it skips).
+    pub(crate) fn add_progress_updates(&mut self, n: u64) {
+        self.counts.progress_updates += n;
     }
 
     /// The per-type candidate queues, arrival-ordered.
@@ -148,17 +208,22 @@ impl JobState {
 
     /// Releases `v` into its queue with the next arrival sequence number.
     fn release(&mut self, job: &KDag, v: TaskId) {
-        debug_assert_eq!(self.status[v.index()], TaskStatus::Blocked);
-        self.status[v.index()] = TaskStatus::Ready;
-        let alpha = job.rtype(v);
+        let i = v.index();
+        debug_assert_eq!(self.word[i] & 3, ST_BLOCKED);
+        self.word[i] |= ST_READY;
+        let alpha = (self.word[i] >> 2) as usize;
         let w = job.work(v);
+        self.rem[i] = w;
         let slot = self.queues[alpha].push(ReadyTask {
             id: v,
             seq: self.next_seq,
             remaining: w,
         });
-        self.pos[v.index()] = slot as u32;
+        self.pos[i] = slot as u32;
         self.queue_work[alpha] += w;
+        if alpha < 128 {
+            self.ready_mask |= 1u128 << alpha;
+        }
         self.next_seq += 1;
         self.counts.releases += 1;
         let depth = self.queues[alpha].len();
@@ -169,10 +234,13 @@ impl JobState {
 
     /// Tombstones `v`'s queue entry via the position map and compacts the
     /// queue if enough dead slots accumulated.
-    fn unqueue(&mut self, job: &KDag, v: TaskId) -> ReadyTask {
-        let alpha = job.rtype(v);
+    fn unqueue(&mut self, v: TaskId) -> ReadyTask {
+        let alpha = self.rtype_of(v);
         let rt = self.queues[alpha].remove_slot(self.pos[v.index()] as usize);
         self.queue_work[alpha] -= rt.remaining;
+        if self.queues[alpha].is_empty() && alpha < 128 {
+            self.ready_mask &= !(1u128 << alpha);
+        }
         if self.queues[alpha].needs_compaction() {
             let pos = &mut self.pos;
             self.queues[alpha].compact(|id, slot| pos[id.index()] = slot as u32);
@@ -187,13 +255,15 @@ impl JobState {
     /// If `v` is not currently `Ready` — this is how the engine rejects
     /// invalid policy selections.
     pub fn start(&mut self, job: &KDag, v: TaskId) -> Work {
+        debug_assert_eq!(self.rtype_of(v), job.rtype(v));
+        let i = v.index();
         assert_eq!(
-            self.status[v.index()],
-            TaskStatus::Ready,
+            self.word[i] & 3,
+            ST_READY,
             "policy selected task {v} which is not ready"
         );
-        self.status[v.index()] = TaskStatus::Running;
-        let rt = self.unqueue(job, v);
+        self.word[i] = (self.word[i] & !3) | ST_RUNNING;
+        let rt = self.unqueue(v);
         self.counts.starts += 1;
         rt.remaining
     }
@@ -216,16 +286,18 @@ impl JobState {
         epoch: u64,
         mut obs: Option<&mut fhs_obs::Recorder>,
     ) {
-        let st = self.status[v.index()];
+        let i = v.index();
+        let st = self.word[i] & 3;
         assert!(
-            st == TaskStatus::Running || st == TaskStatus::Ready,
-            "completing task {v} in status {st:?}"
+            st == ST_RUNNING || st == ST_READY,
+            "completing task {v} in status {:?}",
+            decode_status(st)
         );
-        if st == TaskStatus::Ready {
+        if st == ST_READY {
             // Preemptive completion: still queued; drop the entry.
-            self.unqueue(job, v);
+            self.unqueue(v);
         }
-        self.status[v.index()] = TaskStatus::Done;
+        self.word[i] |= ST_DONE;
         self.done += 1;
         self.counts.completions += 1;
         for &c in job.children(v) {
@@ -245,13 +317,16 @@ impl JobState {
     /// # Panics
     /// If `v` is not `Ready`, or `dt` exceeds its remaining work.
     pub fn progress(&mut self, job: &KDag, v: TaskId, dt: Work) -> Work {
+        debug_assert_eq!(self.rtype_of(v), job.rtype(v));
+        let i = v.index();
         assert_eq!(
-            self.status[v.index()],
-            TaskStatus::Ready,
+            self.word[i] & 3,
+            ST_READY,
             "progressing task {v} which is not a candidate"
         );
-        let alpha = job.rtype(v);
-        let rem = self.queues[alpha].progress_slot(self.pos[v.index()] as usize, dt);
+        let alpha = (self.word[i] >> 2) as usize;
+        let rem = self.queues[alpha].progress_slot(self.pos[i] as usize, dt);
+        self.rem[i] = rem;
         self.queue_work[alpha] -= dt;
         self.counts.progress_updates += 1;
         rem
@@ -265,17 +340,15 @@ impl JobState {
         }
     }
 
-    /// Remaining work of a queued candidate (preemptive engines).
+    /// Remaining work of a queued candidate (preemptive engines). Served
+    /// from the dense `rem` mirror: no `pos → queue → slot` chase.
     pub fn remaining(&self, job: &KDag, v: TaskId) -> Option<Work> {
-        if self.status[v.index()] != TaskStatus::Ready {
+        debug_assert_eq!(self.rtype_of(v), job.rtype(v));
+        let i = v.index();
+        if self.word[i] & 3 != ST_READY {
             return None;
         }
-        let alpha = job.rtype(v);
-        Some(
-            self.queues[alpha]
-                .slot(self.pos[v.index()] as usize)
-                .remaining,
-        )
+        Some(self.rem[i])
     }
 }
 

@@ -2,7 +2,7 @@
 //!
 //! Every [`crate::engine::run`] call cold-allocates the engine's entire
 //! mutable state — the [`JobState`] position maps and tombstone storage,
-//! the completion min-heap, the `free_procs` index stacks, `busy_time`,
+//! the completion calendar, the `free_procs` index stacks, `busy_time`,
 //! the duplicate-selection stamps. A sweep performs thousands of runs, so
 //! that allocator traffic dominates steady-state cost once per-instance
 //! analysis is shared (PR 2).
@@ -17,8 +17,9 @@
 //!   `JobRt` per in-flight job and recycles them through a spare pool.
 //! * `MachState` — the **machine-side** state shared by every job in a
 //!   session: per-type busy counts and busy time, the free-processor
-//!   stacks, the completion min-heap (keyed `(time, job slot, task)`), the
-//!   per-epoch slot counts, and the monotonic epoch counter.
+//!   stacks, the completion calendar (events drained in
+//!   `(time, job slot, task)` order), the per-epoch slot counts, and the
+//!   monotonic epoch counter.
 //!
 //! The `*_in` entry points ([`crate::engine::run_in`],
 //! [`crate::metrics::evaluate_instrumented_in`]) `clear()`-and-reuse the
@@ -52,11 +53,10 @@
 //! behavior must stay bit-identical to a cold run.
 
 use std::any::{Any, TypeId};
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 
 use kdag::{KDag, TaskId};
 
+use crate::calendar::{CalEvent, Calendar};
 use crate::config::MachineConfig;
 use crate::policy::Assignments;
 use crate::state::JobState;
@@ -116,7 +116,7 @@ impl JobRt {
 }
 
 /// The machine-side half of the engine's mutable state, shared by every
-/// job in a session: pool occupancy, the completion event heap, per-epoch
+/// job in a session: pool occupancy, the completion calendar, per-epoch
 /// scratch, and the monotonic epoch counter.
 #[derive(Debug, Default)]
 pub(crate) struct MachState {
@@ -135,10 +135,12 @@ pub(crate) struct MachState {
     pub(crate) busy: Vec<usize>,
     /// Non-preemptive: free-processor index stacks (stable trace ids).
     pub(crate) free_procs: Vec<Vec<u32>>,
-    /// Non-preemptive: pending completion events, ordered by
-    /// `(time, job slot, task)`. The slot is 0 for single-job runs, so
-    /// the ordering is exactly the old `(time, task)` key.
-    pub(crate) heap: BinaryHeap<Reverse<(Time, u32, TaskId)>>,
+    /// Non-preemptive: pending completion events, drained in
+    /// `(time, job slot, task)` order. The slot is 0 for single-job runs,
+    /// so the ordering is exactly the old `(time, task)` key.
+    pub(crate) cal: Calendar,
+    /// Reusable drain buffer for one completion time's events.
+    pub(crate) events_buf: Vec<CalEvent>,
     /// Preemptive: tasks chosen per type this epoch, summed across jobs
     /// (feeds the utilization timeline).
     pub(crate) running_now: Vec<u32>,
@@ -165,7 +167,8 @@ impl MachState {
         } else {
             self.busy.clear();
             self.busy.resize(k, 0);
-            self.heap.clear();
+            self.cal.clear();
+            self.events_buf.clear();
             for q in &mut self.free_procs {
                 q.clear();
             }
