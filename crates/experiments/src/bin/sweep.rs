@@ -13,10 +13,13 @@ use fhs_core::{Algorithm, ALL_ALGORITHMS};
 use fhs_experiments::figures::{panel_csv_table, Panel};
 use fhs_experiments::obsout;
 use fhs_experiments::runner::{
-    run_cell, run_cell_instrumented, run_sweep_observed, Cell, SweepCell, SweepCellResult,
+    fold_rows, new_sweep_columns, run_cell, run_cell_instrumented, run_sweep_observed,
+    run_sweep_rows, Cell, SweepCell, SweepCellResult,
 };
+use fhs_experiments::shard::{merge_shards, shard_fragment, ShardMeta};
 use fhs_experiments::stats::Summary;
-use fhs_obs::{chrome_trace_json, events_jsonl, ObsConfig, TraceCell};
+use fhs_experiments::telemetry::{sweep_exposition, sweep_snapshot_jsonl, MetricsServer};
+use fhs_obs::{chrome_trace_json, events_jsonl, write_atomic, ObsConfig, TraceCell};
 use fhs_sim::Mode;
 use fhs_workloads::{resources::SystemSize, Family, Typing, WorkloadSpec};
 
@@ -38,13 +41,23 @@ struct SweepArgs {
     metrics_out: Option<PathBuf>,
     no_artifact_cache: bool,
     workers: Option<usize>,
+    stable: bool,
+    shard: Option<(u64, u64)>,
+    shard_out: Option<PathBuf>,
+    snapshot_every: Option<u64>,
+    snapshot_out: Option<PathBuf>,
+    serve_metrics: Option<String>,
+    serve_linger: u64,
 }
 
 const USAGE: &str = "usage: sweep [--family ep|tree|ir] [--typing layered|random] \
 [--size small|medium|large|huge] [--k K] [--skewed] [--preemptive] \
 [--algo NAME]... [--instances N] [--seed S] [--csv] [--instrument] \
 [--utilization] [--trace-out PATH] [--trace-cap N] [--metrics-out PATH] \
+[--stable] [--shard I/N] [--shard-out PATH] [--snapshot-every N] \
+[--snapshot-out BASE] [--serve-metrics ADDR] [--serve-linger SECS] \
 [--no-artifact-cache] [--workers N]\n\
+       sweep merge-shards [--out PATH] FRAGMENT...\n\
 algorithm names: KGreedy LSpan DType MaxDP ShiftBT MQB MQB+All+Exp … (default: all six)\n\
 --instrument appends per-algorithm engine counters (epochs, transitions, \
 assign/engine wall time) plus assign/epoch latency and queue-depth \
@@ -57,6 +70,23 @@ Chrome-trace JSON loadable in Perfetto / chrome://tracing\n\
 --trace-cap bounds the recorded events per run (first-N; default 65536)\n\
 --metrics-out appends one JSON line per algorithm cell (versioned schema: \
 ratio summary, engine counters, latency percentiles, utilization)\n\
+--stable canonicalizes exported metrics for byte-identical reproduction: \
+wall-clock counters zeroed, wall-latency histograms cleared\n\
+--shard I/N evaluates only the I-th of N contiguous instance ranges \
+(0-based); seeding is absolute, so shards reproduce exactly the rows the \
+unsharded sweep would\n\
+--shard-out writes this shard's fragment (JSONL) for 'sweep merge-shards'; \
+implies the --metrics-out recording channels and --stable form\n\
+--snapshot-every N re-renders the live exposition/snapshot after every N \
+instances (default: a tenth of the range when a sink is attached)\n\
+--snapshot-out BASE atomically rewrites BASE.prom (Prometheus text) and \
+BASE.jsonl (versioned snapshot) at each snapshot tick\n\
+--serve-metrics ADDR answers GET /metrics from the latest snapshot over \
+plain TCP (e.g. 127.0.0.1:9184; port 0 picks a free port)\n\
+--serve-linger SECS keeps the process (and endpoint) alive after the \
+sweep finishes so a scraper can read the final state\n\
+merge-shards folds shard fragments back into metrics-JSONL, byte-identical \
+to the unsharded '--stable --metrics-out' run over the full range\n\
 --no-artifact-cache re-samples and re-analyzes every instance per algorithm \
 (the legacy cell-major path); results are bit-identical either way, but the \
 observability flags above need the instance-major sweep\n\
@@ -82,6 +112,13 @@ fn parse() -> Result<SweepArgs, String> {
         metrics_out: None,
         no_artifact_cache: false,
         workers: None,
+        stable: false,
+        shard: None,
+        shard_out: None,
+        snapshot_every: None,
+        snapshot_out: None,
+        serve_metrics: None,
+        serve_linger: 0,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -147,6 +184,36 @@ fn parse() -> Result<SweepArgs, String> {
                     .map_err(|e| format!("--trace-cap: {e}"))?
             }
             "--metrics-out" => out.metrics_out = Some(PathBuf::from(value("--metrics-out")?)),
+            "--stable" => out.stable = true,
+            "--shard" => {
+                let spec = value("--shard")?;
+                let (i, n) = spec
+                    .split_once('/')
+                    .ok_or_else(|| format!("--shard wants I/N, got {spec}"))?;
+                let i: u64 = i.parse().map_err(|e| format!("--shard index: {e}"))?;
+                let n: u64 = n.parse().map_err(|e| format!("--shard count: {e}"))?;
+                if n == 0 || i >= n {
+                    return Err(format!("--shard {i}/{n}: index must be in 0..count"));
+                }
+                out.shard = Some((i, n));
+            }
+            "--shard-out" => out.shard_out = Some(PathBuf::from(value("--shard-out")?)),
+            "--snapshot-every" => {
+                let n: u64 = value("--snapshot-every")?
+                    .parse()
+                    .map_err(|e| format!("--snapshot-every: {e}"))?;
+                if n == 0 {
+                    return Err("--snapshot-every must be at least 1".into());
+                }
+                out.snapshot_every = Some(n);
+            }
+            "--snapshot-out" => out.snapshot_out = Some(PathBuf::from(value("--snapshot-out")?)),
+            "--serve-metrics" => out.serve_metrics = Some(value("--serve-metrics")?),
+            "--serve-linger" => {
+                out.serve_linger = value("--serve-linger")?
+                    .parse()
+                    .map_err(|e| format!("--serve-linger: {e}"))?
+            }
             "--no-artifact-cache" => out.no_artifact_cache = true,
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown flag {other}\n{USAGE}")),
@@ -170,10 +237,75 @@ fn parse() -> Result<SweepArgs, String> {
                 .into(),
         );
     }
+    if out.no_artifact_cache
+        && (out.shard.is_some() || out.snapshot_out.is_some() || out.serve_metrics.is_some())
+    {
+        return Err("--no-artifact-cache cannot shard or snapshot (instance-major only)".into());
+    }
+    if out.shard_out.is_some() && out.shard.is_none() {
+        return Err("--shard-out needs --shard I/N".into());
+    }
+    if let Some((_, n)) = out.shard {
+        if (out.instances as u64) < n {
+            return Err(format!(
+                "--shard: {} instances cannot fill {n} shards",
+                out.instances
+            ));
+        }
+    }
     Ok(out)
 }
 
+/// The `merge-shards` subcommand: reads shard fragments, folds them back
+/// together, and writes metrics-JSONL byte-identical to the unsharded
+/// `--stable --metrics-out` run.
+fn merge_main(args: &[String]) -> Result<(), String> {
+    let mut out_path: Option<PathBuf> = None;
+    let mut fragments = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => {
+                out_path = Some(PathBuf::from(
+                    it.next().ok_or("--out needs a value")?.clone(),
+                ))
+            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            path => fragments.push(PathBuf::from(path)),
+        }
+    }
+    if fragments.is_empty() {
+        return Err("merge-shards: no fragment files given".into());
+    }
+    let texts: Vec<String> = fragments
+        .iter()
+        .map(|p| std::fs::read_to_string(p).map_err(|e| format!("{}: {e}", p.display())))
+        .collect::<Result<_, _>>()?;
+    let merged = merge_shards(&texts)?;
+    match &out_path {
+        Some(path) => {
+            std::fs::write(path, &merged).map_err(|e| format!("{}: {e}", path.display()))?;
+            eprintln!(
+                "merged {} fragments into {} ({} cells)",
+                texts.len(),
+                path.display(),
+                merged.lines().count()
+            );
+        }
+        None => print!("{merged}"),
+    }
+    Ok(())
+}
+
 fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("merge-shards") {
+        if let Err(msg) = merge_main(&argv[1..]) {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+        return;
+    }
     let args = match parse() {
         Ok(a) => a,
         Err(msg) => {
@@ -190,8 +322,8 @@ fn main() {
     // recorder feeds --utilization and --metrics-out, event tracing runs
     // only when a trace sink is given.
     let observe = ObsConfig {
-        utilization: args.utilization || args.metrics_out.is_some(),
-        latency: args.instrument || args.metrics_out.is_some(),
+        utilization: args.utilization || args.metrics_out.is_some() || args.shard_out.is_some(),
+        latency: args.instrument || args.metrics_out.is_some() || args.shard_out.is_some(),
         events: args.trace_out.is_some(),
         event_cap: args.trace_cap,
     };
@@ -205,6 +337,9 @@ fn main() {
     // The sweep columns of the instance-major path (None on the legacy
     // path), feeding the observability sections and export sinks below.
     let mut columns: Option<Vec<SweepCellResult>> = None;
+    // Keeps the /metrics endpoint alive (for --serve-linger) after the
+    // sweep completes.
+    let mut serve_handle: Option<MetricsServer> = None;
     let rows: Vec<(String, Summary)> = if args.no_artifact_cache {
         // Legacy cell-major escape hatch: every algorithm re-samples and
         // re-analyzes its own copy of each instance.
@@ -232,14 +367,117 @@ fn main() {
             .iter()
             .map(|&algo| SweepCell::new(algo, args.mode))
             .collect();
-        let results = run_sweep_observed(
-            &spec,
-            &cells,
-            args.instances,
-            args.seed,
-            args.workers,
-            observe,
-        );
+        let labels: Vec<String> = args.algos.iter().map(|a| a.label().to_string()).collect();
+        // This process's contiguous slice of the instance range.
+        let (lo, hi) = match args.shard {
+            Some((i, n)) => {
+                let t = args.instances as u64;
+                (i * t / n, (i + 1) * t / n)
+            }
+            None => (0, args.instances as u64),
+        };
+        let server = args
+            .serve_metrics
+            .as_deref()
+            .map(|addr| match MetricsServer::start(addr) {
+                Ok(s) => {
+                    eprintln!("serving GET /metrics on http://{}/metrics", s.addr());
+                    s
+                }
+                Err(e) => {
+                    eprintln!("failed to bind {addr}: {e}");
+                    std::process::exit(1);
+                }
+            });
+        // The chunked loop only runs when something watches mid-sweep
+        // (snapshots, a live endpoint) or the range is a shard; otherwise
+        // the one-shot path keeps its fine-grained dispatch heuristics.
+        let live = args.shard.is_some()
+            || args.snapshot_out.is_some()
+            || args.snapshot_every.is_some()
+            || server.is_some();
+        let mut results = if live {
+            let total = (hi - lo) as usize;
+            let chunk = args.snapshot_every.unwrap_or(((hi - lo) / 10).max(1));
+            let mut cols = new_sweep_columns(cells.len());
+            let mut shard_rows = Vec::new();
+            let mut at = lo;
+            while at < hi {
+                let end = (at + chunk).min(hi);
+                let batch =
+                    run_sweep_rows(&spec, &cells, at..end, args.seed, args.workers, observe);
+                if args.shard_out.is_some() {
+                    shard_rows.extend(batch.iter().cloned());
+                }
+                fold_rows(&mut cols, batch);
+                at = end;
+                let done = (at - lo) as usize;
+                let page = sweep_exposition(&spec.label(), mode_label, &labels, &cols, done, total);
+                if let Some(server) = &server {
+                    server.publish(page.clone());
+                }
+                if let Some(base) = &args.snapshot_out {
+                    let jsonl = sweep_snapshot_jsonl(
+                        &spec.label(),
+                        mode_label,
+                        args.seed,
+                        &labels,
+                        &cols,
+                        done,
+                        total,
+                    );
+                    for (path, body) in [
+                        (base.with_extension("prom"), &page),
+                        (base.with_extension("jsonl"), &jsonl),
+                    ] {
+                        if let Err(e) = write_atomic(&path, body) {
+                            eprintln!("snapshot write failed for {}: {e}", path.display());
+                        }
+                    }
+                }
+            }
+            if let Some(path) = &args.shard_out {
+                let fragment = shard_fragment(
+                    &ShardMeta {
+                        workload: &spec.label(),
+                        mode: mode_label,
+                        instances: args.instances,
+                        seed: args.seed,
+                        lo,
+                        hi,
+                        cells: &labels,
+                    },
+                    shard_rows,
+                );
+                match std::fs::write(path, fragment) {
+                    Ok(()) => eprintln!(
+                        "wrote shard fragment: {} (instances {lo}..{hi} of {})",
+                        path.display(),
+                        args.instances
+                    ),
+                    Err(e) => {
+                        eprintln!("failed to write {}: {e}", path.display());
+                        std::process::exit(1);
+                    }
+                }
+            }
+            cols
+        } else {
+            run_sweep_observed(
+                &spec,
+                &cells,
+                args.instances,
+                args.seed,
+                args.workers,
+                observe,
+            )
+        };
+        if args.stable || args.shard_out.is_some() {
+            for col in results.iter_mut() {
+                obsout::stabilize(col);
+            }
+        }
+        serve_handle = server;
         let rows = args
             .algos
             .iter()
@@ -303,7 +541,9 @@ fn main() {
                 algo.label(),
                 &spec.label(),
                 mode_label,
-                args.instances,
+                // A shard run exports lines over the instances it actually
+                // evaluated; the full-range identity is restored by merge.
+                col.ratios.len(),
                 args.seed,
                 &col.summary(),
                 &col.stats,
@@ -353,6 +593,16 @@ fn main() {
                 eprintln!("failed to write {}: {e}", path.display());
                 std::process::exit(1);
             }
+        }
+    }
+    if let Some(server) = &serve_handle {
+        if args.serve_linger > 0 {
+            eprintln!(
+                "lingering {}s for scrapers on http://{}/metrics",
+                args.serve_linger,
+                server.addr()
+            );
+            std::thread::sleep(std::time::Duration::from_secs(args.serve_linger));
         }
     }
 }

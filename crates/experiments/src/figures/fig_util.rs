@@ -31,7 +31,7 @@
 
 use fhs_core::{Algorithm, ALL_ALGORITHMS};
 use fhs_obs::{ObsConfig, UtilSummary};
-use fhs_sim::Mode;
+use fhs_sim::{Mode, RunStats};
 use fhs_workloads::{resources::SystemSize, Family, Typing, WorkloadSpec};
 
 use crate::args::CommonArgs;
@@ -54,6 +54,9 @@ pub struct UtilRow {
     pub ratio: Summary,
     /// Aggregated utilization report over the cell's instances.
     pub util: UtilSummary,
+    /// Aggregated engine counters (fast-forward skips, dirty-set scan
+    /// effectiveness, selection-index pruning) over the cell's instances.
+    pub stats: RunStats,
 }
 
 impl UtilRow {
@@ -144,6 +147,7 @@ pub fn compute(args: &CommonArgs) -> Vec<(UtilPanel, Vec<SweepCellResult>)> {
                             mode,
                             ratio: col.summary(),
                             util: col.obs.as_ref().map(|o| o.util.clone()).unwrap_or_default(),
+                            stats: col.stats,
                         })
                 })
                 .collect();
@@ -174,6 +178,13 @@ pub fn report(args: &CommonArgs) -> String {
         "cov",
         "drain_frac",
         "n",
+        "epochs_skipped",
+        "dirty_visits",
+        "full_rescans",
+        "sel_evaluated",
+        "sel_pruned",
+        "sel_diff_events",
+        "sel_cold_snapshots",
     ]);
     for (p, _) in &panels {
         let mut t = Table::new(vec![
@@ -184,6 +195,11 @@ pub fn report(args: &CommonArgs) -> String {
             "imbalance",
             "CoV",
             "drain",
+            "ff-skip",
+            "dirty",
+            "rescans",
+            "sel eval",
+            "sel pruned",
         ]);
         for r in &p.rows {
             t.push_row(vec![
@@ -194,6 +210,11 @@ pub fn report(args: &CommonArgs) -> String {
                 format!("{:.3}", r.util.mean_imbalance()),
                 format!("{:.3}", r.util.mean_cov()),
                 format!("{:.3}", r.mean_drain()),
+                r.stats.epochs_skipped.to_string(),
+                r.stats.dirty_visits.to_string(),
+                r.stats.full_rescans.to_string(),
+                r.stats.selection.candidates_evaluated.to_string(),
+                r.stats.selection.candidates_pruned.to_string(),
             ]);
             csv.push_row(vec![
                 p.title.clone(),
@@ -205,6 +226,13 @@ pub fn report(args: &CommonArgs) -> String {
                 format!("{}", r.util.mean_cov()),
                 format!("{}", r.mean_drain()),
                 r.ratio.n.to_string(),
+                r.stats.epochs_skipped.to_string(),
+                r.stats.dirty_visits.to_string(),
+                r.stats.full_rescans.to_string(),
+                r.stats.selection.candidates_evaluated.to_string(),
+                r.stats.selection.candidates_pruned.to_string(),
+                r.stats.selection.diff_events.to_string(),
+                r.stats.selection.cold_snapshots.to_string(),
             ]);
         }
         // The figure's punchline as a bar chart: non-preemptive mean
@@ -253,6 +281,7 @@ mod tests {
             assert_eq!(cols.len(), 12);
             for r in &p.rows {
                 assert_eq!(r.util.runs, 12, "{}/{}", p.title, r.algo.label());
+                assert!(r.stats.epochs > 0, "{}: no epochs counted", r.algo.label());
                 let u = r.mean_util();
                 assert!(u > 0.0 && u <= 1.0, "{}: util {}", r.algo.label(), u);
                 let imb = r.util.mean_imbalance();
@@ -307,5 +336,28 @@ mod tests {
         assert!(text.contains("imbalance"));
         assert!(text.contains("pre(q=1)"));
         assert!(text.contains('#'), "bar chart rendered");
+        // The engine counters surfaced in the table (fast-forward +
+        // selection-index effectiveness, PR-7/PR-8).
+        assert!(text.contains("ff-skip"));
+        assert!(text.contains("sel pruned"));
+    }
+
+    #[test]
+    fn engine_counters_reach_the_rows() {
+        // MQB drives the incremental selection index, so its rows must
+        // report evaluated candidates. The fast-forward counters are
+        // session-engine counters: the single-run sweep path behind this
+        // figure never skips an epoch, so surfacing them here must read
+        // exactly zero (they go live in the streaming harness).
+        let panels = compute(&tiny_args());
+        let rows = &panels[2].0.rows;
+        assert_eq!(rows[10].algo.label(), "MQB");
+        assert!(
+            rows[10].stats.selection.candidates_evaluated > 0,
+            "MQB np evaluated no candidates"
+        );
+        for r in rows {
+            assert_eq!(r.stats.epochs_skipped, 0, "{}", r.algo.label());
+        }
     }
 }

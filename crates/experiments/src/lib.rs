@@ -24,12 +24,17 @@ pub mod chart;
 pub mod figures;
 pub mod obsout;
 pub mod runner;
+pub mod shard;
 pub mod stats;
 pub mod stream;
 pub mod table;
+pub mod telemetry;
 
 pub use runner::{
-    run_cell, run_sweep, run_sweep_observed, Cell, CellObs, SweepCell, SweepCellResult,
+    run_cell, run_sweep, run_sweep_observed, run_sweep_rows, Cell, CellObs, InstanceRuns,
+    SweepCell, SweepCellResult,
 };
+pub use shard::{merge_shards, shard_fragment, ShardMeta, SHARD_SCHEMA_VERSION};
 pub use stats::Summary;
 pub use stream::{run_stream, Arrivals, StreamCell, StreamConfig, StreamResult};
+pub use telemetry::MetricsServer;

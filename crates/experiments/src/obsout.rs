@@ -9,11 +9,11 @@
 //!   `--utilization` and the figure binaries' `--instrument` /
 //!   `--utilization` flags.
 
-use fhs_obs::json::json_string;
+use fhs_obs::json::{json_f64, json_string};
 use fhs_obs::HistSnapshot;
 use fhs_sim::RunStats;
 
-use crate::runner::CellObs;
+use crate::runner::{CellObs, SweepCellResult};
 use crate::stats::Summary;
 
 /// Version tag stamped into every metrics-JSONL line; bumped on any
@@ -22,12 +22,57 @@ pub const METRICS_SCHEMA_VERSION: u64 = 1;
 
 /// Formats an `f64` as a JSON number. Non-finite values become `null`
 /// so a degenerate statistic can never produce an unparseable file.
+/// (Delegates to the one shared formatter in `fhs-obs` so every JSON
+/// emitter in the workspace renders numbers byte-identically.)
 fn num(v: f64) -> String {
-    if v.is_finite() {
-        format!("{v}")
-    } else {
-        "null".into()
+    json_f64(v)
+}
+
+/// Canonicalizes one sweep column for reproducible (`--stable`) output:
+/// zeroes the wall-clock counters (`assign_nanos`, `engine_nanos`), the
+/// per-process pool artifacts (`workspace_reuses`, `workspace_cold_inits`,
+/// `epoch_bytes`), and clears the wall-latency histograms. Everything
+/// left is a pure function of (workload, seed, instance set), so
+/// stabilized output is byte-identical across reruns, worker counts, and
+/// shard splits — the form the shard merge reproduces.
+pub fn stabilize(col: &mut SweepCellResult) {
+    col.stats.assign_nanos = 0;
+    col.stats.engine_nanos = 0;
+    col.stats.workspace_reuses = 0;
+    col.stats.workspace_cold_inits = 0;
+    col.stats.epoch_bytes = 0;
+    if let Some(o) = col.obs.as_mut() {
+        o.assign_ns = HistSnapshot::default();
+        o.epoch_ns = HistSnapshot::default();
     }
+}
+
+/// The `"stats"` object of a metrics-JSONL line: the aggregated engine
+/// counters, rendered with a fixed key order. Shared with the shard
+/// fragment writer so both emit (and the merge re-emits) the exact same
+/// bytes for the same counters.
+pub fn stats_json(stats: &RunStats) -> String {
+    format!(
+        "{{\"epochs\":{},\"epochs_skipped\":{},\"dirty_visits\":{},\"full_rescans\":{},\"tasks_assigned\":{},\"releases\":{},\"starts\":{},\"completions\":{},\"progress_updates\":{},\"peak_queue_depth\":{},\"assign_nanos\":{},\"engine_nanos\":{},\"workspace_reuses\":{},\"workspace_cold_inits\":{},\"selection\":{{\"candidates_evaluated\":{},\"candidates_pruned\":{},\"diff_events\":{},\"cold_snapshots\":{}}}}}",
+        stats.epochs,
+        stats.epochs_skipped,
+        stats.dirty_visits,
+        stats.full_rescans,
+        stats.tasks_assigned,
+        stats.transitions.releases,
+        stats.transitions.starts,
+        stats.transitions.completions,
+        stats.transitions.progress_updates,
+        stats.transitions.peak_queue_depth,
+        stats.assign_nanos,
+        stats.engine_nanos,
+        stats.workspace_reuses,
+        stats.workspace_cold_inits,
+        stats.selection.candidates_evaluated,
+        stats.selection.candidates_pruned,
+        stats.selection.diff_events,
+        stats.selection.cold_snapshots,
+    )
 }
 
 /// `{"count":…,"p50":…,"p90":…,"p99":…,"max":…}` for one histogram.
@@ -73,27 +118,8 @@ pub fn metrics_line(
         num(summary.p50),
         num(summary.p95),
     ));
-    out.push_str(&format!(
-        ",\"stats\":{{\"epochs\":{},\"epochs_skipped\":{},\"dirty_visits\":{},\"full_rescans\":{},\"tasks_assigned\":{},\"releases\":{},\"starts\":{},\"completions\":{},\"progress_updates\":{},\"peak_queue_depth\":{},\"assign_nanos\":{},\"engine_nanos\":{},\"workspace_reuses\":{},\"workspace_cold_inits\":{},\"selection\":{{\"candidates_evaluated\":{},\"candidates_pruned\":{},\"diff_events\":{},\"cold_snapshots\":{}}}}}",
-        stats.epochs,
-        stats.epochs_skipped,
-        stats.dirty_visits,
-        stats.full_rescans,
-        stats.tasks_assigned,
-        stats.transitions.releases,
-        stats.transitions.starts,
-        stats.transitions.completions,
-        stats.transitions.progress_updates,
-        stats.transitions.peak_queue_depth,
-        stats.assign_nanos,
-        stats.engine_nanos,
-        stats.workspace_reuses,
-        stats.workspace_cold_inits,
-        stats.selection.candidates_evaluated,
-        stats.selection.candidates_pruned,
-        stats.selection.diff_events,
-        stats.selection.cold_snapshots,
-    ));
+    out.push_str(",\"stats\":");
+    out.push_str(&stats_json(stats));
     if let Some(o) = obs {
         out.push_str(&format!(
             ",\"latency\":{{\"assign_ns\":{},\"epoch_ns\":{},\"queue_depth\":{}}}",

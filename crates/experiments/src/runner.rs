@@ -125,14 +125,14 @@ pub fn with_worker_ctx<R>(f: impl FnOnce(&mut WorkerCtx) -> R) -> R {
     WORKER_CTX.with(|c| f(&mut c.borrow_mut()))
 }
 
-/// Fans `0..instances` across the persistent pool (`None` = the whole
-/// team), preserving instance order.
-fn pool_map<U, F>(workers: Option<usize>, instances: usize, eval: F) -> Vec<U>
+/// Fans the absolute instance indices in `range` across the persistent
+/// pool (`None` = the whole team), preserving instance order.
+fn pool_map<U, F>(workers: Option<usize>, range: std::ops::Range<u64>, eval: F) -> Vec<U>
 where
     U: Send + 'static,
     F: Fn(u64) -> U + Send + Sync + 'static,
 {
-    let items: Vec<u64> = (0..instances as u64).collect();
+    let items: Vec<u64> = range.collect();
     match workers {
         Some(w) => fhs_par::pool().map_with(w, items, eval),
         None => fhs_par::pool().map(items, eval),
@@ -320,24 +320,29 @@ fn transpose(
 }
 
 /// One instance's runs, cell by cell: ratio, engine counters, and the
-/// optional observability payload.
-type InstanceRuns = Vec<(f64, RunStats, Option<Box<RunObs>>)>;
+/// optional observability payload. The row form produced by
+/// [`run_sweep_rows`] and folded by [`fold_rows`].
+pub type InstanceRuns = Vec<(f64, RunStats, Option<Box<RunObs>>)>;
 
-/// As [`transpose`], folding each instance's observability payload into
-/// its column in instance order (see [`CellObs::absorb`] for why the
-/// order matters).
-fn transpose_observed(
-    columns: usize,
-    instances: usize,
-    per_instance: Vec<InstanceRuns>,
-) -> Vec<SweepCellResult> {
-    let mut out: Vec<SweepCellResult> = (0..columns)
+/// Empty per-column accumulators for [`fold_rows`].
+pub fn new_sweep_columns(columns: usize) -> Vec<SweepCellResult> {
+    (0..columns)
         .map(|_| SweepCellResult {
-            ratios: Vec::with_capacity(instances),
+            ratios: Vec::new(),
             stats: RunStats::default(),
             obs: None,
         })
-        .collect();
+        .collect()
+}
+
+/// Folds instance-major rows into per-column accumulators, **in row
+/// order**. Because each row is folded element-wise (ratio push, integer
+/// counter merge, `CellObs::absorb`), feeding rows to one accumulator in
+/// chunks produces bit-identical columns to a single-shot fold of the
+/// concatenation — the property the periodic-snapshot sweep loop and the
+/// shard merge both rest on (the utilization aggregates are `f64` sums,
+/// exact only for a fixed fold order).
+pub fn fold_rows(out: &mut [SweepCellResult], per_instance: Vec<InstanceRuns>) {
     for row in per_instance {
         for (col, (ratio, stats, obs)) in out.iter_mut().zip(row) {
             col.ratios.push(ratio);
@@ -347,6 +352,21 @@ fn transpose_observed(
             }
         }
     }
+}
+
+/// As [`transpose`], folding each instance's observability payload into
+/// its column in instance order (see [`CellObs::absorb`] for why the
+/// order matters).
+fn transpose_observed(
+    columns: usize,
+    instances: usize,
+    per_instance: Vec<InstanceRuns>,
+) -> Vec<SweepCellResult> {
+    let mut out = new_sweep_columns(columns);
+    for col in out.iter_mut() {
+        col.ratios.reserve(instances);
+    }
+    fold_rows(&mut out, per_instance);
     out
 }
 
@@ -422,9 +442,41 @@ pub fn run_sweep_observed(
             observe,
         );
     }
+    let per_instance = run_sweep_rows(
+        spec,
+        cells,
+        0..instances as u64,
+        base_seed,
+        workers,
+        observe,
+    );
+    transpose_observed(cells.len(), instances, per_instance)
+}
+
+/// Evaluates the absolute instance indices in `range` for every column
+/// of `cells` and returns the raw **rows** (one [`InstanceRuns`] per
+/// instance, in instance order) instead of folded columns.
+///
+/// This is the sharding primitive: instance `i` is seeded
+/// `instance_seed(base_seed, i)` regardless of the range bounds, so a
+/// process evaluating `lo..hi` produces exactly the rows the unsharded
+/// sweep would produce at those positions — fold any partition of
+/// `0..instances` back together in order ([`fold_rows`]) and the columns
+/// are bit-identical to [`run_sweep_observed`]. The instance-0 event
+/// gate stays absolute too: only the shard containing instance 0
+/// captures a trace.
+pub fn run_sweep_rows(
+    spec: &WorkloadSpec,
+    cells: &[SweepCell],
+    range: std::ops::Range<u64>,
+    base_seed: u64,
+    workers: Option<usize>,
+    observe: ObsConfig,
+) -> Vec<InstanceRuns> {
+    let any_offline = cells.iter().any(|c| c.algo.is_offline());
     let spec = *spec;
     let cols: Arc<[SweepCell]> = cells.into();
-    let eval = move |i: u64| -> Vec<(f64, RunStats, Option<Box<RunObs>>)> {
+    let eval = move |i: u64| -> InstanceRuns {
         let seed = instance_seed(base_seed, i);
         let (job, cfg) = spec.sample(seed);
         let artifacts = any_offline.then(|| Arc::new(Artifacts::compute(&job)));
@@ -451,8 +503,7 @@ pub fn run_sweep_observed(
                 .collect()
         })
     };
-    let per_instance = pool_map(workers, instances, eval);
-    transpose_observed(cells.len(), instances, per_instance)
+    pool_map(workers, range, eval)
 }
 
 /// One prepared instance of the fine-grained sweep: the shared job,
@@ -480,7 +531,7 @@ fn run_sweep_fine(
         let artifacts = any_offline.then(|| Arc::new(Artifacts::compute(&job)));
         Arc::new((job, cfg, artifacts, seed))
     };
-    let prepared = Arc::new(pool_map(workers, instances, prep));
+    let prepared = Arc::new(pool_map(workers, 0..instances as u64, prep));
 
     let cols: Arc<[SweepCell]> = cells.into();
     let ncells = cells.len();

@@ -1,0 +1,603 @@
+//! Sharded sweep export and the bit-identical merge.
+//!
+//! A sweep over `0..instances` can be split across processes by instance
+//! range: each shard evaluates a contiguous slice `lo..hi` with
+//! [`run_sweep_rows`](crate::runner::run_sweep_rows) (absolute seeding
+//! keeps instance `i` identical in any shard layout) and writes a
+//! **fragment** — a small JSONL file carrying, per sweep column, the raw
+//! per-instance completion-time ratios, the shard-folded engine counters,
+//! and the per-instance utilization addends. [`merge_shards`] folds any
+//! exact partition of the instance range back together and re-renders the
+//! metrics-JSONL through [`obsout::metrics_line`], producing output
+//! **byte-identical** to the unsharded `sweep --stable --metrics-out` run.
+//!
+//! Why the fragment carries per-instance `f64`s instead of shard-level
+//! sums: integer counters and histograms merge exactly in any grouping,
+//! but the utilization aggregates are `f64` sums, exact only for a fixed
+//! fold order. Shards are contiguous sorted ranges, so replaying each
+//! instance's addends in global instance order reproduces the unsharded
+//! sequential fold bit for bit. Ratios are carried raw for the same
+//! reason: the summary statistics are computed once, from the full
+//! concatenated vector, by the same [`Summary::from_samples`](crate::stats::Summary::from_samples) the
+//! unsharded path uses. All `f64`s travel as shortest-roundtrip decimal
+//! strings (Rust's `{}` formatting), which parse back to the exact same
+//! bit pattern.
+//!
+//! Fragments are stabilized at write time (see [`obsout::stabilize`]):
+//! wall-clock nanos and per-process workspace counters are zeroed, so a
+//! fragment is a pure function of `(workload, seed, lo..hi)`. Event
+//! traces (the instance-0 Chrome-trace channel) are not carried through
+//! fragments — they never appear in metrics-JSONL, and a shard run can
+//! export them directly via `--trace-out` instead.
+
+use fhs_obs::json::{json_f64, json_string, parse, Value};
+use fhs_obs::{HistSnapshot, UtilSummary};
+use fhs_sim::{RunStats, SelectionStats, TransitionCounts};
+
+use crate::obsout::{self, stats_json};
+use crate::runner::{fold_rows, new_sweep_columns, CellObs, InstanceRuns};
+
+/// Version tag stamped into every fragment's header line; merge refuses
+/// fragments with a different version.
+pub const SHARD_SCHEMA_VERSION: u64 = 1;
+
+/// Identity of the sweep a fragment belongs to. Every field except
+/// `lo`/`hi` must agree across the fragments of one merge.
+#[derive(Clone, Debug)]
+pub struct ShardMeta<'a> {
+    /// Workload label (`WorkloadSpec::label()`).
+    pub workload: &'a str,
+    /// Mode label as rendered in metrics-JSONL (`"np"` / `"pre"`).
+    pub mode: &'a str,
+    /// **Total** sweep instances (not this shard's count).
+    pub instances: usize,
+    /// Base seed of the sweep.
+    pub seed: u64,
+    /// First absolute instance index of this shard (inclusive).
+    pub lo: u64,
+    /// One past the last absolute instance index of this shard.
+    pub hi: u64,
+    /// Column labels, in column order (algorithm labels).
+    pub cells: &'a [String],
+}
+
+/// One per-instance utilization record: the exact addends
+/// [`UtilSummary::add`] would fold for that run.
+struct UtilEntry {
+    per_type: Vec<f64>,
+    drain_frac: Vec<f64>,
+    imbalance: f64,
+    cov: f64,
+}
+
+fn util_entry(u: &fhs_obs::UtilizationReport) -> UtilEntry {
+    UtilEntry {
+        per_type: u.per_type.iter().map(|t| t.utilization).collect(),
+        drain_frac: u
+            .per_type
+            .iter()
+            .map(|t| {
+                if u.makespan == 0 {
+                    1.0
+                } else {
+                    t.drain_time as f64 / u.makespan as f64
+                }
+            })
+            .collect(),
+        imbalance: u.imbalance(),
+        cov: u.cov(),
+    }
+}
+
+/// Replays one entry into `sum`, mirroring [`UtilSummary::add`] addition
+/// for addition.
+fn util_replay(sum: &mut UtilSummary, e: &UtilEntry) {
+    if sum.sum_util.len() != e.per_type.len() {
+        assert_eq!(sum.runs, 0, "type count changed mid-merge");
+        *sum = UtilSummary::new(e.per_type.len());
+    }
+    sum.runs += 1;
+    for (alpha, (&u, &d)) in e.per_type.iter().zip(&e.drain_frac).enumerate() {
+        sum.sum_util[alpha] += u;
+        sum.sum_drain_frac[alpha] += d;
+    }
+    sum.sum_imbalance += e.imbalance;
+    sum.sum_cov += e.cov;
+}
+
+fn f64s_json(vals: &[f64]) -> String {
+    let parts: Vec<String> = vals.iter().map(|&v| json_f64(v)).collect();
+    format!("[{}]", parts.join(","))
+}
+
+fn hist_parts_json(h: &HistSnapshot) -> String {
+    let buckets: Vec<String> = h
+        .buckets()
+        .iter()
+        .map(|&(i, c)| format!("[{i},{c}]"))
+        .collect();
+    format!(
+        "{{\"count\":{},\"max\":{},\"sum\":{},\"buckets\":[{}]}}",
+        h.count,
+        h.max,
+        h.sum,
+        buckets.join(",")
+    )
+}
+
+/// Renders one shard's fragment from the raw rows produced by
+/// [`run_sweep_rows`](crate::runner::run_sweep_rows) over `lo..hi`.
+///
+/// Line 1 is the header (schema version + sweep identity + range); then
+/// one line per column carrying the per-instance ratios, the stabilized
+/// shard-folded counters, and — when recording ran — the merged
+/// queue-depth histogram plus the per-instance utilization addends.
+pub fn shard_fragment(meta: &ShardMeta<'_>, rows: Vec<InstanceRuns>) -> String {
+    assert_eq!(rows.len() as u64, meta.hi - meta.lo, "row count != range");
+    let ncells = meta.cells.len();
+    // Per-cell utilization addends, captured before the rows are folded
+    // away (in row = instance order, the only order that merges exactly).
+    let mut utils: Vec<Vec<UtilEntry>> = (0..ncells).map(|_| Vec::new()).collect();
+    for row in &rows {
+        assert_eq!(row.len(), ncells, "row width != cell count");
+        for (c, (_, _, obs)) in row.iter().enumerate() {
+            if let Some(u) = obs.as_ref().and_then(|o| o.util.as_ref()) {
+                utils[c].push(util_entry(u));
+            }
+        }
+    }
+    let mut cols = new_sweep_columns(ncells);
+    fold_rows(&mut cols, rows);
+    for col in cols.iter_mut() {
+        obsout::stabilize(col);
+    }
+
+    let labels: Vec<String> = meta.cells.iter().map(|c| json_string(c)).collect();
+    let mut out = format!(
+        "{{\"version\":{SHARD_SCHEMA_VERSION},\"kind\":\"shard\",\"workload\":{},\"mode\":{},\"instances\":{},\"seed\":{},\"lo\":{},\"hi\":{},\"cells\":[{}]}}\n",
+        json_string(meta.workload),
+        json_string(meta.mode),
+        meta.instances,
+        meta.seed,
+        meta.lo,
+        meta.hi,
+        labels.join(","),
+    );
+    for ((label, col), cell_utils) in meta.cells.iter().zip(&cols).zip(&utils) {
+        out.push_str(&format!(
+            "{{\"kind\":\"shard-cell\",\"cell\":{},\"ratios\":{},\"stats\":{}",
+            json_string(label),
+            f64s_json(&col.ratios),
+            stats_json(&col.stats),
+        ));
+        if let Some(o) = &col.obs {
+            let entries: Vec<String> = cell_utils
+                .iter()
+                .map(|e| {
+                    format!(
+                        "{{\"u\":{},\"d\":{},\"imb\":{},\"cov\":{}}}",
+                        f64s_json(&e.per_type),
+                        f64s_json(&e.drain_frac),
+                        json_f64(e.imbalance),
+                        json_f64(e.cov),
+                    )
+                })
+                .collect();
+            out.push_str(&format!(
+                ",\"obs\":{{\"runs\":{},\"queue_depth\":{},\"util\":[{}]}}",
+                o.runs,
+                hist_parts_json(&o.queue_depth),
+                entries.join(","),
+            ));
+        }
+        out.push_str("}\n");
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Parsing fragments back.
+// ---------------------------------------------------------------------------
+
+fn want_u64(v: &Value, key: &str) -> Result<u64, String> {
+    v.get(key)
+        .and_then(|x| x.as_u64())
+        .ok_or_else(|| format!("missing/invalid u64 field {key:?}"))
+}
+
+fn want_str(v: &Value, key: &str) -> Result<String, String> {
+    Ok(v.get(key)
+        .and_then(|x| x.as_str())
+        .ok_or_else(|| format!("missing/invalid string field {key:?}"))?
+        .to_string())
+}
+
+fn want_arr<'v>(v: &'v Value, key: &str) -> Result<&'v [Value], String> {
+    v.get(key)
+        .and_then(|x| x.as_array())
+        .ok_or_else(|| format!("missing/invalid array field {key:?}"))
+}
+
+/// Non-finite values travel as JSON `null`; any non-number parses back as
+/// NaN, which poisons downstream sums exactly as the original non-finite
+/// value would — both render as `null` again in the merged output.
+fn lenient_f64(v: &Value) -> f64 {
+    v.as_f64().unwrap_or(f64::NAN)
+}
+
+fn f64_vec(v: &Value, key: &str) -> Result<Vec<f64>, String> {
+    Ok(want_arr(v, key)?.iter().map(lenient_f64).collect())
+}
+
+fn parse_stats(v: &Value) -> Result<RunStats, String> {
+    let sel = v.get("selection").ok_or("missing selection block")?;
+    Ok(RunStats {
+        epochs: want_u64(v, "epochs")?,
+        epochs_skipped: want_u64(v, "epochs_skipped")?,
+        dirty_visits: want_u64(v, "dirty_visits")?,
+        full_rescans: want_u64(v, "full_rescans")?,
+        tasks_assigned: want_u64(v, "tasks_assigned")?,
+        transitions: TransitionCounts {
+            releases: want_u64(v, "releases")?,
+            starts: want_u64(v, "starts")?,
+            completions: want_u64(v, "completions")?,
+            progress_updates: want_u64(v, "progress_updates")?,
+            peak_queue_depth: want_u64(v, "peak_queue_depth")? as usize,
+        },
+        assign_nanos: want_u64(v, "assign_nanos")?,
+        engine_nanos: want_u64(v, "engine_nanos")?,
+        workspace_reuses: want_u64(v, "workspace_reuses")?,
+        workspace_cold_inits: want_u64(v, "workspace_cold_inits")?,
+        selection: SelectionStats {
+            candidates_evaluated: want_u64(sel, "candidates_evaluated")?,
+            candidates_pruned: want_u64(sel, "candidates_pruned")?,
+            diff_events: want_u64(sel, "diff_events")?,
+            cold_snapshots: want_u64(sel, "cold_snapshots")?,
+        },
+        ..RunStats::default()
+    })
+}
+
+fn parse_hist(v: &Value) -> Result<HistSnapshot, String> {
+    let count = want_u64(v, "count")?;
+    let max = want_u64(v, "max")?;
+    let sum = want_u64(v, "sum")?;
+    let mut buckets = Vec::new();
+    for pair in want_arr(v, "buckets")? {
+        let p = pair.as_array().ok_or("bucket entry is not a pair")?;
+        if p.len() != 2 {
+            return Err("bucket entry is not a pair".into());
+        }
+        let idx = p[0].as_u64().ok_or("bad bucket index")?;
+        let n = p[1].as_u64().ok_or("bad bucket count")?;
+        buckets.push((idx as u16, n));
+    }
+    Ok(HistSnapshot::from_parts(count, max, sum, buckets))
+}
+
+struct CellFrag {
+    ratios: Vec<f64>,
+    stats: RunStats,
+    obs: Option<ObsFrag>,
+}
+
+struct ObsFrag {
+    runs: u64,
+    queue_depth: HistSnapshot,
+    util: Vec<UtilEntry>,
+}
+
+struct Frag {
+    workload: String,
+    mode: String,
+    instances: u64,
+    seed: u64,
+    lo: u64,
+    hi: u64,
+    labels: Vec<String>,
+    cells: Vec<CellFrag>,
+}
+
+fn parse_fragment(text: &str) -> Result<Frag, String> {
+    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+    let header_line = lines.next().ok_or("empty fragment")?;
+    let header = parse(header_line).map_err(|e| format!("header: {e}"))?;
+    let version = want_u64(&header, "version")?;
+    if version != SHARD_SCHEMA_VERSION {
+        return Err(format!(
+            "fragment schema v{version}, expected v{SHARD_SCHEMA_VERSION}"
+        ));
+    }
+    if want_str(&header, "kind")? != "shard" {
+        return Err("not a shard fragment (kind != \"shard\")".into());
+    }
+    let mut frag = Frag {
+        workload: want_str(&header, "workload")?,
+        mode: want_str(&header, "mode")?,
+        instances: want_u64(&header, "instances")?,
+        seed: want_u64(&header, "seed")?,
+        lo: want_u64(&header, "lo")?,
+        hi: want_u64(&header, "hi")?,
+        labels: want_arr(&header, "cells")?
+            .iter()
+            .map(|v| v.as_str().map(str::to_string).ok_or("bad cell label"))
+            .collect::<Result<_, _>>()?,
+        cells: Vec::new(),
+    };
+    if frag.lo >= frag.hi || frag.hi > frag.instances {
+        return Err(format!(
+            "bad range {}..{} over {} instances",
+            frag.lo, frag.hi, frag.instances
+        ));
+    }
+    for line in lines {
+        let v = parse(line).map_err(|e| format!("cell line: {e}"))?;
+        if want_str(&v, "kind")? != "shard-cell" {
+            return Err("unexpected line kind in fragment".into());
+        }
+        let obs = match v.get("obs") {
+            None => None,
+            Some(o) => {
+                let mut util = Vec::new();
+                for e in want_arr(o, "util")? {
+                    util.push(UtilEntry {
+                        per_type: f64_vec(e, "u")?,
+                        drain_frac: f64_vec(e, "d")?,
+                        imbalance: e.get("imb").map(lenient_f64).unwrap_or(f64::NAN),
+                        cov: e.get("cov").map(lenient_f64).unwrap_or(f64::NAN),
+                    });
+                }
+                Some(ObsFrag {
+                    runs: want_u64(o, "runs")?,
+                    queue_depth: parse_hist(o.get("queue_depth").ok_or("missing queue_depth")?)?,
+                    util,
+                })
+            }
+        };
+        frag.cells.push(CellFrag {
+            ratios: want_arr(&v, "ratios")?.iter().map(lenient_f64).collect(),
+            stats: parse_stats(v.get("stats").ok_or("missing stats block")?)?,
+            obs,
+        });
+    }
+    if frag.cells.len() != frag.labels.len() {
+        return Err(format!(
+            "fragment has {} cell lines for {} declared cells",
+            frag.cells.len(),
+            frag.labels.len()
+        ));
+    }
+    for (cell, label) in frag.cells.iter().zip(&frag.labels) {
+        if cell.ratios.len() as u64 != frag.hi - frag.lo {
+            return Err(format!(
+                "cell {label:?} carries {} ratios for range {}..{}",
+                cell.ratios.len(),
+                frag.lo,
+                frag.hi
+            ));
+        }
+    }
+    Ok(frag)
+}
+
+/// Merges shard fragments back into metrics-JSONL, byte-identical to the
+/// unsharded `sweep --stable --metrics-out` over the full instance range.
+///
+/// The fragments may arrive in any order but must form an **exact
+/// partition** of `0..instances` (contiguous, non-overlapping, covering)
+/// and agree on the sweep identity (workload, mode, seed, total
+/// instances, cell labels) and schema version — anything else is an
+/// error, not a silent partial merge.
+pub fn merge_shards(fragments: &[String]) -> Result<String, String> {
+    if fragments.is_empty() {
+        return Err("no fragments to merge".into());
+    }
+    let mut frags = Vec::with_capacity(fragments.len());
+    for (i, text) in fragments.iter().enumerate() {
+        frags.push(parse_fragment(text).map_err(|e| format!("fragment {i}: {e}"))?);
+    }
+    frags.sort_by_key(|f| f.lo);
+    let first = &frags[0];
+    for f in &frags[1..] {
+        if f.workload != first.workload
+            || f.mode != first.mode
+            || f.instances != first.instances
+            || f.seed != first.seed
+            || f.labels != first.labels
+        {
+            return Err(
+                "fragments disagree on sweep identity (workload/mode/instances/seed/cells)".into(),
+            );
+        }
+    }
+    let mut expect = 0u64;
+    for f in &frags {
+        if f.lo != expect {
+            return Err(format!(
+                "instance ranges do not partition 0..{}: expected a shard starting at {expect}, found {}..{}",
+                first.instances, f.lo, f.hi
+            ));
+        }
+        expect = f.hi;
+    }
+    if expect != first.instances {
+        return Err(format!(
+            "instance ranges stop at {expect}, expected {}",
+            first.instances
+        ));
+    }
+
+    let (workload, mode, instances, seed) = (
+        first.workload.clone(),
+        first.mode.clone(),
+        first.instances as usize,
+        first.seed,
+    );
+    let labels = first.labels.clone();
+    let mut out = String::new();
+    for (c, label) in labels.iter().enumerate() {
+        let mut ratios: Vec<f64> = Vec::with_capacity(instances);
+        let mut stats = RunStats::default();
+        let mut obs: Option<CellObs> = None;
+        for f in &frags {
+            let cell = &f.cells[c];
+            ratios.extend_from_slice(&cell.ratios);
+            stats.merge(&cell.stats);
+            if let Some(o) = &cell.obs {
+                let acc = obs.get_or_insert_with(CellObs::default);
+                acc.runs += o.runs;
+                acc.queue_depth.merge(&o.queue_depth);
+                for e in &o.util {
+                    util_replay(&mut acc.util, e);
+                }
+            }
+        }
+        let summary = crate::stats::Summary::from_samples(&ratios);
+        out.push_str(&obsout::metrics_line(
+            label,
+            &workload,
+            &mode,
+            instances,
+            seed,
+            &summary,
+            &stats,
+            obs.as_ref(),
+        ));
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{run_sweep_observed, run_sweep_rows, SweepCell};
+    use fhs_core::Algorithm;
+    use fhs_obs::ObsConfig;
+    use fhs_sim::Mode;
+    use fhs_workloads::{resources::SystemSize, Family, Typing, WorkloadSpec};
+
+    fn unsharded_stable(
+        spec: &WorkloadSpec,
+        cells: &[SweepCell],
+        labels: &[String],
+        instances: usize,
+        seed: u64,
+        observe: ObsConfig,
+    ) -> String {
+        let mut cols = run_sweep_observed(spec, cells, instances, seed, Some(2), observe);
+        let mut out = String::new();
+        for (label, col) in labels.iter().zip(cols.iter_mut()) {
+            obsout::stabilize(col);
+            out.push_str(&obsout::metrics_line(
+                label,
+                &spec.label(),
+                "np",
+                instances,
+                seed,
+                &col.summary(),
+                &col.stats,
+                col.obs.as_ref(),
+            ));
+            out.push('\n');
+        }
+        out
+    }
+
+    fn fragments_for(
+        spec: &WorkloadSpec,
+        cells: &[SweepCell],
+        labels: &[String],
+        instances: usize,
+        seed: u64,
+        observe: ObsConfig,
+        bounds: &[u64],
+    ) -> Vec<String> {
+        bounds
+            .windows(2)
+            .map(|w| {
+                let rows = run_sweep_rows(spec, cells, w[0]..w[1], seed, Some(2), observe);
+                shard_fragment(
+                    &ShardMeta {
+                        workload: &spec.label(),
+                        mode: "np",
+                        instances,
+                        seed,
+                        lo: w[0],
+                        hi: w[1],
+                        cells: labels,
+                    },
+                    rows,
+                )
+            })
+            .collect()
+    }
+
+    fn setup() -> (WorkloadSpec, Vec<SweepCell>, Vec<String>) {
+        let spec = WorkloadSpec::new(Family::Ir, Typing::Layered, SystemSize::Small, 3);
+        let algos = [Algorithm::Mqb, Algorithm::KGreedy, Algorithm::LSpan];
+        let cells: Vec<SweepCell> = algos
+            .iter()
+            .map(|&a| SweepCell::new(a, Mode::NonPreemptive))
+            .collect();
+        let labels: Vec<String> = algos.iter().map(|a| a.label().to_string()).collect();
+        (spec, cells, labels)
+    }
+
+    #[test]
+    fn two_uneven_shards_merge_byte_identical() {
+        let (spec, cells, labels) = setup();
+        let oc = ObsConfig::all();
+        let want = unsharded_stable(&spec, &cells, &labels, 9, 77, oc);
+        let frags = fragments_for(&spec, &cells, &labels, 9, 77, oc, &[0, 2, 9]);
+        assert_eq!(merge_shards(&frags).unwrap(), want);
+        // Merge must not depend on fragment order.
+        let reversed: Vec<String> = frags.into_iter().rev().collect();
+        assert_eq!(merge_shards(&reversed).unwrap(), want);
+    }
+
+    #[test]
+    fn three_shards_without_observability_merge_byte_identical() {
+        let (spec, cells, labels) = setup();
+        let oc = ObsConfig::default();
+        let want = unsharded_stable(&spec, &cells, &labels, 10, 5, oc);
+        let frags = fragments_for(&spec, &cells, &labels, 10, 5, oc, &[0, 4, 5, 10]);
+        assert_eq!(merge_shards(&frags).unwrap(), want);
+    }
+
+    #[test]
+    fn merge_rejects_gaps_overlaps_and_identity_drift() {
+        let (spec, cells, labels) = setup();
+        let oc = ObsConfig::default();
+        let frags = fragments_for(&spec, &cells, &labels, 8, 3, oc, &[0, 4, 8]);
+        // Gap: second shard missing.
+        assert!(merge_shards(&frags[..1]).is_err());
+        // Identity drift: different seed in the second fragment.
+        let other = fragments_for(&spec, &cells, &labels, 8, 4, oc, &[0, 4, 8]);
+        let mixed = vec![frags[0].clone(), other[1].clone()];
+        assert!(merge_shards(&mixed).unwrap_err().contains("identity"));
+        // Overlap: same range twice.
+        let doubled = vec![frags[0].clone(), frags[0].clone(), frags[1].clone()];
+        assert!(merge_shards(&doubled).is_err());
+        assert!(merge_shards(&[]).is_err());
+    }
+
+    #[test]
+    fn fragment_roundtrips_through_the_parser() {
+        let (spec, cells, labels) = setup();
+        let oc = ObsConfig::all();
+        let frags = fragments_for(&spec, &cells, &labels, 6, 11, oc, &[0, 6]);
+        let f = parse_fragment(&frags[0]).unwrap();
+        assert_eq!(f.lo, 0);
+        assert_eq!(f.hi, 6);
+        assert_eq!(f.labels, labels);
+        assert_eq!(f.cells.len(), 3);
+        let cell = &f.cells[0];
+        assert_eq!(cell.ratios.len(), 6);
+        assert!(cell.stats.epochs > 0);
+        let obs = cell.obs.as_ref().expect("recording ran");
+        assert_eq!(obs.runs, 6);
+        assert_eq!(obs.util.len(), 6);
+        assert!(obs.queue_depth.count > 0);
+    }
+}

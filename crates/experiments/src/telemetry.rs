@@ -1,0 +1,645 @@
+//! Live telemetry for running experiments: Prometheus text exposition,
+//! periodic atomic snapshots, and the `GET /metrics` endpoint.
+//!
+//! Three pieces, all offline-friendly (std only):
+//!
+//! * [`sweep_exposition`] / [`stream_exposition`] render the existing
+//!   aggregates — engine counters, selection/fast-forward counters,
+//!   log-bucketed latency histograms, utilization gauges, per-job stream
+//!   histograms — in the Prometheus text format 0.0.4 implemented by
+//!   [`fhs_obs::Exposition`] (validated by [`fhs_obs::validate`]).
+//! * [`StreamSnapshotSink`] plugs into the session engine's cadence hook
+//!   ([`fhs_sim::Session::set_telemetry`]): every N epochs it atomically
+//!   writes the current exposition and a versioned snapshot-JSONL line
+//!   (tmp + rename, so a scraper never reads a torn file). Snapshots are
+//!   observe-only — the schedule is pinned byte-identical by the session
+//!   telemetry tests.
+//! * [`MetricsServer`] answers `GET /metrics` from the latest published
+//!   snapshot over a plain [`std::net::TcpListener`] — no HTTP stack, no
+//!   runtime; good enough for a scrape cadence of seconds.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use fhs_obs::{write_atomic, Exposition, StreamStats, SNAPSHOT_SCHEMA_VERSION};
+use fhs_sim::{RunStats, TelemetrySink, TelemetryTick};
+
+use crate::obsout;
+use crate::runner::SweepCellResult;
+
+// ---------------------------------------------------------------------------
+// Expositions.
+// ---------------------------------------------------------------------------
+
+/// Emits the engine-counter families shared by the sweep and stream
+/// expositions, **family-major** over the labeled series (the text format
+/// requires a family's samples to be contiguous, so the per-series loop
+/// must nest inside the per-family loop).
+fn engine_counters(e: &mut Exposition, series: &[(&[(&str, &str)], &RunStats)]) {
+    type Family = (&'static str, &'static str, fn(&RunStats) -> u64);
+    let simple: [Family; 5] = [
+        (
+            "fhs_epochs_total",
+            "Decision epochs (policy consultations, including fast-forwarded ones)",
+            |s| s.epochs,
+        ),
+        (
+            "fhs_epochs_skipped_total",
+            "Decision epochs fast-forwarded over instead of executed",
+            |s| s.epochs_skipped,
+        ),
+        (
+            "fhs_dirty_visits_total",
+            "Per-(job, epoch) policy consultations performed by the dirty-set scan",
+            |s| s.dirty_visits,
+        ),
+        (
+            "fhs_full_rescans_total",
+            "Epochs in which the dirty-set skip pruned nothing",
+            |s| s.full_rescans,
+        ),
+        (
+            "fhs_tasks_assigned_total",
+            "Task selections across all epochs",
+            |s| s.tasks_assigned,
+        ),
+    ];
+    for (name, help, get) in simple {
+        for (labels, stats) in series {
+            e.counter(name, help, labels, get(stats));
+        }
+    }
+    for (labels, stats) in series {
+        for (event, value) in [
+            ("releases", stats.transitions.releases),
+            ("starts", stats.transitions.starts),
+            ("completions", stats.transitions.completions),
+            ("progress_updates", stats.transitions.progress_updates),
+        ] {
+            let mut with_event = labels.to_vec();
+            with_event.push(("event", event));
+            e.counter(
+                "fhs_transitions_total",
+                "State transitions by kind",
+                &with_event,
+                value,
+            );
+        }
+    }
+    for (labels, stats) in series {
+        for (counter, value) in [
+            ("candidates_evaluated", stats.selection.candidates_evaluated),
+            ("candidates_pruned", stats.selection.candidates_pruned),
+            ("diff_events", stats.selection.diff_events),
+            ("cold_snapshots", stats.selection.cold_snapshots),
+        ] {
+            let mut with_counter = labels.to_vec();
+            with_counter.push(("counter", counter));
+            e.counter(
+                "fhs_selection_total",
+                "Candidate-selection counters (incremental-index policies)",
+                &with_counter,
+                value,
+            );
+        }
+    }
+    for (labels, stats) in series {
+        e.gauge(
+            "fhs_peak_queue_depth",
+            "Largest number of live candidates any single type queue held",
+            labels,
+            stats.transitions.peak_queue_depth as f64,
+        );
+    }
+}
+
+/// Renders a sweep's current per-column aggregates as one Prometheus
+/// text-format page. `done`/`total` expose the sweep's progress so a
+/// scraper can watch a long run converge; the per-column families are
+/// labeled `algo="<label>"`. Families are emitted family-major, so the
+/// page always passes [`fhs_obs::validate`].
+pub fn sweep_exposition(
+    workload: &str,
+    mode: &str,
+    labels: &[String],
+    cols: &[SweepCellResult],
+    done: usize,
+    total: usize,
+) -> String {
+    let mut e = Exposition::new();
+    let id = [("workload", workload), ("mode", mode)];
+    e.gauge(
+        "fhs_sweep_instances_total",
+        "Instances this sweep will evaluate",
+        &id,
+        total as f64,
+    );
+    e.gauge(
+        "fhs_sweep_instances_done",
+        "Instances folded into the aggregates so far",
+        &id,
+        done as f64,
+    );
+    let label_pairs: Vec<[(&str, &str); 1]> =
+        labels.iter().map(|l| [("algo", l.as_str())]).collect();
+    let series: Vec<(&[(&str, &str)], &RunStats)> = label_pairs
+        .iter()
+        .zip(cols)
+        .map(|(l, c)| (l.as_slice(), &c.stats))
+        .collect();
+    engine_counters(&mut e, &series);
+    // Family-major from here on too: every family's per-column samples
+    // must stay contiguous.
+    let summaries: Vec<_> = cols.iter().map(|c| c.summary()).collect();
+    for (l, (col, s)) in label_pairs.iter().zip(cols.iter().zip(&summaries)) {
+        if !col.ratios.is_empty() {
+            e.gauge(
+                "fhs_ratio_mean",
+                "Mean completion-time ratio over the instances so far",
+                l,
+                s.mean,
+            );
+        }
+    }
+    for (l, (col, s)) in label_pairs.iter().zip(cols.iter().zip(&summaries)) {
+        if !col.ratios.is_empty() {
+            e.gauge(
+                "fhs_ratio_p95",
+                "95th-percentile completion-time ratio",
+                l,
+                s.p95,
+            );
+        }
+    }
+    let observed: Vec<_> = label_pairs
+        .iter()
+        .zip(cols)
+        .filter_map(|(l, c)| c.obs.as_ref().map(|o| (l, o)))
+        .collect();
+    for (l, o) in &observed {
+        e.histogram(
+            "fhs_queue_depth",
+            "Ready-queue depth samples (one per type per epoch)",
+            l.as_slice(),
+            &o.queue_depth,
+        );
+    }
+    for (l, o) in &observed {
+        e.histogram(
+            "fhs_assign_latency_ns",
+            "Per-epoch Policy::assign wall latency",
+            l.as_slice(),
+            &o.assign_ns,
+        );
+    }
+    for (l, o) in &observed {
+        e.histogram(
+            "fhs_epoch_latency_ns",
+            "Inter-epoch wall durations within the engine loop",
+            l.as_slice(),
+            &o.epoch_ns,
+        );
+    }
+    let with_util: Vec<_> = observed.iter().filter(|(_, o)| o.util.runs > 0).collect();
+    for (l, o) in &with_util {
+        for alpha in 0..o.util.sum_util.len() {
+            let ty = alpha.to_string();
+            let lt = [l[0], ("type", ty.as_str())];
+            e.gauge(
+                "fhs_utilization_mean",
+                "Mean per-type utilization over the recorded instances",
+                &lt,
+                o.util.mean_util(alpha),
+            );
+        }
+    }
+    for (l, o) in &with_util {
+        for alpha in 0..o.util.sum_util.len() {
+            let ty = alpha.to_string();
+            let lt = [l[0], ("type", ty.as_str())];
+            e.gauge(
+                "fhs_drain_frac_mean",
+                "Mean per-type time-to-drain over makespan",
+                &lt,
+                o.util.mean_drain_frac(alpha),
+            );
+        }
+    }
+    for (l, o) in &with_util {
+        e.gauge(
+            "fhs_imbalance_mean",
+            "Mean utilization-imbalance index (max-min)",
+            l.as_slice(),
+            o.util.mean_imbalance(),
+        );
+    }
+    for (l, o) in &with_util {
+        e.gauge(
+            "fhs_cov_mean",
+            "Mean coefficient of variation of per-type utilization",
+            l.as_slice(),
+            o.util.mean_cov(),
+        );
+    }
+    e.finish()
+}
+
+/// Renders one running session's live state — engine counters plus the
+/// per-job response/queueing/slowdown histograms — as a Prometheus page.
+#[allow(clippy::too_many_arguments)]
+pub fn stream_exposition(
+    cell: &str,
+    inter: &str,
+    now: u64,
+    epoch: u64,
+    active_jobs: usize,
+    stats: &RunStats,
+    stream: &StreamStats,
+) -> String {
+    let mut e = Exposition::new();
+    let l = [("algo", cell), ("inter", inter)];
+    e.gauge("fhs_session_time", "Current simulated time", &l, now as f64);
+    e.gauge(
+        "fhs_session_epoch",
+        "Current machine epoch",
+        &l,
+        epoch as f64,
+    );
+    e.gauge(
+        "fhs_session_active_jobs",
+        "Jobs admitted and not yet retired",
+        &l,
+        active_jobs as f64,
+    );
+    engine_counters(&mut e, &[(l.as_slice(), stats)]);
+    e.counter(
+        "fhs_jobs_completed_total",
+        "Jobs retired from the session",
+        &l,
+        stream.completed,
+    );
+    e.counter(
+        "fhs_job_tasks_total",
+        "Tasks across all retired jobs",
+        &l,
+        stream.tasks,
+    );
+    e.counter(
+        "fhs_job_work_total",
+        "Total work across all retired jobs",
+        &l,
+        stream.work,
+    );
+    e.histogram(
+        "fhs_job_response_time",
+        "Per-job response time (finish - arrival)",
+        &l,
+        &stream.response.snapshot(),
+    );
+    e.histogram(
+        "fhs_job_queueing_delay",
+        "Per-job queueing delay (first start - arrival)",
+        &l,
+        &stream.queueing.snapshot(),
+    );
+    e.histogram(
+        "fhs_job_slowdown_milli",
+        "Per-job slowdown in milli-units (1500 = 1.5x)",
+        &l,
+        &stream.slowdown_milli.snapshot(),
+    );
+    e.finish()
+}
+
+/// The snapshot-JSONL page for a (possibly still running) sweep: a
+/// versioned progress header, then one standard metrics line per column
+/// covering the `done` instances folded so far.
+pub fn sweep_snapshot_jsonl(
+    workload: &str,
+    mode: &str,
+    seed: u64,
+    labels: &[String],
+    cols: &[SweepCellResult],
+    done: usize,
+    total: usize,
+) -> String {
+    let mut out = format!(
+        "{{\"version\":{SNAPSHOT_SCHEMA_VERSION},\"kind\":\"snapshot\",\"done\":{done},\"total\":{total}}}\n"
+    );
+    for (label, col) in labels.iter().zip(cols) {
+        out.push_str(&obsout::metrics_line(
+            label,
+            workload,
+            mode,
+            done,
+            seed,
+            &col.summary(),
+            &col.stats,
+            col.obs.as_ref(),
+        ));
+        out.push('\n');
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// The session snapshot sink.
+// ---------------------------------------------------------------------------
+
+/// A [`TelemetrySink`] for the session engine's cadence hook: every tick
+/// it renders [`stream_exposition`] plus a versioned snapshot-JSONL line
+/// and atomically replaces the target files (and publishes to a
+/// [`MetricsServer`], when one is attached). I/O failures are reported on
+/// [`StreamSnapshotSink::io_errors`] rather than panicking mid-schedule.
+pub struct StreamSnapshotSink {
+    /// `algo` label stamped on every family.
+    pub cell: String,
+    /// Inter-job policy label.
+    pub inter: String,
+    /// Workload label (snapshot-JSONL identity).
+    pub workload: String,
+    /// Mode label (snapshot-JSONL identity).
+    pub mode: String,
+    /// Base seed (snapshot-JSONL identity).
+    pub seed: u64,
+    /// Exposition target (`.prom`), if any.
+    pub prom_path: Option<PathBuf>,
+    /// Snapshot-JSONL target, if any.
+    pub jsonl_path: Option<PathBuf>,
+    /// Live endpoint to publish each exposition to, if any.
+    pub server: Option<MetricsServer>,
+    /// Ticks delivered so far.
+    pub ticks: u64,
+    /// Snapshot writes that failed (the run itself is never interrupted).
+    pub io_errors: u64,
+}
+
+impl StreamSnapshotSink {
+    /// A sink with the given series identity and no outputs attached yet.
+    pub fn new(cell: &str, inter: &str, workload: &str, mode: &str, seed: u64) -> Self {
+        StreamSnapshotSink {
+            cell: cell.to_string(),
+            inter: inter.to_string(),
+            workload: workload.to_string(),
+            mode: mode.to_string(),
+            seed,
+            prom_path: None,
+            jsonl_path: None,
+            server: None,
+            ticks: 0,
+            io_errors: 0,
+        }
+    }
+}
+
+impl TelemetrySink for StreamSnapshotSink {
+    fn tick(&mut self, tick: &TelemetryTick<'_>) {
+        self.ticks += 1;
+        let stream = match tick.stream {
+            Some(s) => s,
+            None => return,
+        };
+        let page = stream_exposition(
+            &self.cell,
+            &self.inter,
+            tick.now,
+            tick.epoch,
+            tick.active_jobs,
+            tick.stats,
+            stream,
+        );
+        if let Some(server) = &self.server {
+            server.publish(page.clone());
+        }
+        if let Some(path) = &self.prom_path {
+            if write_atomic(path, &page).is_err() {
+                self.io_errors += 1;
+            }
+        }
+        if let Some(path) = &self.jsonl_path {
+            let line = format!(
+                "{{\"version\":{SNAPSHOT_SCHEMA_VERSION},\"kind\":\"stream-snapshot\",\"epoch\":{},\"active_jobs\":{}}}\n{}\n",
+                tick.epoch,
+                tick.active_jobs,
+                obsout::stream_line(
+                    &self.cell,
+                    &self.inter,
+                    &self.workload,
+                    &self.mode,
+                    stream.completed as usize,
+                    self.seed,
+                    tick.now,
+                    stream,
+                ),
+            );
+            if write_atomic(path, &line).is_err() {
+                self.io_errors += 1;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The /metrics endpoint.
+// ---------------------------------------------------------------------------
+
+/// A minimal metrics endpoint over std's [`TcpListener`]: a detached
+/// accept-loop thread serves `GET /metrics` from the latest
+/// [`publish`](MetricsServer::publish)ed page (any other request gets a
+/// 404). Handles are cheap clones sharing the same page; the listener
+/// lives until process exit.
+#[derive(Clone)]
+pub struct MetricsServer {
+    latest: Arc<Mutex<String>>,
+    addr: SocketAddr,
+}
+
+impl MetricsServer {
+    /// Binds `addr` (e.g. `127.0.0.1:9184`; port 0 picks a free port) and
+    /// starts the accept loop.
+    pub fn start(addr: &str) -> std::io::Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let latest = Arc::new(Mutex::new(String::new()));
+        let shared = Arc::clone(&latest);
+        std::thread::Builder::new()
+            .name("fhs-metrics".into())
+            .spawn(move || {
+                for stream in listener.incoming().flatten() {
+                    let _ = serve_one(stream, &shared);
+                }
+            })?;
+        Ok(MetricsServer { latest, addr })
+    }
+
+    /// Replaces the page served at `/metrics`.
+    pub fn publish(&self, page: String) {
+        let mut latest = self.latest.lock().unwrap_or_else(|e| e.into_inner());
+        *latest = page;
+    }
+
+    /// The bound address (reports the picked port when started on `:0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+/// Serves one connection: reads the request head (bounded), answers
+/// `GET /metrics`, closes.
+fn serve_one(mut stream: TcpStream, latest: &Mutex<String>) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    let mut head = Vec::new();
+    let mut buf = [0u8; 1024];
+    while !head.windows(4).any(|w| w == b"\r\n\r\n") && head.len() < 16 * 1024 {
+        let n = stream.read(&mut buf)?;
+        if n == 0 {
+            break;
+        }
+        head.extend_from_slice(&buf[..n]);
+    }
+    let request_line = std::str::from_utf8(&head)
+        .unwrap_or("")
+        .lines()
+        .next()
+        .unwrap_or("");
+    let mut parts = request_line.split_whitespace();
+    let hit = parts.next() == Some("GET") && parts.next() == Some("/metrics");
+    let response = if hit {
+        let body = latest.lock().unwrap_or_else(|e| e.into_inner()).clone();
+        format!(
+            "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len(),
+        )
+    } else {
+        "HTTP/1.1 404 Not Found\r\nContent-Length: 0\r\nConnection: close\r\n\r\n".to_string()
+    };
+    stream.write_all(response.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{run_sweep_observed, SweepCell};
+    use crate::stream::{
+        run_stream, run_stream_with_telemetry, Arrivals, StreamCell, StreamConfig,
+    };
+    use fhs_core::Algorithm;
+    use fhs_obs::{validate, ObsConfig};
+    use fhs_sim::{InterJobPolicy, Mode};
+    use fhs_workloads::{resources::SystemSize, Family, Typing, WorkloadSpec};
+
+    fn sweep_fixture() -> (Vec<String>, Vec<SweepCellResult>) {
+        let spec = WorkloadSpec::new(Family::Ir, Typing::Layered, SystemSize::Small, 3);
+        let algos = [Algorithm::Mqb, Algorithm::KGreedy];
+        let cells: Vec<SweepCell> = algos
+            .iter()
+            .map(|&a| SweepCell::new(a, Mode::NonPreemptive))
+            .collect();
+        let cols = run_sweep_observed(&spec, &cells, 6, 9, Some(2), ObsConfig::all());
+        let labels = algos.iter().map(|a| a.label().to_string()).collect();
+        (labels, cols)
+    }
+
+    #[test]
+    fn sweep_exposition_is_valid_and_covers_the_counters() {
+        let (labels, cols) = sweep_fixture();
+        let page = sweep_exposition("Small Layered IR", "np", &labels, &cols, 6, 6);
+        validate(&page).expect("exposition validates");
+        assert!(page.contains("# TYPE fhs_epochs_total counter"));
+        assert!(page.contains("# TYPE fhs_queue_depth histogram"));
+        assert!(page.contains("fhs_selection_total{algo=\"MQB\",counter=\"candidates_evaluated\"}"));
+        assert!(page.contains("fhs_utilization_mean{algo=\"MQB\",type=\"0\"}"));
+        assert!(
+            page.contains("fhs_sweep_instances_done{workload=\"Small Layered IR\",mode=\"np\"} 6")
+        );
+    }
+
+    #[test]
+    fn sweep_snapshot_jsonl_is_versioned_and_parseable() {
+        let (labels, cols) = sweep_fixture();
+        let body = sweep_snapshot_jsonl("w", "np", 9, &labels, &cols, 6, 10);
+        let lines: Vec<&str> = body.lines().collect();
+        assert_eq!(lines.len(), 3);
+        let header = fhs_obs::json::parse(lines[0]).expect("header parses");
+        assert_eq!(
+            header.get("version").and_then(|v| v.as_u64()),
+            Some(SNAPSHOT_SCHEMA_VERSION)
+        );
+        assert_eq!(header.get("done").and_then(|v| v.as_u64()), Some(6));
+        for line in &lines[1..] {
+            fhs_obs::json::parse(line).expect("metrics line parses");
+        }
+    }
+
+    #[test]
+    fn metrics_server_serves_the_published_page_and_404s_elsewhere() {
+        let server = MetricsServer::start("127.0.0.1:0").expect("bind");
+        server.publish("# TYPE t counter\nt 1\n".to_string());
+        let fetch = |path: &str| -> String {
+            let mut s = TcpStream::connect(server.addr()).expect("connect");
+            write!(s, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+            let mut out = String::new();
+            s.read_to_string(&mut out).unwrap();
+            out
+        };
+        let ok = fetch("/metrics");
+        assert!(ok.starts_with("HTTP/1.1 200 OK\r\n"), "{ok}");
+        assert!(ok.contains("version=0.0.4"));
+        assert!(ok.ends_with("# TYPE t counter\nt 1\n"));
+        let miss = fetch("/other");
+        assert!(miss.starts_with("HTTP/1.1 404"), "{miss}");
+        // A republish is visible on the next scrape.
+        server.publish("t 2\n".to_string());
+        assert!(fetch("/metrics").ends_with("t 2\n"));
+    }
+
+    #[test]
+    fn stream_snapshot_sink_writes_valid_pages_without_perturbing_the_run() {
+        let cfg = StreamConfig {
+            spec: WorkloadSpec::new(Family::Ir, Typing::Layered, SystemSize::Small, 3),
+            jobs: 6,
+            arrivals: Arrivals::Poisson { mean_gap: 4.0 },
+            seed: 21,
+        };
+        let cell = StreamCell::new(Algorithm::Mqb, InterJobPolicy::FairShare);
+        let base = run_stream(&cfg, &cell);
+
+        let dir = std::env::temp_dir().join(format!("fhs-telemetry-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let server = MetricsServer::start("127.0.0.1:0").expect("bind");
+        let mut sink = StreamSnapshotSink::new("MQB", "fair", &cfg.spec.label(), "np", cfg.seed);
+        sink.prom_path = Some(dir.join("stream.prom"));
+        sink.jsonl_path = Some(dir.join("stream.jsonl"));
+        sink.server = Some(server.clone());
+        let (out, _sink) = run_stream_with_telemetry(&cfg, &cell, 8, Box::new(sink));
+
+        // Observe-only: the telemetry run retires the same schedule.
+        assert_eq!(out.makespan, base.makespan);
+        let fa: Vec<(u64, u64)> = base.jobs.iter().map(|j| (j.id, j.finish)).collect();
+        let fb: Vec<(u64, u64)> = out.jobs.iter().map(|j| (j.id, j.finish)).collect();
+        assert_eq!(fa, fb);
+
+        let page = std::fs::read_to_string(dir.join("stream.prom")).expect("prom written");
+        validate(&page).expect("exposition validates");
+        assert!(page.contains("fhs_jobs_completed_total"));
+        let jsonl = std::fs::read_to_string(dir.join("stream.jsonl")).expect("jsonl written");
+        let mut lines = jsonl.lines();
+        let header = fhs_obs::json::parse(lines.next().unwrap()).expect("header parses");
+        assert_eq!(
+            header.get("kind").and_then(|v| v.as_str()),
+            Some("stream-snapshot")
+        );
+        fhs_obs::json::parse(lines.next().unwrap()).expect("stream line parses");
+
+        // The same page was published live.
+        let mut s = TcpStream::connect(server.addr()).unwrap();
+        write!(s, "GET /metrics HTTP/1.1\r\n\r\n").unwrap();
+        let mut body = String::new();
+        s.read_to_string(&mut body).unwrap();
+        assert!(body.contains("fhs_job_response_time_bucket"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -63,6 +63,7 @@ pub struct LogHist {
     counts: Vec<u64>,
     count: u64,
     max: u64,
+    sum: u64,
 }
 
 impl LogHist {
@@ -78,6 +79,7 @@ impl LogHist {
         self.counts.resize(BUCKETS, 0);
         self.count = 0;
         self.max = 0;
+        self.sum = 0;
     }
 
     /// Records one value. Must be preceded by [`reset`](LogHist::reset)
@@ -87,6 +89,7 @@ impl LogHist {
         debug_assert_eq!(self.counts.len(), BUCKETS, "LogHist::reset not called");
         self.counts[bucket_index(v)] += 1;
         self.count += 1;
+        self.sum = self.sum.wrapping_add(v);
         if v > self.max {
             self.max = v;
         }
@@ -100,6 +103,12 @@ impl LogHist {
     /// Largest recorded value (exact, not bucketed); 0 when empty.
     pub fn max(&self) -> u64 {
         self.max
+    }
+
+    /// Sum of recorded values (exact, wrapping on `u64` overflow —
+    /// wrapping keeps merges order-independent).
+    pub fn sum(&self) -> u64 {
+        self.sum
     }
 
     /// Merges another histogram in (exact: per-bucket count sums). Handles
@@ -116,6 +125,7 @@ impl LogHist {
             *a += b;
         }
         self.count += other.count;
+        self.sum = self.sum.wrapping_add(other.sum);
         self.max = self.max.max(other.max);
     }
 
@@ -124,6 +134,7 @@ impl LogHist {
         HistSnapshot {
             count: self.count,
             max: self.max,
+            sum: self.sum,
             buckets: self
                 .counts
                 .iter()
@@ -143,11 +154,32 @@ pub struct HistSnapshot {
     pub count: u64,
     /// Largest recorded value (exact).
     pub max: u64,
+    /// Sum of recorded values (wrapping on overflow; see
+    /// [`LogHist::sum`]).
+    pub sum: u64,
     /// `(bucket index, count)` pairs, ascending by index.
     buckets: Vec<(u16, u64)>,
 }
 
 impl HistSnapshot {
+    /// Reassembles a snapshot from serialized parts (the inverse of
+    /// reading `count`/`max`/`sum`/[`buckets`](HistSnapshot::buckets) —
+    /// used by the shard-merge tool). `buckets` must be ascending by
+    /// index with non-zero counts summing to `count`; debug-asserted.
+    pub fn from_parts(count: u64, max: u64, sum: u64, buckets: Vec<(u16, u64)>) -> HistSnapshot {
+        debug_assert!(buckets.windows(2).all(|w| w[0].0 < w[1].0), "unsorted");
+        debug_assert!(buckets
+            .iter()
+            .all(|&(i, c)| (i as usize) < BUCKETS && c > 0));
+        debug_assert_eq!(buckets.iter().map(|&(_, c)| c).sum::<u64>(), count);
+        HistSnapshot {
+            count,
+            max,
+            sum,
+            buckets,
+        }
+    }
+
     /// `true` when nothing was recorded.
     pub fn is_empty(&self) -> bool {
         self.count == 0
@@ -198,6 +230,7 @@ impl HistSnapshot {
         }
         self.buckets = merged;
         self.count += other.count;
+        self.sum = self.sum.wrapping_add(other.sum);
         self.max = self.max.max(other.max);
     }
 
@@ -367,5 +400,26 @@ mod tests {
         let s = HistSnapshot::default();
         assert_eq!(s.quantile(0.5), 0);
         assert_eq!(s.percentiles(), (0, 0, 0, 0));
+        assert_eq!(s.sum, 0);
+    }
+
+    #[test]
+    fn sum_tracks_recorded_values_and_merges() {
+        let mut a = LogHist::new();
+        a.reset();
+        for v in [5u64, 7, 100] {
+            a.record(v);
+        }
+        assert_eq!(a.sum(), 112);
+        let mut b = LogHist::new();
+        b.reset();
+        b.record(8);
+        let mut m = a.snapshot();
+        m.merge(&b.snapshot());
+        assert_eq!(m.sum, 120);
+        a.merge(&b);
+        assert_eq!(a.sum(), 120);
+        a.reset();
+        assert_eq!(a.sum(), 0);
     }
 }

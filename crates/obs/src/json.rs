@@ -28,6 +28,18 @@ pub fn json_string(s: &str) -> String {
     out
 }
 
+/// Formats an `f64` as a JSON number token: finite values render via
+/// `Display` (shortest round-trip form), non-finite values — which JSON
+/// cannot represent — render as `null`. Shared by every JSON emitter in
+/// the workspace so numeric formatting stays byte-identical across them.
+pub fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
 /// A parsed JSON value. Numbers keep their raw text (the schema checks
 /// only need integer/float classification, and `u64` values must not go
 /// through `f64`).

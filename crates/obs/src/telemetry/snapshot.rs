@@ -1,0 +1,58 @@
+//! Atomic snapshot publication: write to a temporary file in the target
+//! directory, then `rename` over the destination. On POSIX the rename is
+//! atomic, so a concurrent reader (the `/metrics` server thread, a
+//! `tail`ing human, or a crashed writer's successor) always sees either
+//! the previous complete snapshot or the new complete snapshot — never a
+//! torn prefix.
+
+use std::fs;
+use std::io::{self, Write};
+use std::path::Path;
+
+/// Schema version stamped into every snapshot-JSONL line (and checked by
+/// the shard merge tool). Bump when a line's key set changes
+/// incompatibly.
+pub const SNAPSHOT_SCHEMA_VERSION: u64 = 1;
+
+/// Writes `contents` to `path` atomically (tmp file + rename). The
+/// temporary file lives next to the destination — same filesystem — so
+/// the final `rename` cannot degrade to a copy.
+pub fn write_atomic(path: &Path, contents: &str) -> io::Result<()> {
+    let dir = path.parent().unwrap_or_else(|| Path::new("."));
+    let base = path
+        .file_name()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "path has no file name"))?;
+    let mut tmp = dir.join(base);
+    tmp.set_extension(format!("tmp{}", std::process::id()));
+    {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(contents.as_bytes())?;
+        // Durability before visibility: the rename must not expose a
+        // file whose bytes are still in flight.
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_atomic_replaces_whole_file() {
+        let dir = std::env::temp_dir().join(format!("fhs_obs_snap_{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("metrics.prom");
+        write_atomic(&path, "first version, quite long content\n").unwrap();
+        write_atomic(&path, "second\n").unwrap();
+        assert_eq!(fs::read_to_string(&path).unwrap(), "second\n");
+        // No tmp litter left behind.
+        let stray: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path() != path)
+            .collect();
+        assert!(stray.is_empty(), "stray files: {stray:?}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,129 @@
+//! Property tests for the merge algebra of the mergeable aggregates.
+//!
+//! The sharded-sweep merge (PR 10) and every pooled runner rely on
+//! histogram and stream-stat merges being **commutative and
+//! associative**: shard grouping must not change the merged result.
+//! These proptests pin that for [`HistSnapshot`] and [`StreamStats`].
+
+use fhs_obs::{HistSnapshot, JobRecord, LogHist, StreamStats};
+use proptest::prelude::*;
+
+fn snapshot_of(values: &[u64]) -> HistSnapshot {
+    let mut h = LogHist::new();
+    h.reset();
+    for &v in values {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+fn stream_of(jobs: &[(u64, u64, u64)]) -> StreamStats {
+    let mut s = StreamStats::new();
+    for (i, &(arrival, wait, run)) in jobs.iter().enumerate() {
+        let first = arrival + wait;
+        s.record(&JobRecord {
+            id: i as u64,
+            arrival,
+            first_start: Some(first),
+            finish: first + run,
+            tasks: 1 + run % 5,
+            work: run,
+            lower_bound: 1 + run / 2,
+        });
+    }
+    s
+}
+
+/// StreamStats has no `PartialEq` (it holds dense `LogHist`s); compare
+/// through counters plus per-histogram snapshots, which is the form
+/// every exporter reads.
+fn stream_eq(a: &StreamStats, b: &StreamStats) -> bool {
+    a.completed == b.completed
+        && a.tasks == b.tasks
+        && a.work == b.work
+        && a.response.snapshot() == b.response.snapshot()
+        && a.queueing.snapshot() == b.queueing.snapshot()
+        && a.slowdown_milli.snapshot() == b.slowdown_milli.snapshot()
+}
+
+fn arb_values() -> impl Strategy<Value = Vec<u64>> {
+    // Mix tiny exact-bucket values with the full u64 range so sub-bucket
+    // boundaries and the top bucket are both exercised.
+    proptest::collection::vec(prop_oneof![(0u64..64).boxed(), any::<u64>().boxed()], 0..40)
+}
+
+fn arb_jobs() -> impl Strategy<Value = Vec<(u64, u64, u64)>> {
+    proptest::collection::vec((0u64..10_000, 0u64..500, 1u64..5_000), 0..30)
+}
+
+proptest! {
+    #[test]
+    fn hist_merge_is_commutative(a in arb_values(), b in arb_values()) {
+        let (sa, sb) = (snapshot_of(&a), snapshot_of(&b));
+        let mut ab = sa.clone();
+        ab.merge(&sb);
+        let mut ba = sb.clone();
+        ba.merge(&sa);
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn hist_merge_is_associative(
+        a in arb_values(), b in arb_values(), c in arb_values()
+    ) {
+        let (sa, sb, sc) = (snapshot_of(&a), snapshot_of(&b), snapshot_of(&c));
+        // (a ⊕ b) ⊕ c
+        let mut left = sa.clone();
+        left.merge(&sb);
+        left.merge(&sc);
+        // a ⊕ (b ⊕ c)
+        let mut bc = sb.clone();
+        bc.merge(&sc);
+        let mut right = sa.clone();
+        right.merge(&bc);
+        prop_assert_eq!(&left, &right);
+        // And both equal the single-pass recording of the concatenation.
+        let all: Vec<u64> = a.iter().chain(&b).chain(&c).copied().collect();
+        prop_assert_eq!(left, snapshot_of(&all));
+    }
+
+    #[test]
+    fn stream_merge_is_commutative(a in arb_jobs(), b in arb_jobs()) {
+        let (sa, sb) = (stream_of(&a), stream_of(&b));
+        let mut ab = sa.clone();
+        ab.merge(&sb);
+        let mut ba = sb.clone();
+        ba.merge(&sa);
+        prop_assert!(stream_eq(&ab, &ba));
+    }
+
+    #[test]
+    fn stream_merge_is_associative(
+        a in arb_jobs(), b in arb_jobs(), c in arb_jobs()
+    ) {
+        let (sa, sb, sc) = (stream_of(&a), stream_of(&b), stream_of(&c));
+        let mut left = sa.clone();
+        left.merge(&sb);
+        left.merge(&sc);
+        let mut bc = sb.clone();
+        bc.merge(&sc);
+        let mut right = sa.clone();
+        right.merge(&bc);
+        prop_assert!(stream_eq(&left, &right));
+        // Both equal the one-shot fold of the concatenated stream.
+        let all: Vec<(u64, u64, u64)> =
+            a.iter().chain(&b).chain(&c).copied().collect();
+        prop_assert!(stream_eq(&left, &stream_of(&all)));
+    }
+
+    #[test]
+    fn merging_empty_is_identity(a in arb_values()) {
+        let sa = snapshot_of(&a);
+        let mut m = sa.clone();
+        m.merge(&HistSnapshot::default());
+        prop_assert_eq!(&m, &sa);
+        let mut from_empty = HistSnapshot::default();
+        from_empty.merge(&sa);
+        prop_assert_eq!(from_empty, sa);
+    }
+}

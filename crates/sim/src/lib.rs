@@ -81,6 +81,7 @@ pub mod reference;
 pub mod session;
 pub mod state;
 pub mod svg;
+pub mod telemetry;
 pub mod timeline;
 pub mod trace;
 pub mod workspace;
@@ -97,6 +98,7 @@ pub use ready_queue::{QueueEvent, ReadyQueue};
 pub use session::{
     InterJobPolicy, JobId, Session, SessionOptions, SessionOutcome, ALL_INTER_JOB_POLICIES,
 };
+pub use telemetry::{TelemetrySink, TelemetryTick};
 pub use workspace::Workspace;
 
 /// Simulator clock value, in discrete time units.

@@ -1,0 +1,65 @@
+//! Periodic telemetry hook for the session epoch loop.
+//!
+//! A [`TelemetrySink`] registered on a [`Session`](crate::Session) is
+//! called every N *executed* decision epochs with a read-only
+//! [`TelemetryTick`] view of the live counters. The hook is strictly
+//! observe-only: it fires after the epoch counter increment and before
+//! any scheduling decision of the next epoch, receives shared references
+//! only, and the drive loop's behaviour (including epoch fast-forward)
+//! is identical with or without a sink — pinned by the session
+//! equivalence tests.
+//!
+//! Fast-forwarded epochs are *skipped*, not executed: a bulk jump may
+//! carry `stats.epochs` far past the next cadence point, in which case
+//! the next executed epoch fires one tick and re-arms the cadence from
+//! there. Tick counters are exact either way — skipped epochs are
+//! synthesized into `stats` before the next tick fires.
+
+use crate::instrument::RunStats;
+use crate::Time;
+use fhs_obs::StreamStats;
+
+/// Receiver of periodic telemetry ticks. Implementations typically
+/// render an exposition snapshot and publish it (atomically) somewhere a
+/// scraper can read; they must not assume any particular cadence beyond
+/// "at most once per executed epoch".
+pub trait TelemetrySink {
+    /// Called at each cadence point with the live counters.
+    fn tick(&mut self, tick: &TelemetryTick<'_>);
+}
+
+/// One periodic observation of a running session, passed to
+/// [`TelemetrySink::tick`]. All references point at live session state —
+/// read, render, return.
+pub struct TelemetryTick<'a> {
+    /// Current simulation time.
+    pub now: Time,
+    /// Workspace epoch counter (monotonic across runs on a workspace).
+    pub epoch: u64,
+    /// Engine counters accumulated so far this session.
+    pub stats: &'a RunStats,
+    /// Stream statistics over jobs retired so far (sessions only).
+    pub stream: Option<&'a StreamStats>,
+    /// Jobs currently admitted and not yet drained.
+    pub active_jobs: usize,
+}
+
+/// Borrowed cadence state threaded through one `drive` call.
+pub(crate) struct CadenceCtx<'a> {
+    /// Fire a tick every this many executed epochs.
+    pub(crate) every: u64,
+    /// `stats.epochs` value at which the next tick fires; persists
+    /// across drive calls within a session.
+    pub(crate) next_at: &'a mut u64,
+    pub(crate) sink: &'a mut dyn TelemetrySink,
+    pub(crate) stream: Option<&'a StreamStats>,
+    pub(crate) active_jobs: usize,
+}
+
+/// Owned per-session cadence state (see
+/// [`Session::set_telemetry`](crate::Session::set_telemetry)).
+pub(crate) struct SessionTelemetry {
+    pub(crate) every: u64,
+    pub(crate) next_at: u64,
+    pub(crate) sink: Box<dyn TelemetrySink>,
+}
